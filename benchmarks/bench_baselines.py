@@ -1,0 +1,29 @@
+"""E5 — the price of routability: ρ(n) vs unconstrained cycle covers.
+
+The paper cites the triangle covering number ⌈n/3⌈(n−1)/2⌉⌉ ([6, 7]);
+the like-for-like comparison uses cycles of length ≤ 4 without the DRC.
+Expected shape: the DRC costs a non-negative, growing number of cycles.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_nondrc_baseline
+
+NS = (5, 7, 9, 11, 13, 15, 17, 19)
+
+
+def test_bench_nondrc_baseline(benchmark, save_table):
+    result = benchmark(experiment_nondrc_baseline, NS)
+    table = result.render()
+    save_table("E5_baselines", table)
+    print("\n" + table)
+
+    prices = []
+    for row in result.rows:
+        assert row["greedy3"] >= row["formula"]   # formula is a true optimum
+        assert row["greedy4"] >= row["lb4"]
+        assert row["price"] >= 0                  # DRC never helps
+        prices.append(row["price"])
+    # The routability price grows with n (paper shape: DRC coverings pay
+    # Θ(n) over the unconstrained bound).
+    assert prices[-1] > prices[0]

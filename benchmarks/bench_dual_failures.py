@@ -1,0 +1,29 @@
+"""E12 — graceful degradation under simultaneous double fiber cuts.
+
+Beyond the paper's single-failure design point.  Expected shape: no
+cut pair fully survives (two cuts physically split a ring), losses are
+dominated by disconnection rather than protection contention, and mean
+survival stays above 50% and grows slowly with n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_dual_failures
+
+NS = (8, 10, 12, 14)
+
+
+def test_bench_dual_failures(benchmark, save_table):
+    result = benchmark(experiment_dual_failures, NS)
+    table = result.render()
+    save_table("E12_dual_failures", table)
+    print("\n" + table)
+
+    means = []
+    for row in result.rows:
+        assert row["full"] == 0          # two cuts always split a ring
+        assert 0.4 <= row["worst"] <= row["mean"] <= 1.0
+        means.append(row["mean"])
+    # Larger rings keep a (weakly) larger surviving fraction: the two
+    # cut arcs hold a smaller share of all pairs.
+    assert means[-1] >= means[0] - 0.02

@@ -1,0 +1,28 @@
+"""E3 — the paper's worked example (G = C4, I = K4), reproduced verbatim.
+
+"One covering is given by the two C4's (1,2,3,4) and (1,3,4,2) but
+there does not exist an edge disjoint routing for the cycle (1,3,4,2)
+... On the other hand, the covering given by the C4 (1,2,3,4) and the
+two C3's (1,2,4) and (1,3,4) satisfies the edge disjoint routing
+property."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_paper_example
+
+
+def test_bench_paper_example(benchmark, save_table):
+    result = benchmark(experiment_paper_example)
+    table = result.render()
+    save_table("E3_paper_example", table)
+    print("\n" + table)
+
+    by_name = {r["name"]: r for r in result.rows if "routable" in r}
+    assert by_name["ring"]["routable"]
+    assert by_name["tri1"]["routable"] and by_name["tri2"]["routable"]
+    assert not by_name["bad"]["routable"]  # the paper's negative case
+
+    summary = result.rows[-1]
+    assert summary["good_valid"]
+    assert summary["bad_covers"] and not summary["bad_drc"]

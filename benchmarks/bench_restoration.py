@@ -1,0 +1,36 @@
+"""E11 — protection vs restoration (paper §1), quantified on the ring.
+
+Paper: "Two survivability schemes can be implemented: protection or
+restoration. ... Dividing the network into independent sub-networks
+provides an intermediate solution."  Expected shape: on a ring the
+pooled-restoration spare equals the working load (no path diversity),
+so the covering's dedicated protection costs the same capacity while
+keeping switching local and the blast radius bounded.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_protection_vs_restoration
+
+NS = (8, 11, 14, 17)
+
+
+def test_bench_protection_vs_restoration(benchmark, save_table):
+    result = benchmark(experiment_protection_vs_restoration, NS)
+    table = result.render()
+    save_table("E11_protection_vs_restoration", table)
+    print("\n" + table)
+
+    for row in result.rows:
+        # On a ring, restoration recovers no capacity advantage...
+        assert row["restoration_overhead"] >= 0.9
+        # ...and the covering's working capacity is within one extra
+        # wavelength-ring of the shortest-path working optimum.
+        overbuild = row["protection_working"] - row["restoration_working"]
+        assert 0 <= overbuild <= row["n"]
+        # Protection's per-failure disturbance never exceeds restoration's
+        # worst case by more than the covering's excess duplication.
+        assert (
+            row["protection_reroutes_per_failure"]
+            <= row["restoration_reroutes_worst"] + row["n"] // 2
+        )

@@ -1,0 +1,24 @@
+"""E10 — exact certification of ρ(n) at small n.
+
+The branch-and-bound solver knows neither the formulas nor the
+constructions; its optimum matching ρ(n) for every n it can exhaust is
+the reproduction's independent check of the theorems' *lower* bounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_solver_certification
+
+NS = (4, 5, 6, 7, 8)
+
+
+def test_bench_solver_certification(benchmark, save_table):
+    result = benchmark.pedantic(
+        experiment_solver_certification, args=(NS,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    table = result.render()
+    save_table("E10_solver", table)
+    print("\n" + table)
+
+    for row in result.rows:
+        assert row["match"], f"solver disagrees with ρ({row['n']})"

@@ -1,0 +1,27 @@
+"""E1 — regenerate Theorem 1's table: ρ(n), C3/C4 mix for odd n.
+
+Paper row (Theorem 1): ρ(2p+1) = p(p+1)/2, achieved by p C3 +
+p(p−1)/2 C4, exact decomposition.  The benchmark times the full
+pipeline (construct + verify) and asserts formula == construction ==
+lower bound with the exact theorem mix.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_theorem1
+
+ODD_NS = (5, 7, 9, 11, 13, 15, 17, 19, 21, 25, 31, 41)
+
+
+def test_bench_theorem1(benchmark, save_table):
+    result = benchmark(experiment_theorem1, ODD_NS)
+    table = result.render()
+    save_table("E1_theorem1", table)
+    print("\n" + table)
+
+    for row in result.rows:
+        assert row["valid"] and row["optimal"]
+        assert row["rho_formula"] == row["constructed"] == row["lower_bound"]
+        assert row["c3_formula"] == row["c3_measured"]
+        assert row["c4_formula"] == row["c4_measured"]
+        assert row["excess_measured"] == 0  # exact decomposition

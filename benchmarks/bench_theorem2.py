@@ -1,0 +1,26 @@
+"""E2 — regenerate Theorem 2's table: ρ(n), mixes and excess for even n.
+
+Paper row (Theorem 2): ρ(2p) = ⌈(p²+1)/2⌉ for p ≥ 3; n = 4q uses
+4 C3 + (2q²−3) C4, n = 4q+2 uses 2 C3 + (2q²+2q−1) C4.  Both residues
+are swept; excess must equal p exactly (n ≥ 6).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_theorem2
+
+EVEN_NS = (4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 26, 30)
+
+
+def test_bench_theorem2(benchmark, save_table):
+    result = benchmark(experiment_theorem2, EVEN_NS)
+    table = result.render()
+    save_table("E2_theorem2", table)
+    print("\n" + table)
+
+    for row in result.rows:
+        assert row["valid"] and row["optimal"]
+        assert row["rho_formula"] == row["constructed"] == row["lower_bound"]
+        assert row["c3_formula"] == row["c3_measured"]
+        assert row["c4_formula"] == row["c4_measured"]
+        assert row["excess_formula"] == row["excess_measured"]

@@ -1,0 +1,32 @@
+"""E9 — DRC coverings beyond the ring (paper future work).
+
+"We also consider other network topologies, for example, trees of
+rings, grids or tori."  Expected shape: denser topologies (torus) admit
+coverings with at most as many cycles as the greedy needs on sparser
+ones of equal order; everything stays DRC-routable by construction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import experiment_topologies
+
+
+def test_bench_topologies(benchmark, save_table):
+    result = benchmark.pedantic(
+        experiment_topologies, rounds=1, iterations=1, warmup_rounds=0
+    )
+    table = result.render()
+    save_table("E9_topologies", table)
+    print("\n" + table)
+
+    rows = {row["name"]: row for row in result.rows}
+    for row in result.rows:
+        assert row["cycles"] > 0
+
+    grid = rows["grid-3x3"]
+    torus = rows["torus-3x3"]
+    # Same order, strictly more links: the torus never needs more
+    # greedy cycles than the grid.
+    assert torus["nodes"] == grid["nodes"]
+    assert torus["links"] > grid["links"]
+    assert torus["cycles"] <= grid["cycles"]

@@ -1,0 +1,29 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's tables (experiments
+E1–E10 in DESIGN.md), times it with pytest-benchmark, asserts the
+paper-shape of the results, and writes the rendered table to
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from
+artifacts rather than by hand.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Persist a rendered experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save

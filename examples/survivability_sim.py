@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Failure drill: cut every fiber, watch the protection switch.
+
+The paper's survivability story, made operational: each covering cycle
+is an independently protected subnetwork — half its capacity carries
+working traffic, half is spare.  When a fiber is cut, the (single)
+affected request of each subnetwork loops back the other way around the
+ring on the protection wavelength.  No coordination between
+subnetworks, no spare-capacity contention.
+
+The example also shows the limits: a *node* failure kills the traffic
+terminating there (nothing can save it) while transit traffic survives
+when its loop-back avoids the dead switch.
+
+Run:  python examples/survivability_sim.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.survivability.failures import LinkFailure, NodeFailure
+from repro.survivability.metrics import evaluate_survivability
+from repro.survivability.protection import ProtectionSimulator
+from repro.util.tables import Table
+from repro.wdm.design import design_ring_network
+
+
+def main(n: int = 12) -> None:
+    print(f"=== Failure drill on a {n}-node protected WDM ring ===\n")
+    design = design_ring_network(n)
+    print(design.summary(), "\n")
+    sim = ProtectionSimulator(design)
+
+    # --- one fiber cut in detail -------------------------------------
+    cut = LinkFailure(n, 0)
+    outcome = sim.simulate_link_failure(cut)
+    a, b = cut.endpoints
+    print(f"Fiber cut on link {a}-{b}: "
+          f"{outcome.affected_requests} requests switch to protection "
+          f"(one per subnetwork), recovered={outcome.fully_recovered}")
+    for ev in outcome.reroutes[:4]:
+        print(f"  subnetwork {ev.subnetwork}: request {ev.request} "
+              f"rerouted {ev.working_arc.length} -> {ev.protection_arc.length} hops "
+              f"(stretch {ev.stretch:.2f}x)")
+    if len(outcome.reroutes) > 4:
+        print(f"  ... and {len(outcome.reroutes) - 4} more")
+
+    # --- full sweep -----------------------------------------------------
+    report = evaluate_survivability(design)
+    print(f"\nFull sweep: {report.summary()}")
+
+    # --- node failures (the harder case) ----------------------------------
+    table = Table(
+        "Node failures: terminated vs transit traffic",
+        ["failed node", "terminated", "transit recovered", "transit lost", "survival"],
+    )
+    for v in range(min(n, 5)):
+        out = sim.simulate_node_failure(NodeFailure(n, v))
+        table.add_row(
+            v, out.terminated_requests, out.recovered_requests,
+            out.unrecovered_requests, f"{out.transit_survival_rate:.0%}",
+        )
+    print("\n" + table.render())
+    print("\n(Terminated traffic is unrecoverable by any scheme: its "
+          "endpoint is gone.  Transit traffic survives when the loop-back "
+          "path avoids the dead switch.)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Design a survivable WDM metro ring, end to end.
+
+The scenario from the paper's introduction: an operator runs an optical
+ring (here: 13 switches) and must provision the All-to-All wavelength
+demands so that any single failure is handled by fast automatic
+protection, while keeping equipment cost down.  The paper's answer:
+cover the demands by ρ(n) independent protected cycles.
+
+This example designs the network, prints the wavelength plan, itemises
+the cost, and contrasts the Theorem covering against two alternatives
+(the polynomial fallback and the greedy heuristic).
+
+Run:  python examples/wdm_ring_design.py [n]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines.greedy import greedy_drc_covering
+from repro.baselines.ring_sizes import min_total_ring_size, total_ring_size
+from repro.core.construction import fast_covering
+from repro.util.tables import Table
+from repro.wdm.adm import evaluate_cost
+from repro.wdm.design import design_ring_network
+
+
+def main(n: int = 13) -> None:
+    print(f"=== Survivable WDM design for a {n}-node optical ring ===\n")
+
+    design = design_ring_network(n)
+    print(design.summary())
+
+    # The wavelength plan: one (working, protection) pair per subnetwork.
+    plan = design.plan
+    print(f"\nWavelength plan: {plan.num_subnetworks} subnetworks, "
+          f"{plan.num_wavelengths} wavelengths "
+          f"(fiber utilisation of working λs: {plan.fiber_utilisation:.0%})")
+    for k, blk in enumerate(design.covering.blocks[:5]):
+        print(f"  subnetwork {k}: nodes {blk.vertices}, "
+              f"λ_work={plan.working_wavelength(k)}, "
+              f"λ_spare={plan.protection_wavelength(k)}")
+    if design.covering.num_blocks > 5:
+        print(f"  ... and {design.covering.num_blocks - 5} more")
+
+    # A few request routes.
+    print("\nSample working routes:")
+    for req in [(0, 1), (0, n // 2), (2, n - 2)]:
+        k, arc = design.route_of(*req)
+        print(f"  {req}: subnetwork {k}, clockwise {arc.start}->{arc.end} "
+              f"({arc.length} hops)")
+
+    # Cost comparison against alternatives (the paper's cost claim).
+    table = Table(
+        "Cost comparison (same price book, same survivability)",
+        ["method", "cycles", "ADMs", "ADM optimum", "wavelengths", "total cost"],
+    )
+    for name, cov in [
+        ("theorem (ρ-optimal)", design.covering),
+        ("polynomial fallback", fast_covering(n)),
+        ("greedy heuristic", greedy_drc_covering(n)),
+    ]:
+        cost = evaluate_cost(cov)
+        table.add_row(
+            name, cov.num_blocks, total_ring_size(cov), min_total_ring_size(n),
+            2 * cov.num_blocks, round(cost.total, 1),
+        )
+    print("\n" + table.render())
+    print("\nNote: the ρ-optimal covering also attains the ADM optimum — on a "
+          "ring, minimising cycles and minimising ADMs (refs [3],[4]) agree.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 13)

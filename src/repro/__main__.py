@@ -1,0 +1,86 @@
+"""Command-line interface: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro                 # run every experiment, print tables
+    python -m repro E1 E2           # selected experiments
+    python -m repro --list          # what's available
+    python -m repro --rho 6..20     # just the ρ(n) values over a range
+
+Experiments map 1:1 to DESIGN.md §4 / the benchmark suite; this entry
+point exists so the tables are reachable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from .analysis import experiments as X
+
+_EXPERIMENTS: dict[str, tuple[str, Callable[[], "X.ExperimentResult"]]] = {
+    "E1": ("Theorem 1 (odd n)", lambda: X.experiment_theorem1((5, 7, 9, 11, 13, 15, 17, 21))),
+    "E2": ("Theorem 2 (even n)", lambda: X.experiment_theorem2((4, 6, 8, 10, 12, 14, 16, 18))),
+    "E3": ("paper worked example", X.experiment_paper_example),
+    "E4": ("cost model", lambda: X.experiment_cost_model((7, 9, 11, 12, 13))),
+    "E5": ("non-DRC baselines", lambda: X.experiment_nondrc_baseline((5, 7, 9, 11, 13))),
+    "E6": ("survivability sweep", lambda: X.experiment_survivability((6, 8, 9, 11))),
+    "E8": ("λK_n extension", lambda: X.experiment_lambda_fold((5, 7, 6, 8), (1, 2, 3))),
+    "E9": ("other topologies", X.experiment_topologies),
+    "E10": ("exact solver certification", lambda: X.experiment_solver_certification((4, 5, 6, 7))),
+    "E11": ("protection vs restoration", lambda: X.experiment_protection_vs_restoration((8, 11, 14))),
+    "E12": ("dual-failure degradation", lambda: X.experiment_dual_failures((8, 10, 12))),
+}
+
+
+def _parse_range(spec: str) -> list[int]:
+    if ".." in spec:
+        lo, hi = spec.split("..", 1)
+        return list(range(int(lo), int(hi) + 1))
+    return [int(s) for s in spec.split(",")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables from 'A Note on Cycle Covering' (SPAA 2001).",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--rho", metavar="RANGE", help="print ρ(n) for n in RANGE (e.g. 6..20 or 5,9,14)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (desc, _) in _EXPERIMENTS.items():
+            print(f"{key:4s} {desc}")
+        return 0
+
+    if args.rho:
+        from .core.formulas import optimal_excess, rho, theorem_cycle_mix
+        from .util.tables import Table
+
+        table = Table("ρ(n) — minimum DRC-covering sizes", ["n", "ρ(n)", "C3", "C4", "excess"])
+        for n in _parse_range(args.rho):
+            mix = theorem_cycle_mix(n)
+            table.add_row(n, rho(n), mix[3], mix[4], optimal_excess(n))
+        print(table.render())
+        return 0
+
+    selected = args.experiments or list(_EXPERIMENTS)
+    unknown = [e for e in selected if e not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} (try --list)", file=sys.stderr)
+        return 2
+
+    for key in selected:
+        desc, runner = _EXPERIMENTS[key]
+        print(f"\n# {key} — {desc}\n")
+        print(runner().render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

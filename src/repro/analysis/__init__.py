@@ -1,0 +1,40 @@
+"""Experiment harness regenerating the paper's quantitative content."""
+
+from . import viz
+from .statistics import CoveringStatistics, covering_statistics
+from .experiments import (
+    DEFAULT_EVEN_RANGE,
+    DEFAULT_ODD_RANGE,
+    ExperimentResult,
+    experiment_cost_model,
+    experiment_lambda_fold,
+    experiment_nondrc_baseline,
+    experiment_paper_example,
+    experiment_dual_failures,
+    experiment_protection_vs_restoration,
+    experiment_solver_certification,
+    experiment_survivability,
+    experiment_theorem1,
+    experiment_theorem2,
+    experiment_topologies,
+)
+
+__all__ = [
+    "CoveringStatistics",
+    "covering_statistics",
+    "viz",
+    "DEFAULT_EVEN_RANGE",
+    "DEFAULT_ODD_RANGE",
+    "ExperimentResult",
+    "experiment_cost_model",
+    "experiment_lambda_fold",
+    "experiment_nondrc_baseline",
+    "experiment_paper_example",
+    "experiment_dual_failures",
+    "experiment_protection_vs_restoration",
+    "experiment_solver_certification",
+    "experiment_survivability",
+    "experiment_theorem1",
+    "experiment_theorem2",
+    "experiment_topologies",
+]

@@ -1,0 +1,456 @@
+"""Experiment harness: regenerates every quantitative claim of the paper.
+
+Each ``experiment_*`` function computes one experiment from DESIGN.md's
+index (E1–E10) and returns a :class:`~repro.util.tables.Table` whose
+rows are also available structurally for assertions.  The benchmark
+suite wraps these functions with pytest-benchmark so the tables and the
+timings are produced by the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.greedy import greedy_drc_covering
+from ..baselines.nondrc import greedy_triangle_cover
+from ..baselines.ring_sizes import min_total_ring_size, total_ring_size
+from ..core.bounds import lower_bound
+from ..core.construction import fast_covering, optimal_covering
+from ..core.covering import Covering
+from ..core.drc import brute_force_routing, paper_example_blocks
+from ..core.formulas import (
+    optimal_excess,
+    rho,
+    theorem_cycle_mix,
+    triangle_covering_number,
+)
+from ..core.solver import SolverStats, solve_min_covering
+from ..core.verify import verify_covering
+from ..extensions.lambda_fold import lambda_covering, lambda_lower_bound
+from ..extensions.topologies import (
+    greedy_graph_covering,
+    grid_network,
+    ring_network_graph,
+    torus_network,
+    tree_of_rings,
+)
+from ..survivability.metrics import evaluate_survivability
+from ..traffic.instances import lambda_all_to_all
+from ..util.tables import Table
+from ..wdm.design import design_ring_network
+
+__all__ = [
+    "experiment_theorem1",
+    "experiment_theorem2",
+    "experiment_paper_example",
+    "experiment_cost_model",
+    "experiment_nondrc_baseline",
+    "experiment_survivability",
+    "experiment_lambda_fold",
+    "experiment_topologies",
+    "experiment_solver_certification",
+    "DEFAULT_ODD_RANGE",
+    "DEFAULT_EVEN_RANGE",
+]
+
+DEFAULT_ODD_RANGE: tuple[int, ...] = (5, 7, 9, 11, 13, 15, 17, 21, 25, 31, 41)
+DEFAULT_EVEN_RANGE: tuple[int, ...] = (4, 6, 8, 10, 12, 14, 16, 18, 22, 26, 30)
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered table plus machine-checkable row data."""
+
+    table: Table
+    rows: list[dict]
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+# -- E1 / E2: the theorems -------------------------------------------------
+
+
+def _theorem_row(n: int) -> dict:
+    cov = optimal_covering(n)
+    report = verify_covering(cov, expect_optimal=True)
+    mix = theorem_cycle_mix(n)
+    return {
+        "n": n,
+        "p": n // 2,
+        "rho_formula": rho(n),
+        "constructed": cov.num_blocks,
+        "lower_bound": lower_bound(n).value,
+        "c3_formula": mix[3],
+        "c3_measured": cov.num_triangles,
+        "c4_formula": mix[4],
+        "c4_measured": cov.num_quads,
+        "excess_formula": optimal_excess(n),
+        "excess_measured": cov.excess(),
+        "valid": report.valid,
+        "optimal": bool(report.optimal),
+    }
+
+
+def experiment_theorem1(odd_ns: tuple[int, ...] = DEFAULT_ODD_RANGE) -> ExperimentResult:
+    """E1 — Theorem 1: ρ(2p+1) = p(p+1)/2 with p C3 + p(p−1)/2 C4."""
+    table = Table(
+        "E1 / Theorem 1 — DRC-covering of K_n over C_n, n odd",
+        ["n", "ρ formula", "constructed", "lower bnd", "C3 (thm/got)", "C4 (thm/got)", "exact", "optimal"],
+    )
+    rows = []
+    for n in odd_ns:
+        if n % 2 == 0:
+            raise ValueError(f"E1 takes odd n, got {n}")
+        row = _theorem_row(n)
+        rows.append(row)
+        table.add_row(
+            n,
+            row["rho_formula"],
+            row["constructed"],
+            row["lower_bound"],
+            f"{row['c3_formula']}/{row['c3_measured']}",
+            f"{row['c4_formula']}/{row['c4_measured']}",
+            row["excess_measured"] == 0,
+            row["optimal"],
+        )
+    return ExperimentResult(table, rows)
+
+
+def experiment_theorem2(even_ns: tuple[int, ...] = DEFAULT_EVEN_RANGE) -> ExperimentResult:
+    """E2 — Theorem 2: ρ(2p) = ⌈(p²+1)/2⌉ with the stated C3/C4 mixes."""
+    table = Table(
+        "E2 / Theorem 2 — DRC-covering of K_n over C_n, n even",
+        ["n", "ρ formula", "constructed", "lower bnd", "C3 (thm/got)", "C4 (thm/got)", "excess (thm/got)", "optimal"],
+    )
+    rows = []
+    for n in even_ns:
+        if n % 2 == 1:
+            raise ValueError(f"E2 takes even n, got {n}")
+        row = _theorem_row(n)
+        rows.append(row)
+        table.add_row(
+            n,
+            row["rho_formula"],
+            row["constructed"],
+            row["lower_bound"],
+            f"{row['c3_formula']}/{row['c3_measured']}",
+            f"{row['c4_formula']}/{row['c4_measured']}",
+            f"{row['excess_formula']}/{row['excess_measured']}",
+            row["optimal"],
+        )
+    return ExperimentResult(table, rows)
+
+
+# -- E3: the worked example --------------------------------------------------
+
+
+def experiment_paper_example() -> ExperimentResult:
+    """E3 — the paper's C4/K4 illustration, reproduced verbatim.
+
+    The covering {C4(1,2,3,4), C4(1,3,4,2)} fails the DRC on its second
+    cycle; {C4(1,2,3,4), C3(1,2,4), C3(1,3,4)} satisfies it and covers
+    K4.
+    """
+    blocks = paper_example_blocks()
+    table = Table(
+        "E3 — paper example on G=C4, I=K4 (paper labels 1..4 = ours 0..3 +1)",
+        ["cycle", "DRC routable", "note"],
+    )
+    rows = []
+    for name, (n, blk) in blocks.items():
+        routing = brute_force_routing(n, blk)
+        routable = routing is not None
+        note = {
+            "ring": "physical ring itself",
+            "bad": "requests (1,3) and (2,4) clash — paper's negative case",
+            "tri1": "valid covering member",
+            "tri2": "valid covering member",
+        }[name]
+        rows.append({"name": name, "vertices": blk.vertices, "routable": routable})
+        table.add_row(str(tuple(v + 1 for v in blk.vertices)), routable, note)
+
+    good = Covering(4, (blocks["ring"][1], blocks["tri1"][1], blocks["tri2"][1]))
+    bad = Covering(4, (blocks["ring"][1], blocks["bad"][1]))
+    rows.append(
+        {
+            "name": "coverings",
+            "good_valid": verify_covering(good).valid,
+            "bad_drc": bad.is_drc_feasible(),
+            "good_covers": good.covers(),
+            "bad_covers": bad.covers(),
+        }
+    )
+    table.add_row("{(1,2,3,4),(1,3,4,2)}", False, "covers K4 but violates DRC")
+    table.add_row("{(1,2,3,4),(1,2,4),(1,3,4)}", True, "paper's valid covering, ρ(4)=3")
+    return ExperimentResult(table, rows)
+
+
+# -- E4: cost model -----------------------------------------------------------
+
+
+def experiment_cost_model(ns: tuple[int, ...] = (7, 9, 11, 13, 15, 17)) -> ExperimentResult:
+    """E4 — itemised network cost: Theorem coverings vs alternatives.
+
+    Compares the ρ-optimal covering against the polynomial fallback and
+    greedy, and checks that the Theorem coverings simultaneously attain
+    the ADM (ring-size-sum) optimum of refs [3]/[4].
+    """
+    table = Table(
+        "E4 — cost model on the ring (ADM/transit/λ/amplification)",
+        ["n", "method", "cycles", "ADMs", "ADM min", "λs", "total cost"],
+    )
+    rows = []
+    for n in ns:
+        methods = {
+            "theorem": optimal_covering(n),
+            "fast": fast_covering(n),
+            "greedy": greedy_drc_covering(n),
+        }
+        for name, cov in methods.items():
+            design = design_ring_network(n) if name == "theorem" else None
+            from ..wdm.adm import evaluate_cost
+
+            cost = evaluate_cost(cov)
+            row = {
+                "n": n,
+                "method": name,
+                "cycles": cov.num_blocks,
+                "adms": total_ring_size(cov),
+                "adm_lb": min_total_ring_size(n),
+                "wavelengths": 2 * cov.num_blocks,
+                "total": cost.total,
+                "design_ok": design is not None,
+            }
+            rows.append(row)
+            table.add_row(
+                n, name, row["cycles"], row["adms"], row["adm_lb"],
+                row["wavelengths"], round(row["total"], 1),
+            )
+    return ExperimentResult(table, rows)
+
+
+# -- E5: non-DRC baseline ------------------------------------------------------
+
+
+def experiment_nondrc_baseline(
+    ns: tuple[int, ...] = (5, 7, 9, 11, 13, 15, 17, 19, 21),
+) -> ExperimentResult:
+    """E5 — the price of routability.
+
+    Two reference points from the paper's related-work discussion:
+
+    * the cited triangle covering number ``⌈n/3⌈(n−1)/2⌉⌉`` ([6, 7]) —
+      covering by C3 only, no DRC;
+    * covering by cycles of length ≤ 4 *without* the DRC (greedy, with
+      the Schönheim-style lower bound) — the like-for-like comparison
+      showing what the routing constraint itself costs (ρ(n) minus the
+      unconstrained bound).
+    """
+    from ..baselines.nondrc import greedy_cycle_cover
+    from ..core.formulas import cycle_cover_lower_bound
+
+    table = Table(
+        "E5 — DRC-covering vs classical (non-DRC) cycle covers of K_n",
+        ["n", "ρ(n) [DRC]", "C3-cover formula", "greedy C3", "≤C4 LB (no DRC)", "greedy ≤C4", "DRC price"],
+    )
+    rows = []
+    for n in ns:
+        drc = rho(n)
+        formula = triangle_covering_number(n)
+        greedy3 = len(greedy_triangle_cover(n))
+        lb4 = cycle_cover_lower_bound(n, 4)
+        greedy4 = len(greedy_cycle_cover(n, 4))
+        rows.append(
+            {"n": n, "rho": drc, "formula": formula, "greedy3": greedy3,
+             "lb4": lb4, "greedy4": greedy4, "price": drc - lb4}
+        )
+        table.add_row(n, drc, formula, greedy3, lb4, greedy4, drc - lb4)
+    return ExperimentResult(table, rows)
+
+
+# -- E6: survivability ----------------------------------------------------------
+
+
+def experiment_survivability(ns: tuple[int, ...] = (6, 8, 9, 11, 13, 16)) -> ExperimentResult:
+    """E6 — single-link failure sweep: every fiber cut is recovered by
+    in-cycle protection switching; overhead is the dedicated 100%."""
+    table = Table(
+        "E6 — automatic protection switching under single fiber cuts",
+        ["n", "cycles", "failures", "recovered", "avg reroutes", "max stretch", "overhead"],
+    )
+    rows = []
+    for n in ns:
+        design = design_ring_network(n)
+        report = evaluate_survivability(design)
+        rows.append(
+            {
+                "n": n,
+                "cycles": report.num_subnetworks,
+                "failures": report.failures_simulated,
+                "recovered": report.failures_recovered,
+                "survivable": report.fully_survivable,
+                "mean_affected": report.mean_affected_per_failure,
+                "max_stretch": report.max_stretch,
+            }
+        )
+        table.add_row(
+            n,
+            report.num_subnetworks,
+            report.failures_simulated,
+            report.failures_recovered,
+            round(report.mean_affected_per_failure, 1),
+            round(report.max_stretch, 2),
+            f"{report.capacity_overhead:.0%}",
+        )
+    return ExperimentResult(table, rows)
+
+
+# -- E8: λK_n ---------------------------------------------------------------------
+
+
+def experiment_lambda_fold(
+    ns: tuple[int, ...] = (5, 7, 9, 6, 8, 10),
+    lams: tuple[int, ...] = (1, 2, 3),
+) -> ExperimentResult:
+    """E8 — λK_n coverings: proven lower bound vs best construction."""
+    table = Table(
+        "E8 — DRC-covering of λK_n (paper future work)",
+        ["n", "λ", "lower bnd", "constructed", "gap", "valid"],
+    )
+    rows = []
+    for n in ns:
+        for lam in lams:
+            lb = lambda_lower_bound(n, lam).value
+            cov = lambda_covering(n, lam)
+            valid = cov.covers(lambda_all_to_all(n, lam)) and cov.is_drc_feasible()
+            rows.append(
+                {"n": n, "lam": lam, "lb": lb, "built": cov.num_blocks,
+                 "gap": cov.num_blocks - lb, "valid": valid}
+            )
+            table.add_row(n, lam, lb, cov.num_blocks, cov.num_blocks - lb, valid)
+    return ExperimentResult(table, rows)
+
+
+# -- E9: topologies ------------------------------------------------------------------
+
+
+def experiment_topologies() -> ExperimentResult:
+    """E9 — DRC coverings beyond the ring: tree of rings, grid, torus.
+
+    Includes wavelength counts from conflict-graph coloring: on a ring
+    no sharing is possible (each routing tiles all fibers), while mesh
+    topologies pack several subnetworks per wavelength.
+    """
+    from ..wdm.coloring import color_wavelengths
+
+    nets = [
+        ring_network_graph(8),
+        tree_of_rings((5, 5)),
+        tree_of_rings((4, 4, 4)),
+        grid_network(3, 3),
+        torus_network(3, 3),
+    ]
+    table = Table(
+        "E9 — greedy DRC-covering of All-to-All on other topologies",
+        ["topology", "nodes", "links", "cycles", "wavelengths", "ρ(ring same order)"],
+    )
+    rows = []
+    for net in nets:
+        blocks = greedy_graph_covering(net)
+        plan = color_wavelengths(net, blocks)
+        n = net.num_nodes
+        rows.append(
+            {"name": net.name, "nodes": n, "links": net.num_links,
+             "cycles": len(blocks), "wavelengths": plan.num_wavelengths,
+             "ring_rho": rho(n)}
+        )
+        table.add_row(net.name, n, net.num_links, len(blocks),
+                      plan.num_wavelengths, rho(n))
+    return ExperimentResult(table, rows)
+
+
+def experiment_protection_vs_restoration(
+    ns: tuple[int, ...] = (8, 11, 14, 17),
+) -> ExperimentResult:
+    """E11 — the paper's §1 survivability-scheme comparison, quantified.
+
+    Protection (the paper's covering design) vs pooled restoration on
+    the same ring and traffic: capacity (working + spare) and failure
+    blast radius.  Headline: on a ring restoration saves no spare
+    (no path diversity), so the covering's fast local protection wins.
+    """
+    from ..survivability.restoration import protection_vs_restoration
+
+    table = Table(
+        "E11 — protection (covering) vs pooled restoration on C_n",
+        ["n", "scheme", "working cap", "spare cap", "overhead", "worst blast radius"],
+    )
+    rows = []
+    for n in ns:
+        c = protection_vs_restoration(n)
+        rows.append(c)
+        table.add_row(
+            n, "protection", c["protection_working"], c["protection_spare"],
+            f"{c['protection_overhead']:.0%}", c["protection_reroutes_per_failure"],
+        )
+        table.add_row(
+            n, "restoration", c["restoration_working"], c["restoration_spare"],
+            f"{c['restoration_overhead']:.0%}", c["restoration_reroutes_worst"],
+        )
+    return ExperimentResult(table, rows)
+
+
+# -- E10: exact certification ----------------------------------------------------------
+
+
+def experiment_dual_failures(ns: tuple[int, ...] = (8, 10, 12, 14)) -> ExperimentResult:
+    """E12 — beyond the design point: simultaneous double fiber cuts.
+
+    The paper's scheme guarantees single-failure recovery; this
+    experiment measures graceful degradation under dual failures
+    (disconnections are physical — two cuts split any ring — not a
+    scheme defect).
+    """
+    from ..survivability.dual import analyze_dual_failures
+
+    table = Table(
+        "E12 — dual-failure degradation (all C(n,2) cut pairs)",
+        ["n", "pairs", "fully survive", "mean survival", "worst survival"],
+    )
+    rows = []
+    for n in ns:
+        report = analyze_dual_failures(design_ring_network(n))
+        rows.append(
+            {
+                "n": n,
+                "pairs": len(report.outcomes),
+                "full": report.fully_survivable_pairs,
+                "mean": report.mean_survival,
+                "worst": report.worst_survival,
+            }
+        )
+        table.add_row(
+            n, len(report.outcomes), report.fully_survivable_pairs,
+            f"{report.mean_survival:.1%}", f"{report.worst_survival:.1%}",
+        )
+    return ExperimentResult(table, rows)
+
+
+def experiment_solver_certification(ns: tuple[int, ...] = (4, 5, 6, 7, 8)) -> ExperimentResult:
+    """E10 — branch-and-bound certification: the exact solver, which
+    knows no formulas, returns exactly ρ(n)."""
+    table = Table(
+        "E10 — exact solver certification of ρ(n)",
+        ["n", "solver optimum", "ρ formula", "match", "nodes explored"],
+    )
+    rows = []
+    for n in ns:
+        stats = SolverStats()
+        cov = solve_min_covering(n, upper_bound=rho(n) + 1, stats=stats)
+        rows.append(
+            {"n": n, "solver": cov.num_blocks, "formula": rho(n),
+             "match": cov.num_blocks == rho(n), "nodes": stats.nodes}
+        )
+        table.add_row(n, cov.num_blocks, rho(n), cov.num_blocks == rho(n), stats.nodes)
+    return ExperimentResult(table, rows)

@@ -1,0 +1,80 @@
+"""ASCII visualisation of rings, blocks and routings.
+
+Terminal-friendly renderings used by the examples and handy in a REPL:
+no plotting dependency, deterministic output (snapshot-testable).
+
+``render_ring_block`` draws the ring as a circle of labelled nodes with
+the block's members marked; ``render_routing`` shows which arc serves
+each request as a linear link map; ``render_coverage_heatline`` shows
+per-chord coverage multiplicities grouped by distance class.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.blocks import CycleBlock
+from ..core.covering import Covering
+from ..rings.routing import RingRouting
+from ..util import circular
+
+__all__ = ["render_ring_block", "render_routing", "render_coverage_heatline"]
+
+
+def render_ring_block(n: int, block: CycleBlock, *, radius: int = 8) -> str:
+    """Draw ``C_n`` as a character-grid circle; block members are shown
+    as ``[v]``, other nodes as ``v``."""
+    if n < 3:
+        raise ValueError(f"n ≥ 3 required, got {n}")
+    members = set(block.vertices)
+    width = 4 * radius + 10
+    height = 2 * radius + 3
+    grid = [[" "] * width for _ in range(height)]
+
+    for v in range(n):
+        angle = -2 * math.pi * v / n + math.pi / 2  # vertex 0 at the top
+        x = int(round((2 * radius) * math.cos(angle))) + width // 2
+        y = int(round(radius * -math.sin(angle))) + height // 2
+        label = f"[{v}]" if v in members else f" {v} "
+        for i, ch in enumerate(label):
+            xi = x - len(label) // 2 + i
+            if 0 <= xi < width and 0 <= y < height:
+                grid[y][xi] = ch
+
+    lines = ["".join(row).rstrip() for row in grid]
+    header = f"C_{n} with block {tuple(block.vertices)}"
+    return "\n".join([header] + [line for line in lines if line])
+
+
+def render_routing(routing: RingRouting) -> str:
+    """Linear link-map of a routing: one row per request, ``█`` on the
+    links its arc occupies.  Edge-disjointness is visible as no column
+    holding two marks."""
+    n = routing.n
+    header = "links:    " + "".join(f"{i % 10}" for i in range(n))
+    rows = [header]
+    for request in routing.requests:
+        arc = routing.arc_for(request)
+        cells = ["█" if arc.uses_link(i) else "·" for i in range(n)]
+        rows.append(f"{str(request):10s}" + "".join(cells))
+    return "\n".join(rows)
+
+
+def render_coverage_heatline(covering: Covering) -> str:
+    """Per-distance-class coverage summary, one row per class:
+    ``d=2  ████████·· 8/10 covered, 1 excess``."""
+    n = covering.n
+    cov = covering.coverage
+    lines = [f"coverage by distance class (n={n}):"]
+    for d in range(1, n // 2 + 1):
+        class_chords = [
+            (i, (i + d) % n) for i in range(n if (n % 2 or d < n // 2) else n // 2)
+        ]
+        class_chords = [tuple(sorted(e)) for e in class_chords]
+        covered = sum(1 for e in class_chords if cov.get(e, 0) >= 1)
+        excess = sum(max(0, cov.get(e, 0) - 1) for e in class_chords)
+        total = len(class_chords)
+        bar = "█" * covered + "·" * (total - covered)
+        extra = f", {excess} excess" if excess else ""
+        lines.append(f"  d={d:<2d} {bar} {covered}/{total} covered{extra}")
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Baselines: greedy DRC covering, non-DRC covers, ring-size objective."""
+
+from .greedy import greedy_drc_covering
+from .nondrc import (
+    cycle_cover_lower_bound,
+    greedy_cycle_cover,
+    greedy_triangle_cover,
+    triangle_cover_gap,
+    triangle_covering_number,
+)
+from .ring_sizes import min_total_ring_size, size_greedy_covering, total_ring_size
+
+__all__ = [
+    "cycle_cover_lower_bound",
+    "greedy_cycle_cover",
+    "greedy_drc_covering",
+    "greedy_triangle_cover",
+    "min_total_ring_size",
+    "size_greedy_covering",
+    "total_ring_size",
+    "triangle_cover_gap",
+    "triangle_covering_number",
+]

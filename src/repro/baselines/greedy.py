@@ -1,0 +1,74 @@
+"""Greedy DRC-covering baseline.
+
+A natural heuristic a practitioner would try before the paper's
+constructions: repeatedly add the convex (DRC-routable) cycle that
+covers the most still-uncovered requests, breaking ties toward lower
+excess.  The benchmarks compare its cycle count against ρ(n) to show
+what the closed-form constructions buy.
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import CycleBlock
+from ..core.covering import Covering
+from ..core.solver import enumerate_tight_blocks
+from ..traffic.instances import Instance, all_to_all
+from ..util.errors import ConstructionError
+
+__all__ = ["greedy_drc_covering"]
+
+
+def greedy_drc_covering(
+    n: int,
+    instance: Instance | None = None,
+    *,
+    max_size: int = 4,
+) -> Covering:
+    """Greedy max-coverage DRC covering of ``instance`` (default
+    All-to-All) by tight cycles of length ≤ ``max_size``.
+
+    Deterministic; runs in ``O(iterations × |blocks|)``.  Not optimal —
+    that is the point of the baseline.
+    """
+    inst = instance if instance is not None else all_to_all(n)
+    if inst.n != n:
+        raise ConstructionError(f"instance order {inst.n} ≠ n = {n}")
+
+    # Residual demand per chord (multiset semantics for λ > 1).
+    residual: dict[tuple[int, int], int] = {
+        e: m for e, m in inst.demand.items() if m > 0
+    }
+    pool: tuple[CycleBlock, ...] = enumerate_tight_blocks(n, max_size)
+    pool_edges: list[tuple[CycleBlock, tuple[tuple[int, int], ...]]] = [
+        (blk, blk.edges()) for blk in pool
+    ]
+
+    chosen: list[CycleBlock] = []
+    guard = 4 * (sum(residual.values()) + 1)
+    while residual:
+        best: tuple[int, int, CycleBlock] | None = None  # (gain, -waste, block)
+        for blk, edges in pool_edges:
+            gain = sum(1 for e in edges if residual.get(e, 0) > 0)
+            if gain == 0:
+                continue
+            waste = len(edges) - gain
+            key = (gain, -waste)
+            if best is None or key > (best[0], best[1]):
+                best = (gain, -waste, blk)
+        if best is None:
+            raise ConstructionError(
+                f"greedy covering stuck with {len(residual)} requests left "
+                f"(n={n}, max_size={max_size})"
+            )
+        blk = best[2]
+        chosen.append(blk)
+        for e in blk.edges():
+            if e in residual:
+                residual[e] -= 1
+                if residual[e] == 0:
+                    del residual[e]
+        guard -= 1
+        if guard <= 0:  # pragma: no cover - defensive
+            raise ConstructionError("greedy covering failed to terminate")
+
+    return Covering(n, tuple(chosen))

@@ -1,0 +1,77 @@
+"""The ring-size-sum objective (paper refs [3], [4]).
+
+Eilam–Moran–Zaks (DISC 2000) and Gerstel–Lin–Sasaki (INFOCOM 1998) use
+the same ring-survivability conditions but minimise the *sum of the
+number of vertices of the rings* — the total ADM count — instead of the
+number of rings.  This module provides:
+
+* the exact lower bound for that objective on All-to-All ring traffic:
+  ``Σ|I_k| = covered slots ≥ |E(K_n)| + p·[n even]`` (every vertex of
+  even-order rings has odd logical degree, forcing ≥ 1 extra slot per
+  vertex, i.e. ≥ p extra edge coverings);
+* a size-greedy heuristic (prefer triangles) representing the
+  [3]/[4]-style approach;
+* the observation — checked by experiment E4 — that the paper's
+  Theorem 1/2 coverings *simultaneously* attain this ADM optimum, so on
+  rings the two objectives do not conflict.
+"""
+
+from __future__ import annotations
+
+from ..core.blocks import CycleBlock
+from ..core.covering import Covering
+from ..core.solver import enumerate_tight_blocks
+from ..util import circular
+from ..util.errors import ConstructionError
+
+__all__ = ["min_total_ring_size", "size_greedy_covering", "total_ring_size"]
+
+
+def min_total_ring_size(n: int) -> int:
+    """Minimum achievable ``Σ_k |I_k|`` over DRC-coverings of ``K_n``.
+
+    ``Σ|I_k|`` equals total covered slots = ``|E| + excess``.  Odd
+    ``n``: exact decompositions exist, so the minimum is ``|E|``.  Even
+    ``n``: each vertex has odd logical degree ``n−1`` but even degree in
+    any union of cycles, so each vertex carries ≥ 1 surplus edge-end:
+    excess ≥ n/2, attained by the Theorem 2 coverings (``n ≥ 6``).
+    """
+    if n < 3:
+        raise ValueError(f"n ≥ 3 required, got {n}")
+    edges = circular.n_chords(n)
+    if n % 2 == 1:
+        return edges
+    return edges + n // 2
+
+
+def total_ring_size(covering: Covering) -> int:
+    """The [3]/[4] objective value of a covering: ``Σ_k |I_k|``."""
+    return covering.total_slots
+
+
+def size_greedy_covering(n: int) -> Covering:
+    """A [3]/[4]-flavoured heuristic: greedily add the tight DRC cycle
+    with the best newly-covered-per-vertex ratio (so triangles are
+    preferred when equally useful), minimising ADM count rather than
+    ring count."""
+    if n < 3:
+        raise ConstructionError(f"n ≥ 3 required, got {n}")
+    uncovered: set[tuple[int, int]] = set(circular.all_chords(n))
+    pool = [(blk, blk.edges()) for blk in enumerate_tight_blocks(n)]
+    chosen: list[CycleBlock] = []
+    while uncovered:
+        best: tuple[float, int, CycleBlock] | None = None
+        for blk, edges in pool:
+            gain = sum(1 for e in edges if e in uncovered)
+            if gain == 0:
+                continue
+            ratio = gain / blk.size
+            key = (ratio, gain)
+            if best is None or key > (best[0], best[1]):
+                best = (ratio, gain, blk)
+        if best is None:
+            raise ConstructionError(f"size-greedy covering stuck at n={n}")
+        blk = best[2]
+        chosen.append(blk)
+        uncovered.difference_update(blk.edges())
+    return Covering(n, tuple(chosen))

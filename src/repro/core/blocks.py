@@ -1,0 +1,139 @@
+"""Cycle blocks: the subnetworks ``I_k`` of the paper.
+
+A :class:`CycleBlock` is a cycle in the *logical* graph — an ordered
+tuple of distinct vertices; its edges (consecutive pairs, cyclically)
+are the requests the subnetwork carries.  On a ring physical network a
+block is DRC-routable iff its vertices appear in ring circular order
+(see :mod:`repro.core.drc`), in which case we call it *convex*: drawn on
+a circle its edges form a convex polygon.
+
+Blocks are value objects: immutable, hashable by canonical rotation, and
+cheap to create in bulk (constructions produce ``Θ(n²)`` of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..util import circular
+from ..util.errors import InvalidBlockError
+
+__all__ = ["CycleBlock", "triangle", "quad", "convex_block"]
+
+
+@dataclass(frozen=True)
+class CycleBlock:
+    """A logical cycle ``(v_0, v_1, ..., v_{k-1})`` with ``k ≥ 3``.
+
+    The vertex order is the cycle order; the block covers the requests
+    ``{v_i, v_{i+1 mod k}}``.  Equality and hashing are by canonical
+    rotation/reflection, so two blocks describing the same subnetwork
+    compare equal regardless of starting vertex or direction.
+    """
+
+    vertices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        vs = tuple(int(v) for v in self.vertices)
+        if len(vs) < 3:
+            raise InvalidBlockError(f"a cycle block needs ≥ 3 vertices, got {vs!r}")
+        if len(set(vs)) != len(vs):
+            raise InvalidBlockError(f"cycle block has repeated vertices: {vs!r}")
+        if any(v < 0 for v in vs):
+            raise InvalidBlockError(f"cycle block has negative vertex ids: {vs!r}")
+        object.__setattr__(self, "vertices", vs)
+
+    # -- structure ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices = number of requests covered."""
+        return len(self.vertices)
+
+    @cached_property
+    def canonical(self) -> tuple[int, ...]:
+        """Canonical representative under rotation + reflection."""
+        return circular.canonical_rotation(self.vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CycleBlock):
+            return NotImplemented
+        return self.canonical == other.canonical
+
+    def __hash__(self) -> int:
+        return hash(self.canonical)
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """The requests covered by this subnetwork, as normalised chords."""
+        vs = self.vertices
+        k = len(vs)
+        return tuple(circular.chord(vs[i], vs[(i + 1) % k]) for i in range(k))
+
+    def contains_edge(self, e: tuple[int, int]) -> bool:
+        a, b = min(e), max(e)
+        return (a, b) in self.edges()
+
+    # -- ring geometry (needs the ring order n) -------------------------
+
+    def gaps(self, n: int) -> list[int]:
+        """Clockwise ring gaps between consecutive block vertices."""
+        self._check_ring(n)
+        return circular.gaps_of_cycle(n, self.vertices)
+
+    def is_convex(self, n: int) -> bool:
+        """DRC-feasibility on ``C_n``: vertices in ring circular order."""
+        self._check_ring(n)
+        return circular.is_circular_order(n, self.vertices)
+
+    def distance_sum(self, n: int) -> int:
+        """Sum of ring distances of the covered requests (≤ n for convex
+        blocks; = n exactly for *tight* blocks)."""
+        self._check_ring(n)
+        return sum(circular.chord_distance(n, e) for e in self.edges())
+
+    def is_tight(self, n: int) -> bool:
+        """Tight blocks meet the counting lower bound with equality: the
+        block is convex and every gap is at most ``⌊n/2⌋``."""
+        if not self.is_convex(n):
+            return False
+        half = n // 2
+        gs = self.gaps(n)
+        if sum(gs) != n:  # counterclockwise listing: normalise mentally
+            gs = [n - g for g in reversed(gs)]
+        return all(g <= half for g in gs)
+
+    def oriented(self, n: int) -> "CycleBlock":
+        """The same block listed in clockwise circular order (convex
+        blocks only) — convenient normal form for routing extraction."""
+        if not self.is_convex(n):
+            raise InvalidBlockError(f"block {self.vertices!r} is not convex on C_{n}")
+        return CycleBlock(tuple(sorted(self.vertices)))
+
+    def _check_ring(self, n: int) -> None:
+        if max(self.vertices) >= n:
+            raise InvalidBlockError(
+                f"block {self.vertices!r} has vertices outside ring of order {n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CycleBlock{self.vertices!r}"
+
+
+def triangle(a: int, b: int, c: int) -> CycleBlock:
+    """A C3 block on three vertices (every triangle is convex)."""
+    return CycleBlock((a, b, c))
+
+
+def quad(a: int, b: int, c: int, d: int) -> CycleBlock:
+    """A C4 block in the given cycle order."""
+    return CycleBlock((a, b, c, d))
+
+
+def convex_block(vertices: tuple[int, ...] | list[int]) -> CycleBlock:
+    """The unique convex (DRC-routable) block on a vertex set: vertices
+    joined in circular order."""
+    return CycleBlock(circular.convex_cycle(vertices))

@@ -1,0 +1,148 @@
+"""Closed-form values from the paper.
+
+``rho(n)`` is the paper's optimum (Theorems 1 and 2);
+``theorem_cycle_mix(n)`` the C3/C4 composition the theorems state;
+``optimal_excess(n)`` the total over-coverage of those optimal
+coverings; and ``triangle_covering_number(n)`` the non-DRC baseline the
+paper cites from Mills–Mullin / Stanton–Rogers.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..util import circular
+from ..util.validation import as_int
+
+__all__ = [
+    "rho",
+    "theorem_cycle_mix",
+    "optimal_excess",
+    "counting_bound",
+    "triangle_covering_number",
+    "cycle_cover_lower_bound",
+    "rho_lambda_lower_bound",
+]
+
+
+def rho(n: int) -> int:
+    """Minimum number of cycles in a DRC-covering of ``K_n`` over ``C_n``.
+
+    * Theorem 1: ``n = 2p+1 ⇒ ρ = p(p+1)/2``.
+    * Theorem 2: ``n = 2p (p ≥ 3) ⇒ ρ = ⌈(p²+1)/2⌉``; the same formula
+      happens to hold for ``n = 4`` (ρ = 3, the paper's own example) and
+      ``n = 6``.
+
+    Defined for ``n ≥ 3``.
+    """
+    n = as_int(n, "n")
+    if n < 3:
+        raise ValueError(f"rho(n) needs n ≥ 3, got {n}")
+    p = n // 2
+    if n % 2 == 1:
+        return p * (p + 1) // 2
+    return (p * p + 1 + 1) // 2  # ⌈(p²+1)/2⌉
+
+
+def theorem_cycle_mix(n: int) -> dict[int, int]:
+    """Cycle-length histogram of the theorems' optimal coverings.
+
+    Returns ``{3: #C3, 4: #C4}``:
+
+    * ``n = 2p+1``: ``p`` C3 and ``p(p−1)/2`` C4 (Theorem 1);
+    * ``n = 4q (q ≥ 2)``: 4 C3 and ``2q²−3`` C4 (Theorem 2);
+    * ``n = 4q+2 (q ≥ 1)``: 2 C3 and ``2q²+2q−1`` C4 (Theorem 2);
+    * ``n = 3, 4, 5``: small cases (n=4 is the paper's 1×C4 + 2×C3).
+    """
+    n = as_int(n, "n")
+    if n < 3:
+        raise ValueError(f"n ≥ 3 required, got {n}")
+    if n == 3:
+        return {3: 1, 4: 0}
+    if n == 4:
+        return {3: 2, 4: 1}
+    if n % 2 == 1:
+        p = n // 2
+        return {3: p, 4: p * (p - 1) // 2}
+    if n % 4 == 0:
+        q = n // 4
+        return {3: 4, 4: 2 * q * q - 3}
+    q = (n - 2) // 4
+    return {3: 2, 4: 2 * q * q + 2 * q - 1}
+
+
+def optimal_excess(n: int) -> int:
+    """Total over-coverage of the theorems' optimal coverings.
+
+    Odd ``n``: the covering is an exact decomposition (0).  Even
+    ``n ≥ 6``: exactly ``p = n/2`` (forced by the stated C3/C4 mix).
+    ``n = 4``: 4 — the paper's example covering (1×C4 + 2×C3 has
+    3+3+4 = 10 slots over 6 edges; a 3-triangle covering would achieve
+    excess 3 but is not the one the paper exhibits).
+    """
+    n = as_int(n, "n")
+    if n < 3:
+        raise ValueError(f"n ≥ 3 required, got {n}")
+    if n % 2 == 1:
+        return 0
+    if n == 4:
+        return 4
+    mix = theorem_cycle_mix(n)
+    return 3 * mix[3] + 4 * mix[4] - circular.n_chords(n)
+
+
+def counting_bound(n: int) -> int:
+    """The distance-counting lower bound ``⌈Σ_e dist(e) / n⌉``.
+
+    Every DRC cycle's requests have ring distances summing to at most
+    ``n`` (its gaps sum to ``n`` and distance ≤ gap), so at least this
+    many cycles are needed.  Tight for odd ``n`` and for ``n ≡ 2 (4)``;
+    one short for ``n ≡ 0 (4)`` (parity argument, see ``bounds``).
+    """
+    n = as_int(n, "n")
+    if n < 3:
+        raise ValueError(f"n ≥ 3 required, got {n}")
+    total = circular.total_chord_distance(n)
+    return -(-total // n)
+
+
+def triangle_covering_number(n: int) -> int:
+    """Minimum number of triangles covering the edges of ``K_n`` —
+    ``⌈n/3 · ⌈(n−1)/2⌉⌉`` as cited by the paper from [6, 7]
+    (Mills–Mullin; Stanton–Rogers).
+
+    This ignores the DRC: it is the paper's reference point showing how
+    much the routing constraint costs on a ring.
+    """
+    n = as_int(n, "n")
+    if n < 3:
+        raise ValueError(f"n ≥ 3 required, got {n}")
+    return ceil(n * ceil((n - 1) / 2) / 3)
+
+
+def cycle_cover_lower_bound(n: int, k: int) -> int:
+    """Schönheim-style lower bound for covering ``K_n`` by cycles of
+    length ≤ ``k`` *without* the DRC: every cycle covers ≤ ``k`` edges
+    and touches each vertex with ≤ 2 edges.
+
+    ``max(⌈E/k⌉, ⌈n·⌈(n−1)/2⌉/k⌉)`` — used to situate the greedy non-DRC
+    baselines of :mod:`repro.baselines.nondrc`.
+    """
+    n = as_int(n, "n")
+    k = as_int(k, "k")
+    if k < 3:
+        raise ValueError(f"cycles need length ≥ 3, got {k}")
+    edges = circular.n_chords(n)
+    per_vertex = ceil((n - 1) / 2)  # each cycle uses ≤ 2 edges at a vertex
+    return max(ceil(edges / k), ceil(n * per_vertex / k))
+
+
+def rho_lambda_lower_bound(n: int, lam: int) -> int:
+    """Counting lower bound for DRC-covering ``λK_n`` (paper extension):
+    ``⌈λ · Σ_e dist(e) / n⌉``."""
+    n = as_int(n, "n")
+    lam = as_int(lam, "lambda")
+    if lam < 1:
+        raise ValueError(f"λ ≥ 1 required, got {lam}")
+    total = lam * circular.total_chord_distance(n)
+    return -(-total // n)

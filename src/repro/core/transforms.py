@@ -1,0 +1,104 @@
+"""Symmetry transforms of blocks and coverings.
+
+The ring ``C_n`` has the dihedral symmetry group ``D_n`` (rotations +
+reflections); DRC-coverings map to DRC-coverings under it (circular
+order is preserved, possibly reversed).  These transforms are used by
+tests (constructions should stay valid under every symmetry), by the
+canonicalisation utilities (comparing coverings up to symmetry), and by
+construction internals (placing patterns at chosen offsets).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..util.validation import check_vertex
+from .blocks import CycleBlock
+from .covering import Covering
+
+__all__ = [
+    "rotate_block",
+    "reflect_block",
+    "relabel_block",
+    "rotate_covering",
+    "reflect_covering",
+    "relabel_covering",
+    "canonical_covering_key",
+    "coverings_equivalent",
+    "dihedral_orbit",
+]
+
+
+def relabel_block(block: CycleBlock, mapping: Callable[[int], int]) -> CycleBlock:
+    """Apply a vertex relabelling to one block."""
+    return CycleBlock(tuple(mapping(v) for v in block.vertices))
+
+
+def rotate_block(n: int, block: CycleBlock, shift: int) -> CycleBlock:
+    """Rotate a block by ``shift`` positions around ``C_n``."""
+    return relabel_block(block, lambda v: (v + shift) % n)
+
+
+def reflect_block(n: int, block: CycleBlock, axis: int = 0) -> CycleBlock:
+    """Reflect a block across the axis through vertex ``axis``."""
+    check_vertex(axis, n)
+    return relabel_block(block, lambda v: (2 * axis - v) % n)
+
+
+def relabel_covering(covering: Covering, mapping: Callable[[int], int]) -> Covering:
+    """Apply a vertex bijection to every block (caller guarantees the
+    mapping is a bijection of ``0..n-1``; validity is re-checkable via
+    the verifier)."""
+    return Covering(
+        covering.n,
+        tuple(relabel_block(blk, mapping) for blk in covering.blocks),
+    )
+
+
+def rotate_covering(covering: Covering, shift: int) -> Covering:
+    """Rotate a whole covering; DRC-validity is preserved."""
+    n = covering.n
+    return relabel_covering(covering, lambda v: (v + shift) % n)
+
+
+def reflect_covering(covering: Covering, axis: int = 0) -> Covering:
+    """Reflect a whole covering; DRC-validity is preserved."""
+    n = covering.n
+    check_vertex(axis, n)
+    return relabel_covering(covering, lambda v: (2 * axis - v) % n)
+
+
+def canonical_covering_key(covering: Covering) -> tuple:
+    """A canonical key identifying a covering as a *multiset* of
+    subnetworks (block order is presentation, not substance)."""
+    return tuple(sorted(blk.canonical for blk in covering.blocks))
+
+
+def coverings_equivalent(a: Covering, b: Covering, *, up_to_symmetry: bool = False) -> bool:
+    """Equality as block multisets, optionally modulo ring symmetry.
+
+    ``up_to_symmetry=True`` quotients by the dihedral group ``D_n``
+    (2n transforms) — O(n · blocks · log) and exact.
+    """
+    if a.n != b.n:
+        return False
+    if canonical_covering_key(a) == canonical_covering_key(b):
+        return True
+    if not up_to_symmetry:
+        return False
+    target = canonical_covering_key(b)
+    for transformed in dihedral_orbit(a):
+        if canonical_covering_key(transformed) == target:
+            return True
+    return False
+
+
+def dihedral_orbit(covering: Covering) -> Iterable[Covering]:
+    """All 2n dihedral images of a covering (rotations, then reflected
+    rotations); yields lazily."""
+    n = covering.n
+    for shift in range(n):
+        yield rotate_covering(covering, shift)
+    reflected = reflect_covering(covering, 0)
+    for shift in range(n):
+        yield rotate_covering(reflected, shift)

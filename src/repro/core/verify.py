@@ -1,0 +1,189 @@
+"""Independent verification of coverings.
+
+The constructions in :mod:`repro.core` are nontrivial (the paper omits
+its proofs), so every construction output is re-checked here through a
+*different* code path:
+
+* DRC feasibility is established by exhibiting an actual edge-disjoint
+  routing (an :class:`~repro.rings.routing.RingRouting`, whose
+  constructor independently re-validates link-disjointness), not by
+  trusting the circular-order predicate;
+* coverage is recounted from scratch against the instance;
+* optimality claims are compared against the closed forms *and* the
+  lower-bound certificates of :mod:`repro.core.bounds`.
+
+``verify_covering`` returns a :class:`VerificationReport`;
+``assert_valid_covering`` raises with a precise diagnosis, and is used
+liberally in tests and at the end of each construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rings.routing import Arc, RingRouting
+from ..traffic.instances import Instance, all_to_all
+from ..util import circular
+from ..util.errors import InvalidCoveringError, RoutingError
+from .bounds import lower_bound
+from .covering import Covering
+from .formulas import optimal_excess, rho, theorem_cycle_mix
+
+__all__ = ["VerificationReport", "verify_covering", "assert_valid_covering", "routing_for_block"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a covering verification: validity plus diagnostics."""
+
+    n: int
+    valid: bool
+    drc_ok: bool
+    coverage_ok: bool
+    num_blocks: int
+    excess: int
+    size_histogram: dict[int, int]
+    problems: list[str] = field(default_factory=list)
+    optimal: bool | None = None
+    lower_bound_value: int | None = None
+
+    def summary(self) -> str:
+        status = "VALID" if self.valid else "INVALID"
+        opt = ""
+        if self.optimal is not None:
+            opt = ", optimal" if self.optimal else ", NOT optimal"
+        return (
+            f"{status}: n={self.n}, {self.num_blocks} blocks "
+            f"{self.size_histogram}, excess={self.excess}{opt}"
+        )
+
+
+def routing_for_block(n: int, vertices: tuple[int, ...]) -> RingRouting:
+    """Build the candidate routing of a block *without* assuming it is
+    convex: route each request to its successor in the block's own cycle
+    order and let :class:`RingRouting` decide edge-disjointness.
+
+    For a block in circular order the arcs tile the ring exactly; any
+    other order reuses some link and the constructor raises
+    :class:`~repro.util.errors.RoutingError`.  This is the verifier's
+    independent DRC oracle.
+    """
+    k = len(vertices)
+    assignment: dict[tuple[int, int], Arc] = {}
+    for i, v in enumerate(vertices):
+        w = vertices[(i + 1) % k]
+        arc = Arc(n, v, w)
+        # Between the two candidate arcs for {v, w}, a circular-order
+        # traversal uses the forward one; try forward first, fall back to
+        # the reverse so reflected listings verify too.
+        assignment[circular.chord(v, w)] = arc
+    try:
+        return RingRouting(n, assignment)
+    except RoutingError:
+        reversed_assignment = {
+            e: arc.reversed_arc() for e, arc in assignment.items()
+        }
+        return RingRouting(n, reversed_assignment)
+
+
+def verify_covering(
+    covering: Covering,
+    instance: Instance | None = None,
+    *,
+    expect_optimal: bool = False,
+    expect_exact: bool = False,
+    expect_theorem_mix: bool = False,
+) -> VerificationReport:
+    """Re-derive every property of ``covering`` from first principles."""
+    inst = instance if instance is not None else all_to_all(covering.n)
+    n = covering.n
+    problems: list[str] = []
+
+    # --- DRC: exhibit an edge-disjoint routing per block ---------------
+    drc_ok = True
+    for idx, blk in enumerate(covering.blocks):
+        try:
+            routing = routing_for_block(n, blk.vertices)
+        except RoutingError:
+            drc_ok = False
+            problems.append(f"block #{idx} {blk.vertices!r} admits no edge-disjoint routing")
+            continue
+        if not routing.uses_all_links():
+            # Cannot happen for a valid cycle (arcs of a closed walk with
+            # winding 1 tile the ring) — guards internal inconsistencies.
+            drc_ok = False
+            problems.append(f"block #{idx} {blk.vertices!r}: routing does not tile the ring")
+
+    # --- coverage -------------------------------------------------------
+    missing = covering.uncovered(inst)
+    coverage_ok = not missing
+    if missing:
+        shown = ", ".join(map(str, missing[:8]))
+        more = "" if len(missing) <= 8 else f" (+{len(missing) - 8} more)"
+        problems.append(f"uncovered requests: {shown}{more}")
+
+    excess = covering.excess(inst)
+    valid = drc_ok and coverage_ok
+
+    # --- optimality (All-to-All only) ------------------------------------
+    optimal: bool | None = None
+    lb_value: int | None = None
+    if inst.is_all_to_all() and inst.max_multiplicity == 1:
+        cert = lower_bound(n)
+        lb_value = cert.value
+        optimal = valid and covering.num_blocks == rho(n)
+        if covering.num_blocks < cert.value:
+            valid = False
+            optimal = False
+            problems.append(
+                f"block count {covering.num_blocks} is below the proven lower "
+                f"bound {cert.value} — the covering cannot be valid"
+            )
+        if expect_optimal and covering.num_blocks != rho(n):
+            valid = False
+            problems.append(
+                f"expected ρ({n}) = {rho(n)} blocks, found {covering.num_blocks}"
+            )
+        if expect_exact and excess != 0:
+            valid = False
+            problems.append(f"expected an exact decomposition, excess = {excess}")
+        if expect_theorem_mix:
+            want = theorem_cycle_mix(n)
+            got = {3: covering.num_triangles, 4: covering.num_quads}
+            other = covering.num_blocks - got[3] - got[4]
+            if got != {k: v for k, v in want.items()} or other:
+                valid = False
+                problems.append(f"cycle mix {got} (+{other} other) differs from theorem {want}")
+            if n % 2 == 0 and n >= 6 and excess != optimal_excess(n):
+                valid = False
+                problems.append(
+                    f"excess {excess} differs from the theorem covering's {optimal_excess(n)}"
+                )
+
+    return VerificationReport(
+        n=n,
+        valid=valid,
+        drc_ok=drc_ok,
+        coverage_ok=coverage_ok,
+        num_blocks=covering.num_blocks,
+        excess=excess,
+        size_histogram=covering.size_histogram,
+        problems=problems,
+        optimal=optimal,
+        lower_bound_value=lb_value,
+    )
+
+
+def assert_valid_covering(
+    covering: Covering,
+    instance: Instance | None = None,
+    **expectations: bool,
+) -> VerificationReport:
+    """Verify and raise :class:`InvalidCoveringError` on any problem."""
+    report = verify_covering(covering, instance, **expectations)
+    if not report.valid:
+        raise InvalidCoveringError(
+            f"covering verification failed for n={covering.n}: "
+            + "; ".join(report.problems)
+        )
+    return report

@@ -1,0 +1,41 @@
+"""The paper's future-work directions: λK_n and non-ring topologies."""
+
+from .lambda_fold import (
+    lambda_covering,
+    lambda_gap,
+    lambda_lower_bound,
+    repetition_covering,
+)
+from .tree_of_rings_drc import (
+    drc_on_tree_of_rings,
+    gate_projection,
+    is_tree_of_rings,
+    rings_of,
+)
+from .topologies import (
+    drc_route_on_graph,
+    greedy_graph_covering,
+    grid_network,
+    is_drc_routable_on_graph,
+    ring_network_graph,
+    torus_network,
+    tree_of_rings,
+)
+
+__all__ = [
+    "drc_on_tree_of_rings",
+    "gate_projection",
+    "is_tree_of_rings",
+    "rings_of",
+    "drc_route_on_graph",
+    "greedy_graph_covering",
+    "grid_network",
+    "is_drc_routable_on_graph",
+    "lambda_covering",
+    "lambda_gap",
+    "lambda_lower_bound",
+    "repetition_covering",
+    "ring_network_graph",
+    "torus_network",
+    "tree_of_rings",
+]

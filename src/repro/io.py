@@ -1,0 +1,91 @@
+"""Persistence: JSON (de)serialisation for coverings and designs.
+
+Coverings are the expensive artifacts (the even-case completion search
+takes seconds to minutes at large n), so downstream users cache them.
+The format is deliberately boring JSON::
+
+    {
+      "format": "repro-covering",
+      "version": 1,
+      "n": 10,
+      "blocks": [[0, 1, 5, 6], ...],
+      "meta": {...}            # optional, caller-owned
+    }
+
+``save_covering``/``load_covering`` round-trip exactly;
+``load_covering`` re-validates structure (and optionally full DRC
+validity) so a corrupted or hand-edited file cannot sneak an invalid
+covering into a design.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.covering import Covering
+from .core.verify import assert_valid_covering
+from .util.errors import InvalidCoveringError
+
+__all__ = ["save_covering", "load_covering", "covering_to_json", "covering_from_json"]
+
+_FORMAT = "repro-covering"
+_VERSION = 1
+
+
+def covering_to_json(covering: Covering, meta: dict[str, Any] | None = None) -> str:
+    """Serialise a covering (and optional caller metadata) to JSON."""
+    payload: dict[str, Any] = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "n": covering.n,
+        "blocks": [list(blk.vertices) for blk in covering.blocks],
+    }
+    if meta:
+        payload["meta"] = meta
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def covering_from_json(text: str, *, verify: bool = False) -> Covering:
+    """Parse a covering from JSON produced by :func:`covering_to_json`.
+
+    ``verify=True`` additionally runs the full DRC/coverage verifier
+    against All-to-All traffic.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidCoveringError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise InvalidCoveringError(
+            f"not a {_FORMAT} document (format={payload.get('format')!r})"
+            if isinstance(payload, dict)
+            else "not a repro-covering document"
+        )
+    if payload.get("version") != _VERSION:
+        raise InvalidCoveringError(
+            f"unsupported format version {payload.get('version')!r}"
+        )
+    try:
+        covering = Covering.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidCoveringError(f"malformed covering payload: {exc}") from exc
+    if verify:
+        assert_valid_covering(covering)
+    return covering
+
+
+def save_covering(
+    covering: Covering, path: str | Path, meta: dict[str, Any] | None = None
+) -> Path:
+    """Write a covering to ``path`` (creating parent directories)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(covering_to_json(covering, meta), encoding="utf-8")
+    return out
+
+
+def load_covering(path: str | Path, *, verify: bool = False) -> Covering:
+    """Read a covering from ``path``; see :func:`covering_from_json`."""
+    return covering_from_json(Path(path).read_text(encoding="utf-8"), verify=verify)

@@ -1,0 +1,16 @@
+"""Physical layer: ring topologies, arcs, routings, capacity ledgers."""
+
+from .capacity import LinkLoadLedger
+from .routing import Arc, RingRouting, arcs_edge_disjoint, route_request_shortest
+from .topology import PhysicalNetwork, RingLink, RingNetwork
+
+__all__ = [
+    "Arc",
+    "LinkLoadLedger",
+    "PhysicalNetwork",
+    "RingLink",
+    "RingNetwork",
+    "RingRouting",
+    "arcs_edge_disjoint",
+    "route_request_shortest",
+]

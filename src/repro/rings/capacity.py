@@ -1,0 +1,80 @@
+"""Per-wavelength link capacity accounting.
+
+Each subnetwork (cycle block) is assigned a wavelength pair (working +
+protection).  Within one wavelength, each fiber link can carry one unit
+of traffic per direction; a convex block's routing uses every ring link
+exactly once, i.e. exactly fills the working wavelength — the "half the
+capacity for demands, half for rerouting" picture of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..util.errors import CapacityError
+from .routing import Arc
+
+__all__ = ["LinkLoadLedger"]
+
+
+class LinkLoadLedger:
+    """Tracks per-link load within a single wavelength on ``C_n``.
+
+    ``charge(arc)`` adds one unit on each link of the arc and raises
+    :class:`~repro.util.errors.CapacityError` on oversubscription, which
+    is how simulations detect DRC violations operationally.
+    """
+
+    def __init__(self, n: int, *, capacity: int = 1) -> None:
+        if n < 3:
+            raise CapacityError(f"ring needs n ≥ 3, got {n}")
+        if capacity < 1:
+            raise CapacityError(f"capacity must be ≥ 1, got {capacity}")
+        self.n = int(n)
+        self.capacity = int(capacity)
+        self._load = [0] * self.n
+
+    def charge(self, arc: Arc) -> None:
+        if arc.n != self.n:
+            raise CapacityError(f"arc {arc} does not live on C_{self.n}")
+        for link in arc.links():
+            if self._load[link] + 1 > self.capacity:
+                raise CapacityError(
+                    f"link {link} oversubscribed (capacity {self.capacity})"
+                )
+            self._load[link] += 1
+
+    def charge_all(self, arcs: Iterable[Arc]) -> None:
+        for arc in arcs:
+            self.charge(arc)
+
+    def release(self, arc: Arc) -> None:
+        for link in arc.links():
+            if self._load[link] == 0:
+                raise CapacityError(f"releasing unloaded link {link}")
+            self._load[link] -= 1
+
+    def load(self, link: int) -> int:
+        return self._load[link % self.n]
+
+    @property
+    def loads(self) -> list[int]:
+        return list(self._load)
+
+    @property
+    def max_load(self) -> int:
+        return max(self._load)
+
+    @property
+    def total_load(self) -> int:
+        return sum(self._load)
+
+    def is_saturated(self) -> bool:
+        """Every link exactly at capacity — the convex-block signature."""
+        return all(load == self.capacity for load in self._load)
+
+    def reset(self) -> None:
+        self._load = [0] * self.n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LinkLoadLedger(n={self.n}, max={self.max_load}/{self.capacity})"

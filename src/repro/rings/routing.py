@@ -1,0 +1,153 @@
+"""Routing on the physical ring.
+
+On ``C_n`` a request ``{a, b}`` has exactly two candidate routes: the
+clockwise arc ``a → b`` and the counterclockwise arc (= clockwise
+``b → a``).  An :class:`Arc` captures one choice; a :class:`RingRouting`
+maps each request of a block to its arc and knows which fiber links are
+used.  Edge-disjointness checks are the substrate for the DRC.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..util import circular
+from ..util.errors import RoutingError
+from ..util.validation import check_vertex
+
+__all__ = ["Arc", "RingRouting", "route_request_shortest", "arcs_edge_disjoint"]
+
+
+@dataclass(frozen=True)
+class Arc:
+    """The clockwise arc ``start → end`` on ``C_n``.
+
+    Represents the physical path serving request ``{start, end}`` when
+    routed clockwise from ``start``.  The links used are
+    ``start, start+1, ..., end-1`` (mod n), in link-index convention
+    (link ``i`` joins ``i`` and ``i+1``).
+    """
+
+    n: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        check_vertex(self.start, self.n)
+        check_vertex(self.end, self.n)
+        if self.start == self.end:
+            raise RoutingError("an arc must join two distinct nodes")
+
+    @property
+    def length(self) -> int:
+        """Number of fiber links traversed."""
+        return (self.end - self.start) % self.n
+
+    @property
+    def request(self) -> tuple[int, int]:
+        """The request served, as a normalised chord."""
+        return circular.chord(self.start, self.end)
+
+    def links(self) -> Iterator[int]:
+        """Link indices used, clockwise."""
+        for i in range(self.length):
+            yield (self.start + i) % self.n
+
+    @cached_property
+    def link_set(self) -> frozenset[int]:
+        return frozenset(self.links())
+
+    def nodes(self) -> list[int]:
+        """Nodes visited, in order (endpoints included)."""
+        return [(self.start + i) % self.n for i in range(self.length + 1)]
+
+    def uses_link(self, index: int) -> bool:
+        return (index - self.start) % self.n < self.length
+
+    def reversed_arc(self) -> "Arc":
+        """The complementary route for the same request."""
+        return Arc(self.n, self.end, self.start)
+
+    def is_shortest(self) -> bool:
+        return self.length <= self.n - self.length
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Arc({self.start}→{self.end} on C_{self.n}, len={self.length})"
+
+
+def route_request_shortest(n: int, a: int, b: int) -> Arc:
+    """The shortest of the two candidate arcs (clockwise tie-break)."""
+    fwd = (b - a) % n
+    return Arc(n, a, b) if fwd <= n - fwd else Arc(n, b, a)
+
+
+def arcs_edge_disjoint(arcs: Sequence[Arc]) -> bool:
+    """True when no fiber link is used by two of the given arcs."""
+    used: set[int] = set()
+    for arc in arcs:
+        for link in arc.links():
+            if link in used:
+                return False
+            used.add(link)
+    return True
+
+
+class RingRouting:
+    """An edge-disjoint routing of a set of requests on ``C_n``.
+
+    Maps each request (chord) to its :class:`Arc`.  Construction
+    validates edge-disjointness — the defining property the paper's DRC
+    demands of every subnetwork.
+    """
+
+    def __init__(self, n: int, assignment: Mapping[tuple[int, int], Arc]) -> None:
+        self.n = int(n)
+        self._assignment = dict(assignment)
+        used: set[int] = set()
+        for req, arc in self._assignment.items():
+            if arc.n != n:
+                raise RoutingError(f"arc {arc} does not live on C_{n}")
+            if arc.request != tuple(sorted(req)):
+                raise RoutingError(f"arc {arc} does not serve request {req}")
+            for link in arc.links():
+                if link in used:
+                    raise RoutingError(
+                        f"link {link} used twice — routing is not edge-disjoint"
+                    )
+                used.add(link)
+        self._used = frozenset(used)
+
+    @property
+    def requests(self) -> list[tuple[int, int]]:
+        return sorted(self._assignment)
+
+    @property
+    def arcs(self) -> list[Arc]:
+        return [self._assignment[r] for r in sorted(self._assignment)]
+
+    def arc_for(self, request: tuple[int, int]) -> Arc:
+        key = tuple(sorted(request))
+        try:
+            return self._assignment[key]  # type: ignore[index]
+        except KeyError:
+            raise RoutingError(f"request {request} is not routed here") from None
+
+    @property
+    def used_links(self) -> frozenset[int]:
+        return self._used
+
+    @property
+    def total_length(self) -> int:
+        return sum(arc.length for arc in self._assignment.values())
+
+    def uses_all_links(self) -> bool:
+        """Convex-block routings use every ring link exactly once."""
+        return len(self._used) == self.n
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RingRouting(n={self.n}, requests={len(self)}, links={len(self._used)})"

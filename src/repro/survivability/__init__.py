@@ -1,0 +1,35 @@
+"""Failure simulation and automatic protection switching."""
+
+from .dual import DualFailureOutcome, DualFailureReport, analyze_dual_failures
+from .failures import LinkFailure, NodeFailure, all_link_failures, all_node_failures
+from .restoration import (
+    RestorationDimensioning,
+    dimension_restoration,
+    protection_vs_restoration,
+)
+from .metrics import SurvivabilityReport, evaluate_survivability
+from .protection import (
+    LinkFailureOutcome,
+    NodeFailureOutcome,
+    ProtectionSimulator,
+    RerouteEvent,
+)
+
+__all__ = [
+    "RestorationDimensioning",
+    "dimension_restoration",
+    "protection_vs_restoration",
+    "DualFailureOutcome",
+    "DualFailureReport",
+    "analyze_dual_failures",
+    "LinkFailure",
+    "LinkFailureOutcome",
+    "NodeFailure",
+    "NodeFailureOutcome",
+    "ProtectionSimulator",
+    "RerouteEvent",
+    "SurvivabilityReport",
+    "all_link_failures",
+    "all_node_failures",
+    "evaluate_survivability",
+]

@@ -1,0 +1,63 @@
+"""Failure events for the survivability simulator.
+
+The paper's survivability target is protection against "equipment or
+link failure".  We model both: single fiber cuts (the protection scheme
+guarantees full recovery) and optical-switch outages (reported, since a
+node failure also kills the traffic terminating there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.validation import check_vertex
+
+__all__ = ["LinkFailure", "NodeFailure", "all_link_failures", "all_node_failures"]
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """A single fiber cut on ring link ``link`` (= {link, link+1 mod n})."""
+
+    n: int
+    link: int
+
+    def __post_init__(self) -> None:
+        check_vertex(self.link, self.n)
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        return (self.link, (self.link + 1) % self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        a, b = self.endpoints
+        return f"LinkFailure({a}-{b})"
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """An optical-switch outage at ``node``: both adjacent links go dark
+    and all traffic terminating at the node is lost by definition."""
+
+    n: int
+    node: int
+
+    def __post_init__(self) -> None:
+        check_vertex(self.node, self.n)
+
+    @property
+    def dead_links(self) -> tuple[int, int]:
+        """The two ring links incident to the failed node."""
+        return ((self.node - 1) % self.n, self.node)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NodeFailure({self.node})"
+
+
+def all_link_failures(n: int) -> list[LinkFailure]:
+    """The single-link failure sweep used by experiment E6."""
+    return [LinkFailure(n, i) for i in range(n)]
+
+
+def all_node_failures(n: int) -> list[NodeFailure]:
+    return [NodeFailure(n, v) for v in range(n)]

@@ -1,0 +1,68 @@
+"""Aggregate survivability metrics (experiment E6).
+
+Summarises a full single-link failure sweep: recovery rate, how many
+requests each failure disturbs, path stretch of the loop-back routes,
+and the capacity overhead of the protection scheme (dedicated spare =
+100% of working, the price the paper's design knowingly pays for fast
+local switching compared to shared restoration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from ..wdm.design import RingDesign
+from .protection import LinkFailureOutcome, ProtectionSimulator
+
+__all__ = ["SurvivabilityReport", "evaluate_survivability"]
+
+
+@dataclass(frozen=True)
+class SurvivabilityReport:
+    """Aggregated outcome of failing every fiber once."""
+
+    n: int
+    num_subnetworks: int
+    failures_simulated: int
+    failures_recovered: int
+    total_reroutes: int
+    mean_affected_per_failure: float
+    max_affected_per_failure: int
+    mean_stretch: float
+    max_stretch: float
+    capacity_overhead: float
+
+    @property
+    def fully_survivable(self) -> bool:
+        return self.failures_recovered == self.failures_simulated
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n}: {self.failures_recovered}/{self.failures_simulated} "
+            f"failures recovered, avg {self.mean_affected_per_failure:.1f} "
+            f"reroutes/failure, stretch ≤ {self.max_stretch:.1f}×, "
+            f"overhead {self.capacity_overhead:.0%}"
+        )
+
+
+def evaluate_survivability(design: RingDesign) -> SurvivabilityReport:
+    """Run the full single-link failure sweep and aggregate the outcome."""
+    sim = ProtectionSimulator(design)
+    outcomes: list[LinkFailureOutcome] = sim.sweep_link_failures()
+
+    affected = [o.affected_requests for o in outcomes]
+    stretches = [ev.stretch for o in outcomes for ev in o.reroutes]
+    return SurvivabilityReport(
+        n=design.n,
+        num_subnetworks=design.covering.num_blocks,
+        failures_simulated=len(outcomes),
+        failures_recovered=sum(1 for o in outcomes if o.fully_recovered),
+        total_reroutes=sum(affected),
+        mean_affected_per_failure=mean(affected) if affected else 0.0,
+        max_affected_per_failure=max(affected, default=0),
+        mean_stretch=mean(stretches) if stretches else 1.0,
+        max_stretch=max(stretches, default=1.0),
+        # One dedicated protection wavelength per working wavelength.
+        capacity_overhead=1.0,
+    )

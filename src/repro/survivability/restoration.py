@@ -1,0 +1,148 @@
+"""Shared-capacity restoration — the paper's contrast class.
+
+Paper §1: "Two survivability schemes can be implemented: protection or
+restoration.  Protection can be done by using a pre-assigned capacity
+between nodes ...  On the other hand, restoration can be realized by
+using any capacity available between nodes ...  Dividing the network
+into independent sub-networks provides an intermediate solution."
+
+This module quantifies the trade-off the paper only narrates, on the
+ring.  Under *restoration*, working traffic is routed shortest-path and
+spare capacity is pooled: when link ``f`` fails, every request crossing
+``f`` reroutes the long way, loading all other links.  The minimum
+pooled spare that survives every single failure is::
+
+    spare(ℓ) = max_{f ≠ ℓ} |{requests crossing f that reroute over ℓ}|
+
+The measured outcome on the ring is itself a finding worth stating:
+pooled restoration saves (almost) no spare there — a ring has no path
+diversity, every reroute goes the long way around, so the pooled spare
+per link equals the working load (100% overhead, same as dedicated
+protection).  Capacity-equal but slower and globally-coordinated,
+restoration loses to protection on rings — the quantitative backing for
+the paper's choice of protected subnetworks, with the covering keeping
+each failure's blast radius at one demand per subnetwork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rings.routing import route_request_shortest
+from ..traffic.instances import Instance, all_to_all
+from ..util.validation import as_int
+
+__all__ = ["RestorationDimensioning", "dimension_restoration", "protection_vs_restoration"]
+
+
+@dataclass(frozen=True)
+class RestorationDimensioning:
+    """Capacity plan for shortest-path routing + pooled restoration."""
+
+    n: int
+    working_load: tuple[int, ...]        # per-link working units
+    spare_required: tuple[int, ...]      # per-link pooled spare units
+    worst_failure_reroutes: int          # demands disturbed by the worst cut
+
+    @property
+    def total_working(self) -> int:
+        return sum(self.working_load)
+
+    @property
+    def total_spare(self) -> int:
+        return sum(self.spare_required)
+
+    @property
+    def total_capacity(self) -> int:
+        return self.total_working + self.total_spare
+
+    @property
+    def spare_ratio(self) -> float:
+        """Pooled spare relative to working capacity (< 1.0: cheaper
+        than the dedicated scheme's 100%)."""
+        return self.total_spare / self.total_working if self.total_working else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"restoration(n={self.n}): working {self.total_working}, "
+            f"spare {self.total_spare} ({self.spare_ratio:.0%} overhead), "
+            f"worst failure disturbs {self.worst_failure_reroutes} demands"
+        )
+
+
+def dimension_restoration(n: int, instance: Instance | None = None) -> RestorationDimensioning:
+    """Dimension a ring for shortest-path working routes plus pooled
+    single-failure restoration."""
+    n = as_int(n, "n")
+    inst = instance if instance is not None else all_to_all(n)
+    if inst.n != n:
+        raise ValueError(f"instance order {inst.n} ≠ n = {n}")
+
+    # Working load per link under shortest-path routing.
+    working = [0] * n
+    arcs = {}
+    for (a, b), m in inst.demand.items():
+        arc = route_request_shortest(n, a, b)
+        arcs[(a, b)] = (arc, m)
+        for link in arc.links():
+            working[link] += m
+
+    # Failure of f: each request crossing f reroutes onto the
+    # complementary arc, adding load to exactly the links it avoids.
+    spare = [0] * n
+    worst = 0
+    for f in range(n):
+        extra = [0] * n
+        disturbed = 0
+        for (a, b), (arc, m) in arcs.items():
+            if not arc.uses_link(f):
+                continue
+            disturbed += m
+            for link in arc.reversed_arc().links():
+                extra[link] += m
+        worst = max(worst, disturbed)
+        for link in range(n):
+            if link != f:
+                spare[link] = max(spare[link], extra[link])
+
+    return RestorationDimensioning(
+        n=n,
+        working_load=tuple(working),
+        spare_required=tuple(spare),
+        worst_failure_reroutes=worst,
+    )
+
+
+def protection_vs_restoration(n: int) -> dict[str, float | int]:
+    """The paper's §1 comparison, quantified for All-to-All on ``C_n``.
+
+    Returns capacity and blast-radius figures for (a) the covering-based
+    protection design and (b) pooled restoration.  The covering design
+    pays more capacity (100% dedicated spare) but each failure disturbs
+    only one demand per subnetwork with purely local switching;
+    restoration pools spare below 100% but every failure triggers a
+    network-wide reroute of all crossing demands at once.
+    """
+    from ..core.construction import optimal_covering
+    from ..wdm.design import design_ring_network
+
+    design = design_ring_network(n)
+    covering = optimal_covering(n)
+    # Covering design: each subnetwork fills its working wavelength on
+    # every link and reserves an equal protection wavelength.
+    protection_working = n * covering.num_blocks
+    protection_spare = n * covering.num_blocks
+
+    restoration = dimension_restoration(n)
+    return {
+        "n": n,
+        "protection_working": protection_working,
+        "protection_spare": protection_spare,
+        "protection_overhead": 1.0,
+        "protection_reroutes_per_failure": covering.num_blocks,
+        "restoration_working": restoration.total_working,
+        "restoration_spare": restoration.total_spare,
+        "restoration_overhead": restoration.spare_ratio,
+        "restoration_reroutes_worst": restoration.worst_failure_reroutes,
+        "design_wavelengths": design.plan.num_wavelengths,
+    }

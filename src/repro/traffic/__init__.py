@@ -1,0 +1,5 @@
+"""Traffic (logical layer) instances."""
+
+from .instances import Instance, all_to_all, from_requests, lambda_all_to_all, ring_instance
+
+__all__ = ["Instance", "all_to_all", "from_requests", "lambda_all_to_all", "ring_instance"]

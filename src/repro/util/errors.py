@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause
+while still letting genuine programming errors (``TypeError`` etc.)
+propagate untouched.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidBlockError",
+    "InvalidCoveringError",
+    "RoutingError",
+    "ConstructionError",
+    "SolverError",
+    "TopologyError",
+    "CapacityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidBlockError(ReproError, ValueError):
+    """A cycle block is structurally invalid (too short, repeated vertices,
+    vertices outside the ring, ...)."""
+
+
+class InvalidCoveringError(ReproError, ValueError):
+    """A covering fails validation (uncovered requests, non-routable block,
+    inconsistent instance, ...)."""
+
+
+class RoutingError(ReproError):
+    """A routing could not be produced (e.g. DRC infeasible for a block)."""
+
+
+class ConstructionError(ReproError):
+    """An optimal construction could not be completed.
+
+    Raised when an internal search step fails; this indicates a bug (the
+    constructions are expected to succeed for every supported ``n``), so
+    the message carries enough context for diagnosis.
+    """
+
+
+class SolverError(ReproError):
+    """The exact solver was given an infeasible or oversized instance."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A physical topology does not meet a structural requirement."""
+
+
+class CapacityError(ReproError):
+    """A link's capacity was exceeded during simulation."""

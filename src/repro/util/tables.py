@@ -1,0 +1,68 @@
+"""Plain-text table rendering for the experiment harness.
+
+The paper's results are tables of closed-form values; the benchmark
+harness regenerates them and prints them in a fixed-width format so the
+EXPERIMENTS.md paper-vs-measured comparison can be pasted directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table"]
+
+
+@dataclass
+class Table:
+    """A small column-oriented table with a title and aligned rendering."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(title: str, columns: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render ``rows`` under ``columns`` with a title rule, right-aligning
+    numeric-looking cells and left-aligning text."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(s: str) -> bool:
+        return bool(s) and all(ch.isdigit() or ch in "+-.eE%" for ch in s)
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if is_numeric(cell) else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    header = render_row(list(columns))
+    rule = "-" * len(header)
+    lines = [title, "=" * len(title), header, rule]
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Input-validation helpers shared across the library.
+
+These are deliberately tiny and allocation-free on the happy path: they
+run inside constructors of objects that hot loops create in bulk
+(:class:`~repro.core.blocks.CycleBlock`, routing arcs, ...), so they
+avoid building error strings unless a check actually fails.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .errors import ReproError
+
+__all__ = [
+    "require",
+    "check_ring_order",
+    "check_vertex",
+    "check_positive",
+    "check_odd",
+    "check_even",
+    "as_int",
+]
+
+
+def require(condition: bool, exc_type: type[ReproError], message: str, *args: object) -> None:
+    """Raise ``exc_type(message % args)`` when ``condition`` is false.
+
+    ``args`` are interpolated lazily so callers can pass raw values
+    without paying string-formatting cost on success.
+    """
+    if not condition:
+        raise exc_type(message % args if args else message)
+
+
+def check_vertex(v: int, n: int) -> int:
+    """Validate that ``v`` is an integer vertex id of a ring of order ``n``."""
+    v = as_int(v, "vertex")
+    if not 0 <= v < n:
+        raise ValueError(f"vertex {v} outside ring of order {n}")
+    return v
+
+
+def check_positive(value: int, name: str = "value") -> int:
+    value = as_int(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_odd(n: int, name: str = "n") -> int:
+    n = as_int(n, name)
+    if n % 2 == 0:
+        raise ValueError(f"{name} must be odd, got {n}")
+    return n
+
+
+def check_even(n: int, name: str = "n") -> int:
+    n = as_int(n, name)
+    if n % 2 == 1:
+        raise ValueError(f"{name} must be even, got {n}")
+    return n
+
+
+def as_int(value: object, name: str = "value") -> int:
+    """Coerce numpy integer scalars and bools-excluded ints to ``int``.
+
+    Rejects floats (even integral ones) to surface silent truncation bugs
+    early — graph vertex arithmetic in this library is exact.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, int):
+        return value
+    # numpy integer scalars expose __index__; floats do not.
+    try:
+        return int(value.__index__())  # type: ignore[attr-defined]
+    except AttributeError:
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}") from None
+
+
+def check_ring_order(vertices: Sequence[int], n: int) -> None:
+    """Validate every vertex id in ``vertices`` against ring order ``n``."""
+    for v in vertices:
+        check_vertex(v, n)
+
+
+def all_distinct(items: Iterable[object]) -> bool:
+    """True when ``items`` contains no duplicates (hash-based)."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            return False
+        seen.add(item)
+    return True

@@ -1,0 +1,23 @@
+"""WDM optical layer: wavelength plans, ADM accounting, cost model."""
+
+from .adm import DEFAULT_COST_MODEL, CostBreakdown, CostModel, evaluate_cost
+from .coloring import GraphWavelengthPlan, color_wavelengths
+from .design import RingDesign, design_ring_network
+from .regeneration import RegenerationPlan, plan_regeneration, regenerators_for_arc
+from .wavelengths import WavelengthPlan, assign_wavelengths
+
+__all__ = [
+    "GraphWavelengthPlan",
+    "color_wavelengths",
+    "RegenerationPlan",
+    "plan_regeneration",
+    "regenerators_for_arc",
+    "CostBreakdown",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "RingDesign",
+    "WavelengthPlan",
+    "assign_wavelengths",
+    "design_ring_network",
+    "evaluate_cost",
+]

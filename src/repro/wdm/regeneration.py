@@ -1,0 +1,114 @@
+"""Optical reach and regenerator placement.
+
+The paper's cost function includes "a cost of regeneration and
+amplification of the signal".  The amplification term is linear in lit
+fiber (handled in :mod:`repro.wdm.adm`); regeneration is the nonlinear
+part: a lightpath whose transparent length exceeds the optical *reach*
+needs 3R regenerators at intermediate nodes.
+
+For a DRC covering each request travels its working arc; under failure
+it travels the loop-back arc (length ``n − working``).  A conservative
+design places regenerators so that *both* paths respect the reach —
+otherwise protection switching could restore connectivity but not
+signal quality.  This module counts and places those regenerators,
+extending the E4 cost model with a reach-dependent term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rings.routing import Arc
+from ..util.validation import check_positive
+from .design import RingDesign
+
+__all__ = ["RegenerationPlan", "plan_regeneration", "regenerators_for_arc"]
+
+
+def regenerators_for_arc(arc: Arc, reach: int) -> list[int]:
+    """Regenerator nodes for one lightpath of transparent reach
+    ``reach`` (in hops): every ``reach`` hops along the arc, excluding
+    the terminating endpoint.  Returns the node ids, in path order."""
+    check_positive(reach, "reach")
+    sites: list[int] = []
+    travelled = 0
+    nodes = arc.nodes()
+    for node in nodes[1:-1]:
+        travelled += 1
+        if travelled == reach:
+            sites.append(node)
+            travelled = 0
+    return sites
+
+
+@dataclass(frozen=True)
+class RegenerationPlan:
+    """Regenerator placement for a full ring design at a given reach."""
+
+    n: int
+    reach: int
+    working_regens: dict[tuple[int, int], tuple[int, ...]]
+    protection_regens: dict[tuple[int, int], tuple[int, ...]]
+    regen_unit_cost: float
+
+    @property
+    def num_working_regens(self) -> int:
+        return sum(len(sites) for sites in self.working_regens.values())
+
+    @property
+    def num_protection_regens(self) -> int:
+        return sum(len(sites) for sites in self.protection_regens.values())
+
+    @property
+    def total_regens(self) -> int:
+        return self.num_working_regens + self.num_protection_regens
+
+    @property
+    def total_cost(self) -> float:
+        return self.regen_unit_cost * self.total_regens
+
+    @property
+    def transparent(self) -> bool:
+        """True when the reach covers every path — no regenerators."""
+        return self.total_regens == 0
+
+    def busiest_sites(self, top: int = 3) -> list[tuple[int, int]]:
+        """Nodes hosting the most regenerators, as (node, count)."""
+        load: dict[int, int] = {}
+        for sites in list(self.working_regens.values()) + list(
+            self.protection_regens.values()
+        ):
+            for node in sites:
+                load[node] = load.get(node, 0) + 1
+        ranked = sorted(load.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def summary(self) -> str:
+        return (
+            f"regeneration(n={self.n}, reach={self.reach}): "
+            f"{self.num_working_regens} working + "
+            f"{self.num_protection_regens} protection regens, "
+            f"cost {self.total_cost:.1f}"
+        )
+
+
+def plan_regeneration(
+    design: RingDesign, *, reach: int, regen_unit_cost: float = 40.0
+) -> RegenerationPlan:
+    """Place regenerators for every request's working arc *and* its
+    protection loop-back, so recovery preserves signal quality."""
+    check_positive(reach, "reach")
+    if regen_unit_cost < 0:
+        raise ValueError(f"regen_unit_cost must be ≥ 0, got {regen_unit_cost}")
+    working: dict[tuple[int, int], tuple[int, ...]] = {}
+    protection: dict[tuple[int, int], tuple[int, ...]] = {}
+    for request, (_, arc) in design.request_routes.items():
+        working[request] = tuple(regenerators_for_arc(arc, reach))
+        protection[request] = tuple(regenerators_for_arc(arc.reversed_arc(), reach))
+    return RegenerationPlan(
+        n=design.n,
+        reach=reach,
+        working_regens=working,
+        protection_regens=protection,
+        regen_unit_cost=regen_unit_cost,
+    )

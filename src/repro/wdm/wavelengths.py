@@ -1,0 +1,110 @@
+"""Wavelength assignment for DRC coverings.
+
+The paper associates one wavelength with each subnetwork — "in fact
+two: one for the normal traffic and one for the spare one".  On a ring,
+every DRC cycle's routing saturates all links of its working
+wavelength, so subnetworks can never share a wavelength and the
+assignment is trivially one (working, protection) pair per block.  The
+module still models the assignment explicitly: the cost model and the
+survivability simulator operate per-wavelength, and non-ring extensions
+reuse the same interface with genuine sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..core.covering import Covering
+from ..core.drc import route_block
+from ..rings.routing import RingRouting
+from ..util.errors import RoutingError
+
+__all__ = ["WavelengthPlan", "assign_wavelengths"]
+
+
+@dataclass(frozen=True)
+class WavelengthPlan:
+    """A wavelength assignment for a DRC covering on ``C_n``.
+
+    Wavelength ``2k`` carries subnetwork ``k``'s working traffic;
+    wavelength ``2k+1`` is its dedicated protection copy (the paper's
+    working/spare pair).
+    """
+
+    covering: Covering
+
+    @property
+    def n(self) -> int:
+        return self.covering.n
+
+    @property
+    def num_subnetworks(self) -> int:
+        return self.covering.num_blocks
+
+    @property
+    def num_wavelengths(self) -> int:
+        """Total wavelengths consumed: 2 per subnetwork (working+spare)."""
+        return 2 * self.covering.num_blocks
+
+    @property
+    def num_working_wavelengths(self) -> int:
+        return self.covering.num_blocks
+
+    def working_wavelength(self, block_index: int) -> int:
+        self._check_index(block_index)
+        return 2 * block_index
+
+    def protection_wavelength(self, block_index: int) -> int:
+        self._check_index(block_index)
+        return 2 * block_index + 1
+
+    @cached_property
+    def routings(self) -> tuple[RingRouting, ...]:
+        """Per-subnetwork edge-disjoint routings (the DRC witnesses)."""
+        return tuple(route_block(self.n, blk) for blk in self.covering.blocks)
+
+    def routing(self, block_index: int) -> RingRouting:
+        self._check_index(block_index)
+        return self.routings[block_index]
+
+    @cached_property
+    def fiber_utilisation(self) -> float:
+        """Fraction of working-wavelength link-slots actually used.
+
+        On a ring this is exactly 1.0 for every DRC covering (each
+        subnetwork's routes tile the ring) — the quantitative content of
+        the paper's "use half of the capacity for the demands" remark.
+        """
+        used = sum(len(r.used_links) for r in self.routings)
+        return used / (self.n * self.num_working_wavelengths)
+
+    def wavelengths_through_node(self, v: int) -> int:
+        """Wavelength pairs whose cycle passes *through or ends at* node
+        ``v`` — every wavelength traverses every node on a ring, since
+        DRC routings tile all links."""
+        if not 0 <= v < self.n:
+            raise ValueError(f"node {v} outside ring of order {self.n}")
+        return self.num_subnetworks
+
+    def _check_index(self, block_index: int) -> None:
+        if not 0 <= block_index < self.covering.num_blocks:
+            raise IndexError(
+                f"subnetwork index {block_index} out of range "
+                f"(covering has {self.covering.num_blocks})"
+            )
+
+
+def assign_wavelengths(covering: Covering) -> WavelengthPlan:
+    """Assign (working, protection) wavelength pairs to each subnetwork.
+
+    Raises :class:`~repro.util.errors.RoutingError` when the covering is
+    not DRC-feasible — a wavelength plan requires an actual routing.
+    """
+    if not covering.is_drc_feasible():
+        bad = covering.non_convex_blocks[0]
+        raise RoutingError(
+            f"covering is not DRC-feasible: block {bad.vertices!r} has no "
+            "edge-disjoint routing"
+        )
+    return WavelengthPlan(covering)

@@ -1,0 +1,113 @@
+"""Tests for the experiment harness: every experiment must reproduce
+the paper's shape (who wins, exact closed-form matches) on small sweeps."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    experiment_cost_model,
+    experiment_lambda_fold,
+    experiment_nondrc_baseline,
+    experiment_paper_example,
+    experiment_solver_certification,
+    experiment_survivability,
+    experiment_theorem1,
+    experiment_theorem2,
+    experiment_topologies,
+)
+
+
+class TestTheoremExperiments:
+    def test_e1_rows_all_optimal(self):
+        result = experiment_theorem1((5, 7, 9, 11, 13))
+        for row in result.rows:
+            assert row["rho_formula"] == row["constructed"] == row["lower_bound"]
+            assert row["c3_formula"] == row["c3_measured"]
+            assert row["c4_formula"] == row["c4_measured"]
+            assert row["excess_measured"] == 0
+            assert row["valid"] and row["optimal"]
+        assert "Theorem 1" in result.render()
+
+    def test_e2_rows_all_optimal(self):
+        result = experiment_theorem2((4, 6, 8, 10, 12))
+        for row in result.rows:
+            assert row["rho_formula"] == row["constructed"] == row["lower_bound"]
+            assert row["excess_formula"] == row["excess_measured"]
+            assert row["valid"] and row["optimal"]
+
+    def test_e1_rejects_even(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            experiment_theorem1((6,))
+
+    def test_e2_rejects_odd(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            experiment_theorem2((7,))
+
+
+class TestPaperExample:
+    def test_e3_matches_paper(self):
+        result = experiment_paper_example()
+        by_name = {r["name"]: r for r in result.rows if "routable" in r}
+        assert by_name["ring"]["routable"]
+        assert not by_name["bad"]["routable"]
+        assert by_name["tri1"]["routable"] and by_name["tri2"]["routable"]
+        summary = result.rows[-1]
+        assert summary["good_valid"]
+        assert not summary["bad_drc"]
+        assert summary["bad_covers"]  # it covers K4 — only the DRC fails
+
+
+class TestComparisons:
+    def test_e4_theorem_wins_cost(self):
+        result = experiment_cost_model((9, 11))
+        by_method = {}
+        for row in result.rows:
+            by_method.setdefault(row["n"], {})[row["method"]] = row
+        for n, methods in by_method.items():
+            assert methods["theorem"]["cycles"] <= methods["fast"]["cycles"]
+            assert methods["theorem"]["cycles"] <= methods["greedy"]["cycles"]
+            assert methods["theorem"]["total"] <= methods["fast"]["total"]
+            # Theorem coverings attain the ADM lower bound.
+            assert methods["theorem"]["adms"] == methods["theorem"]["adm_lb"]
+
+    def test_e5_drc_price_nonnegative(self):
+        result = experiment_nondrc_baseline((7, 9, 11))
+        for row in result.rows:
+            assert row["price"] >= 0
+            assert row["greedy3"] >= row["formula"]
+            assert row["greedy4"] >= row["lb4"]
+
+    def test_e6_everything_recovers(self):
+        result = experiment_survivability((6, 9))
+        for row in result.rows:
+            assert row["recovered"] == row["failures"]
+            assert row["survivable"]
+            assert row["mean_affected"] == row["cycles"]
+
+
+class TestExtensionsAndSolver:
+    def test_e8_gaps(self):
+        result = experiment_lambda_fold(ns=(5, 7, 6), lams=(1, 2))
+        for row in result.rows:
+            assert row["valid"]
+            assert row["gap"] >= 0
+            if row["n"] % 2 == 1:
+                assert row["gap"] == 0
+
+    def test_e9_topologies_all_covered(self):
+        result = experiment_topologies()
+        names = {row["name"] for row in result.rows}
+        assert any("ring" in name for name in names)
+        assert any("tree-of-rings" in name for name in names)
+        assert any("torus" in name for name in names)
+        for row in result.rows:
+            assert row["cycles"] > 0
+
+    def test_e10_solver_certifies(self):
+        result = experiment_solver_certification((4, 5, 6))
+        for row in result.rows:
+            assert row["match"]
+            assert row["nodes"] > 0

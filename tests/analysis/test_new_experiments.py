@@ -1,0 +1,50 @@
+"""Tests for the E9 wavelength extension and E11."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    experiment_protection_vs_restoration,
+    experiment_topologies,
+)
+
+
+class TestE9Wavelengths:
+    def test_ring_needs_one_wavelength_per_cycle(self):
+        rows = {r["name"]: r for r in experiment_topologies().rows}
+        ring = rows["ring-8"]
+        assert ring["wavelengths"] == ring["cycles"]
+
+    def test_mesh_saves_wavelengths(self):
+        rows = {r["name"]: r for r in experiment_topologies().rows}
+        torus = rows["torus-3x3"]
+        assert torus["wavelengths"] < torus["cycles"]
+
+
+class TestE12:
+    def test_dual_failures_shape(self):
+        from repro.analysis.experiments import experiment_dual_failures
+
+        result = experiment_dual_failures((8, 10))
+        for row in result.rows:
+            assert row["full"] == 0
+            assert 0.0 < row["worst"] <= row["mean"] < 1.0
+            assert row["pairs"] == row["n"] * (row["n"] - 1) // 2
+
+
+class TestE11:
+    def test_overheads_and_blast_radius(self):
+        result = experiment_protection_vs_restoration((8, 11))
+        for row in result.rows:
+            assert row["protection_overhead"] == 1.0
+            assert row["restoration_overhead"] >= 0.9
+            assert row["protection_reroutes_per_failure"] > 0
+            assert row["restoration_reroutes_worst"] > 0
+
+    def test_odd_working_capacity_equality(self):
+        result = experiment_protection_vs_restoration((11,))
+        row = result.rows[0]
+        assert row["protection_working"] == row["restoration_working"]
+
+    def test_render_has_both_schemes(self):
+        text = experiment_protection_vs_restoration((8,)).render()
+        assert "protection" in text and "restoration" in text

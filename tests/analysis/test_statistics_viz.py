@@ -1,0 +1,79 @@
+"""Tests for covering statistics and the ASCII visualiser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.statistics import covering_statistics
+from repro.analysis.viz import render_coverage_heatline, render_ring_block, render_routing
+from repro.core.blocks import CycleBlock
+from repro.core.construction import optimal_covering
+from repro.core.covering import Covering
+from repro.core.drc import route_block
+from repro.util import circular
+
+
+class TestStatistics:
+    def test_odd_decomposition_stats(self):
+        n = 11
+        stats = covering_statistics(optimal_covering(n))
+        assert stats.all_tight
+        assert stats.load_balanced
+        assert stats.vertex_load_min == n // 2
+        assert stats.excess_by_distance == {}
+        assert stats.mean_block_distance_sum == pytest.approx(n)
+
+    def test_even_covering_stats(self):
+        n = 10
+        stats = covering_statistics(optimal_covering(n))
+        assert sum(stats.excess_by_distance.values()) == 5
+        # Coverage per class ≥ class size.
+        for d, needed in stats.distance_class_required.items():
+            assert stats.distance_class_coverage.get(d, 0) >= needed
+
+    def test_distance_class_required_totals(self):
+        for n in (9, 10):
+            stats = covering_statistics(optimal_covering(n))
+            assert sum(stats.distance_class_required.values()) == circular.n_chords(n)
+
+    def test_empty_covering(self):
+        stats = covering_statistics(Covering(5, ()))
+        assert stats.num_blocks == 0
+        assert stats.vertex_load_max == 0
+        assert stats.mean_block_distance_sum == 0.0
+
+    def test_summary_text(self):
+        text = covering_statistics(optimal_covering(7)).summary()
+        assert "tight 6/6" in text
+
+
+class TestViz:
+    def test_ring_block_marks_members(self):
+        art = render_ring_block(8, CycleBlock((0, 3, 5)))
+        assert "[0]" in art and "[3]" in art and "[5]" in art
+        assert "[1]" not in art and "1" in art  # non-member unbracketed
+        assert art.startswith("C_8 with block (0, 3, 5)")
+
+    def test_ring_block_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            render_ring_block(2, CycleBlock((0, 1, 2)))
+
+    def test_routing_rows_disjoint(self):
+        routing = route_block(9, CycleBlock((0, 3, 7)))
+        art = render_routing(routing)
+        lines = art.splitlines()
+        assert lines[0].startswith("links:")
+        # Edge-disjointness: each link column carries exactly one mark.
+        body = [line[10:] for line in lines[1:]]
+        for col in range(9):
+            marks = sum(1 for row in body if row[col] == "█")
+            assert marks == 1
+
+    def test_heatline_shows_classes(self):
+        art = render_coverage_heatline(optimal_covering(10))
+        assert "d=1" in art and "d=5" in art
+        assert "excess" in art  # even coverings have excess somewhere
+
+    def test_heatline_exact_decomposition_no_excess(self):
+        art = render_coverage_heatline(optimal_covering(9))
+        assert "excess" not in art

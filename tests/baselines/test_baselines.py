@@ -1,0 +1,98 @@
+"""Tests for the baseline coverings (greedy DRC, non-DRC, ring sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import greedy_drc_covering
+from repro.baselines.nondrc import (
+    greedy_cycle_cover,
+    greedy_triangle_cover,
+    triangle_cover_gap,
+    triangle_covering_number,
+)
+from repro.baselines.ring_sizes import (
+    min_total_ring_size,
+    size_greedy_covering,
+    total_ring_size,
+)
+from repro.core.construction import optimal_covering
+from repro.core.formulas import cycle_cover_lower_bound, rho
+from repro.traffic.instances import from_requests, lambda_all_to_all
+from repro.util import circular
+
+
+class TestGreedyDrc:
+    @pytest.mark.parametrize("n", (5, 6, 8, 9, 11))
+    def test_valid_covering(self, n):
+        cov = greedy_drc_covering(n)
+        assert cov.covers()
+        assert cov.is_drc_feasible()
+        assert cov.num_blocks >= rho(n)
+
+    def test_not_better_than_optimum(self):
+        for n in (7, 10, 13):
+            assert greedy_drc_covering(n).num_blocks >= optimal_covering(n).num_blocks
+
+    def test_lambda_instance(self):
+        inst = lambda_all_to_all(6, 2)
+        cov = greedy_drc_covering(6, inst)
+        assert cov.covers(inst)
+
+    def test_sparse_instance(self):
+        inst = from_requests(8, [(0, 4), (1, 5), (0, 1)])
+        cov = greedy_drc_covering(8, inst)
+        assert cov.covers(inst)
+
+    def test_instance_mismatch(self):
+        from repro.util.errors import ConstructionError
+
+        with pytest.raises(ConstructionError):
+            greedy_drc_covering(8, lambda_all_to_all(7, 1))
+
+
+class TestNonDrc:
+    @pytest.mark.parametrize("n", (5, 7, 9, 12))
+    def test_triangle_cover_covers(self, n):
+        blocks = greedy_triangle_cover(n)
+        covered = {e for blk in blocks for e in blk.edges()}
+        assert covered == set(circular.all_chords(n))
+        assert all(blk.size == 3 for blk in blocks)
+
+    def test_triangle_cover_at_least_formula(self):
+        for n in (5, 7, 9, 11, 13):
+            assert len(greedy_triangle_cover(n)) >= triangle_covering_number(n)
+            assert triangle_cover_gap(n) >= 0
+
+    @pytest.mark.parametrize("n", (5, 8, 10))
+    def test_cycle_cover_covers(self, n):
+        blocks = greedy_cycle_cover(n, 4)
+        covered = {e for blk in blocks for e in blk.edges()}
+        assert covered == set(circular.all_chords(n))
+        assert len(blocks) >= cycle_cover_lower_bound(n, 4)
+
+    def test_non_drc_beats_drc_count(self):
+        """Without the DRC, fewer (or equal) cycles suffice — the paper's
+        motivation for studying the constrained problem."""
+        for n in (9, 11, 13):
+            assert len(greedy_cycle_cover(n, 4)) <= rho(n) + n // 2
+
+
+class TestRingSizes:
+    def test_lower_bound_values(self):
+        assert min_total_ring_size(7) == 21
+        assert min_total_ring_size(8) == 28 + 4
+
+    def test_theorem_coverings_attain_adm_optimum(self):
+        """The ρ-optimal coverings are simultaneously ADM-optimal — the
+        bridge to the [3]/[4] objective checked by experiment E4."""
+        for n in (7, 9, 6, 8, 10, 12):
+            cov = optimal_covering(n)
+            assert total_ring_size(cov) == min_total_ring_size(n)
+
+    @pytest.mark.parametrize("n", (6, 7, 9))
+    def test_size_greedy_valid(self, n):
+        cov = size_greedy_covering(n)
+        assert cov.covers()
+        assert cov.is_drc_feasible()
+        assert total_ring_size(cov) >= min_total_ring_size(n)

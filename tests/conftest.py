@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import optimal_covering
+from repro.wdm.design import design_ring_network
+
+
+@pytest.fixture(scope="session")
+def covering9():
+    """Theorem 1 covering of K_9 (exact decomposition, 10 blocks)."""
+    return optimal_covering(9)
+
+
+@pytest.fixture(scope="session")
+def covering10():
+    """Theorem 2 covering of K_10 (13 blocks, excess 5)."""
+    return optimal_covering(10)
+
+
+@pytest.fixture(scope="session")
+def design11():
+    """Complete WDM design for an 11-node ring."""
+    return design_ring_network(11)
+
+
+@pytest.fixture(scope="session")
+def design8():
+    """Complete WDM design for an 8-node ring (even case)."""
+    return design_ring_network(8)

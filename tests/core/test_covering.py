@@ -1,0 +1,128 @@
+"""Tests for the Covering container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import CycleBlock
+from repro.core.covering import Covering
+from repro.traffic.instances import all_to_all, from_requests, lambda_all_to_all
+from repro.util.errors import InvalidCoveringError
+
+
+def k4_paper_covering() -> Covering:
+    return Covering(4, (CycleBlock((0, 1, 2, 3)), CycleBlock((0, 1, 3)), CycleBlock((0, 2, 3))))
+
+
+class TestShape:
+    def test_len_iter(self):
+        cov = k4_paper_covering()
+        assert len(cov) == 3
+        assert [b.size for b in cov] == [4, 3, 3]
+
+    def test_histogram(self):
+        assert k4_paper_covering().size_histogram == {3: 2, 4: 1}
+        assert k4_paper_covering().num_triangles == 2
+        assert k4_paper_covering().num_quads == 1
+
+    def test_total_slots(self):
+        assert k4_paper_covering().total_slots == 10
+
+    def test_rejects_overflowing_block(self):
+        with pytest.raises(InvalidCoveringError):
+            Covering(4, (CycleBlock((0, 1, 5)),))
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(InvalidCoveringError):
+            Covering(2, ())
+
+
+class TestCoverage:
+    def test_coverage_counts(self):
+        cov = k4_paper_covering()
+        assert cov.multiplicity((0, 1)) == 2
+        assert cov.multiplicity((0, 2)) == 1
+        assert cov.multiplicity((2, 3)) == 2
+        assert cov.multiplicity((0, 3)) == 3
+
+    def test_covers_all_to_all(self):
+        assert k4_paper_covering().covers()
+        assert k4_paper_covering().uncovered() == []
+
+    def test_excess(self):
+        assert k4_paper_covering().excess() == 4
+
+    def test_doubled_edges(self):
+        doubled = k4_paper_covering().doubled_edges()
+        assert (0, 3) in doubled and (0, 1) in doubled
+
+    def test_partial_covering_detected(self):
+        cov = Covering(4, (CycleBlock((0, 1, 2)),))
+        assert not cov.covers()
+        assert (0, 3) in cov.uncovered()
+
+    def test_is_exact(self):
+        tri = Covering(3, (CycleBlock((0, 1, 2)),))
+        assert tri.is_exact()
+        assert not k4_paper_covering().is_exact()
+
+    def test_lambda_instance(self):
+        cov = Covering(3, (CycleBlock((0, 1, 2)), CycleBlock((0, 1, 2))))
+        assert cov.covers(lambda_all_to_all(3, 2))
+        assert not cov.covers(lambda_all_to_all(3, 3))
+
+    def test_sparse_instance(self):
+        inst = from_requests(6, [(0, 3), (1, 2)])
+        cov = Covering(6, (CycleBlock((0, 1, 2, 3)),))
+        assert cov.covers(inst)
+        assert cov.excess(inst) == 2  # {0,1} and {2,3} not demanded
+
+    def test_instance_order_mismatch(self):
+        with pytest.raises(InvalidCoveringError):
+            k4_paper_covering().covers(all_to_all(5))
+
+
+class TestDrcFlag:
+    def test_paper_bad_covering_flagged(self):
+        bad = Covering(4, (CycleBlock((0, 1, 2, 3)), CycleBlock((0, 2, 3, 1))))
+        assert not bad.is_drc_feasible()
+        assert len(bad.non_convex_blocks) == 1
+
+    def test_good_covering_clean(self):
+        assert k4_paper_covering().is_drc_feasible()
+
+
+class TestAlgebra:
+    def test_with_without(self):
+        cov = k4_paper_covering()
+        grown = cov.with_blocks([CycleBlock((0, 1, 2))])
+        assert grown.num_blocks == 4
+        shrunk = grown.without_block(3)
+        assert shrunk.num_blocks == 3
+        with pytest.raises(IndexError):
+            cov.without_block(99)
+
+    def test_replace(self):
+        cov = k4_paper_covering()
+        out = cov.replace_block(1, CycleBlock((1, 2, 3)))
+        assert out.blocks[1] == CycleBlock((1, 2, 3))
+        with pytest.raises(IndexError):
+            cov.replace_block(-1, CycleBlock((1, 2, 3)))
+
+    def test_deduplicated(self):
+        cov = Covering(4, (CycleBlock((0, 1, 2)), CycleBlock((1, 2, 0))))
+        assert cov.deduplicated().num_blocks == 1
+
+    def test_serialisation_roundtrip(self):
+        cov = k4_paper_covering()
+        again = Covering.from_dict(cov.to_dict())
+        assert again.n == cov.n
+        assert list(again.blocks) == list(cov.blocks)
+
+    def test_from_vertex_lists(self):
+        cov = Covering.from_vertex_lists(5, [[0, 1, 2], [2, 3, 4, 0]])
+        assert cov.num_blocks == 2
+
+    def test_describe_mentions_mix(self):
+        text = k4_paper_covering().describe()
+        assert "2×C3" in text and "1×C4" in text and "DRC=ok" in text

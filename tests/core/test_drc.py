@@ -1,0 +1,91 @@
+"""Tests for the DRC characterisation — including the property test
+comparing the O(k) circular-order predicate against the exponential
+brute-force router, which is the empirical proof of the ring lemma."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import CycleBlock
+from repro.core.drc import (
+    brute_force_routing,
+    is_drc_routable,
+    paper_example_blocks,
+    route_block,
+)
+from repro.util.errors import RoutingError
+
+
+class TestPaperExample:
+    """The worked example from the paper, §2."""
+
+    def test_bad_cycle_rejected_fast_and_brute(self):
+        n, bad = paper_example_blocks()["bad"]
+        assert not is_drc_routable(n, bad)
+        assert brute_force_routing(n, bad) is None
+
+    def test_good_blocks_routable(self):
+        for name in ("ring", "tri1", "tri2"):
+            n, blk = paper_example_blocks()[name]
+            assert is_drc_routable(n, blk)
+            assert brute_force_routing(n, blk) is not None
+
+    def test_route_block_raises_on_bad(self):
+        n, bad = paper_example_blocks()["bad"]
+        with pytest.raises(RoutingError):
+            route_block(n, bad)
+
+
+class TestRouteBlock:
+    def test_routing_tiles_ring(self):
+        routing = route_block(8, CycleBlock((0, 3, 5)))
+        assert routing.uses_all_links()
+        assert routing.total_length == 8
+
+    def test_routing_serves_every_request(self):
+        blk = CycleBlock((1, 4, 6, 7))
+        routing = route_block(9, blk)
+        assert sorted(routing.requests) == sorted(blk.edges())
+
+    def test_routing_edge_disjoint_by_construction(self):
+        routing = route_block(12, CycleBlock((0, 2, 5, 9)))
+        seen = set()
+        for arc in routing.arcs:
+            links = set(arc.links())
+            assert not links & seen
+            seen |= links
+
+    def test_reflected_listing_routable(self):
+        assert is_drc_routable(9, CycleBlock((7, 4, 1)))
+        routing = route_block(9, CycleBlock((7, 4, 1)))
+        assert routing.uses_all_links()
+
+
+@given(st.integers(4, 12), st.data())
+@settings(max_examples=300, deadline=None)
+def test_fast_predicate_matches_bruteforce(n, data):
+    """THE ring-DRC lemma, empirically: circular order ⟺ an
+    edge-disjoint routing exists (exhaustive orientation search)."""
+    k = data.draw(st.integers(3, min(n, 6)))
+    verts = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+    )
+    blk = CycleBlock(tuple(verts))
+    assert is_drc_routable(n, blk) == (brute_force_routing(n, blk) is not None)
+
+
+@given(st.integers(4, 14), st.data())
+@settings(max_examples=150, deadline=None)
+def test_convex_routing_saturates_every_link(n, data):
+    """Each DRC subnetwork uses all n links exactly once — the paper's
+    half-capacity design point."""
+    k = data.draw(st.integers(3, min(n, 7)))
+    verts = sorted(
+        data.draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True))
+    )
+    routing = route_block(n, CycleBlock(tuple(verts)))
+    assert routing.uses_all_links()
+    used = [link for arc in routing.arcs for link in arc.links()]
+    assert len(used) == n and len(set(used)) == n

@@ -1,0 +1,149 @@
+"""Tests for the closed forms and the lower-bound certificates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import instance_lower_bound, lower_bound
+from repro.core.formulas import (
+    counting_bound,
+    cycle_cover_lower_bound,
+    optimal_excess,
+    rho,
+    rho_lambda_lower_bound,
+    theorem_cycle_mix,
+    triangle_covering_number,
+)
+from repro.traffic.instances import all_to_all, from_requests, lambda_all_to_all
+from repro.util import circular
+
+
+class TestRho:
+    def test_paper_values(self):
+        # Theorem 1: n = 2p+1 → p(p+1)/2.
+        assert rho(3) == 1
+        assert rho(5) == 3
+        assert rho(7) == 6
+        assert rho(9) == 10
+        assert rho(21) == 55
+        # Theorem 2: n = 2p → ⌈(p²+1)/2⌉.
+        assert rho(6) == 5
+        assert rho(8) == 9
+        assert rho(10) == 13
+        assert rho(12) == 19
+        # The paper's own K4 example needs 3 cycles.
+        assert rho(4) == 3
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            rho(2)
+
+    @given(st.integers(1, 300))
+    def test_odd_closed_form(self, p):
+        assert rho(2 * p + 1) == p * (p + 1) // 2
+
+    @given(st.integers(2, 300))
+    def test_even_closed_form(self, p):
+        assert rho(2 * p) == (p * p + 1 + 1) // 2
+
+    @given(st.integers(3, 400))
+    def test_monotone(self, n):
+        assert rho(n + 1) >= rho(n) - 1  # never drops by more than the parity wiggle
+        assert rho(n + 2) > rho(n)
+
+
+class TestMixAndExcess:
+    def test_theorem1_mix(self):
+        for p in range(1, 30):
+            mix = theorem_cycle_mix(2 * p + 1)
+            assert mix[3] == p
+            assert mix[4] == p * (p - 1) // 2
+            assert 3 * mix[3] + 4 * mix[4] == circular.n_chords(2 * p + 1)
+
+    def test_theorem2_mix_0mod4(self):
+        for q in range(2, 20):
+            mix = theorem_cycle_mix(4 * q)
+            assert mix == {3: 4, 4: 2 * q * q - 3}
+            assert mix[3] + mix[4] == rho(4 * q)
+
+    def test_theorem2_mix_2mod4(self):
+        for q in range(1, 20):
+            mix = theorem_cycle_mix(4 * q + 2)
+            assert mix == {3: 2, 4: 2 * q * q + 2 * q - 1}
+            assert mix[3] + mix[4] == rho(4 * q + 2)
+
+    def test_small_cases(self):
+        assert theorem_cycle_mix(3) == {3: 1, 4: 0}
+        assert theorem_cycle_mix(4) == {3: 2, 4: 1}
+        assert theorem_cycle_mix(5) == {3: 2, 4: 1}
+
+    def test_excess(self):
+        assert optimal_excess(7) == 0
+        assert optimal_excess(9) == 0
+        assert optimal_excess(4) == 4
+        for n in (6, 8, 10, 12, 26, 40):
+            assert optimal_excess(n) == n // 2
+
+    @given(st.integers(3, 200))
+    def test_mix_slots_account_for_edges_plus_excess(self, n):
+        mix = theorem_cycle_mix(n)
+        assert 3 * mix[3] + 4 * mix[4] == circular.n_chords(n) + optimal_excess(n)
+
+
+class TestBounds:
+    def test_counting_bound_odd_tight(self):
+        for p in range(1, 40):
+            assert counting_bound(2 * p + 1) == rho(2 * p + 1)
+
+    def test_lower_bound_equals_rho_everywhere(self):
+        """The reconstructed bounds certify the formulas for every n —
+        combined with the constructions this *proves* both theorems."""
+        for n in range(3, 120):
+            assert lower_bound(n).value == rho(n)
+
+    def test_parity_argument_only_for_p_even(self):
+        names = {a.name for a in lower_bound(12).arguments}
+        assert "parity" in names
+        names = {a.name for a in lower_bound(10).arguments}
+        assert "parity" not in names
+
+    def test_explain_mentions_best(self):
+        cert = lower_bound(12)
+        text = cert.explain()
+        assert "ρ(12) ≥ 19" in text
+        assert cert.best_argument().value == 19
+
+    def test_instance_lower_bound_all_to_all_matches_counting(self):
+        for n in (5, 8, 11):
+            assert instance_lower_bound(all_to_all(n)).value == counting_bound(n)
+
+    def test_instance_lower_bound_sparse(self):
+        inst = from_requests(8, [(0, 4), (1, 5)])
+        assert instance_lower_bound(inst).value == 1
+
+    def test_instance_lower_bound_lambda(self):
+        for n in (5, 7):
+            for lam in (2, 3):
+                assert (
+                    instance_lower_bound(lambda_all_to_all(n, lam)).value
+                    == rho_lambda_lower_bound(n, lam)
+                )
+
+
+class TestBaselineFormulas:
+    def test_triangle_covering_number_cited_values(self):
+        # ⌈n/3·⌈(n−1)/2⌉⌉ from the paper's refs [6, 7].
+        assert triangle_covering_number(7) == 7
+        assert triangle_covering_number(9) == 12
+        assert triangle_covering_number(13) == 26
+
+    def test_cycle_cover_lower_bound(self):
+        assert cycle_cover_lower_bound(8, 4) >= 28 // 4
+        with pytest.raises(ValueError):
+            cycle_cover_lower_bound(8, 2)
+
+    def test_rho_lambda_lb_scales(self):
+        assert rho_lambda_lower_bound(7, 1) == rho(7)
+        assert rho_lambda_lower_bound(7, 3) == 3 * rho(7)

@@ -1,0 +1,102 @@
+"""Tests for dihedral symmetry transforms of blocks and coverings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import CycleBlock
+from repro.core.construction import optimal_covering
+from repro.core.transforms import (
+    canonical_covering_key,
+    coverings_equivalent,
+    dihedral_orbit,
+    reflect_block,
+    reflect_covering,
+    rotate_block,
+    rotate_covering,
+)
+from repro.core.verify import verify_covering
+
+
+class TestBlockTransforms:
+    def test_rotate(self):
+        assert rotate_block(7, CycleBlock((0, 2, 5)), 3).vertices == (3, 5, 1)
+
+    def test_reflect(self):
+        assert reflect_block(7, CycleBlock((0, 2, 5)), 0) == CycleBlock((0, 5, 2))
+
+    def test_rotation_preserves_convexity(self):
+        blk = CycleBlock((0, 2, 5, 6))
+        for shift in range(8):
+            assert rotate_block(8, blk, shift).is_convex(8)
+
+    def test_reflection_preserves_convexity(self):
+        blk = CycleBlock((0, 2, 5, 6))
+        for axis in range(8):
+            assert reflect_block(8, blk, axis).is_convex(8)
+
+    def test_nonconvex_stays_nonconvex(self):
+        bad = CycleBlock((0, 2, 3, 1))
+        for shift in range(4):
+            assert not rotate_block(4, bad, shift).is_convex(4)
+
+
+class TestCoveringTransforms:
+    @pytest.mark.parametrize("n", (7, 10))
+    def test_rotation_preserves_validity(self, n):
+        cov = optimal_covering(n)
+        for shift in (1, n // 2, n - 1):
+            rotated = rotate_covering(cov, shift)
+            assert verify_covering(rotated).valid
+            assert rotated.num_blocks == cov.num_blocks
+            assert rotated.excess() == cov.excess()
+
+    @pytest.mark.parametrize("n", (7, 10))
+    def test_reflection_preserves_validity(self, n):
+        cov = optimal_covering(n)
+        reflected = reflect_covering(cov, 2)
+        assert verify_covering(reflected).valid
+        assert reflected.size_histogram == cov.size_histogram
+
+    def test_equivalence_exact(self):
+        cov = optimal_covering(7)
+        shuffled = cov.with_blocks(()).__class__(7, tuple(reversed(cov.blocks)))
+        assert coverings_equivalent(cov, shuffled)
+
+    def test_equivalence_up_to_symmetry(self):
+        cov = optimal_covering(9)
+        rotated = rotate_covering(cov, 4)
+        assert not coverings_equivalent(cov, rotated)  # different as multisets
+        assert coverings_equivalent(cov, rotated, up_to_symmetry=True)
+
+    def test_inequivalent_coverings(self):
+        a = optimal_covering(7)
+        b = a.without_block(0).with_blocks([CycleBlock((0, 1, 2))])
+        assert not coverings_equivalent(a, b, up_to_symmetry=True)
+
+    def test_different_n_never_equivalent(self):
+        assert not coverings_equivalent(optimal_covering(7), optimal_covering(9))
+
+    def test_orbit_size(self):
+        cov = optimal_covering(6)
+        orbit = list(dihedral_orbit(cov))
+        assert len(orbit) == 12  # 2n transforms
+
+    def test_canonical_key_order_free(self):
+        cov = optimal_covering(8)
+        rev = cov.__class__(8, tuple(reversed(cov.blocks)))
+        assert canonical_covering_key(cov) == canonical_covering_key(rev)
+
+
+@given(st.integers(5, 13), st.data())
+@settings(max_examples=40, deadline=None)
+def test_random_rotations_preserve_everything(n, data):
+    cov = optimal_covering(n)
+    shift = data.draw(st.integers(0, n - 1))
+    axis = data.draw(st.integers(0, n - 1))
+    for image in (rotate_covering(cov, shift), reflect_covering(cov, axis)):
+        assert image.covers()
+        assert image.is_drc_feasible()
+        assert image.size_histogram == cov.size_histogram

@@ -1,0 +1,168 @@
+"""Tests for the paper's future-work extensions: λK_n and topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import CycleBlock
+from repro.core.formulas import rho
+from repro.extensions.lambda_fold import (
+    lambda_covering,
+    lambda_gap,
+    lambda_lower_bound,
+    repetition_covering,
+)
+from repro.extensions.topologies import (
+    drc_route_on_graph,
+    greedy_graph_covering,
+    grid_network,
+    is_drc_routable_on_graph,
+    ring_network_graph,
+    torus_network,
+    tree_of_rings,
+)
+from repro.traffic.instances import lambda_all_to_all
+from repro.util.errors import ConstructionError, TopologyError
+
+
+class TestLambdaFold:
+    @pytest.mark.parametrize("n,lam", [(5, 2), (7, 3), (6, 2), (8, 3), (9, 2)])
+    def test_covering_valid(self, n, lam):
+        cov = lambda_covering(n, lam)
+        assert cov.covers(lambda_all_to_all(n, lam))
+        assert cov.is_drc_feasible()
+
+    def test_odd_repetition_is_certified_optimal(self):
+        """For odd n the counting bound is a multiple of n, so λ copies
+        of the Theorem 1 decomposition are provably optimal."""
+        for n in (5, 7, 9):
+            for lam in (2, 3, 4):
+                assert lambda_gap(n, lam) == 0
+
+    def test_even_gap_bounded(self):
+        for n in (6, 8, 10):
+            for lam in (2, 3):
+                gap = lambda_gap(n, lam)
+                assert 0 <= gap <= lam
+
+    def test_lower_bound_components(self):
+        cert = lambda_lower_bound(8, 3)  # λ odd, p even: parity applies
+        assert {a.name for a in cert.arguments} == {"counting", "diameter", "parity"}
+        cert = lambda_lower_bound(8, 2)  # λ even: parity vanishes
+        assert "parity" not in {a.name for a in cert.arguments}
+
+    def test_lambda_one_matches_base(self):
+        assert lambda_lower_bound(7, 1).value == rho(7)
+        assert lambda_covering(7, 1).num_blocks == rho(7)
+
+    def test_repetition_counts(self):
+        assert repetition_covering(9, 3).num_blocks == 3 * rho(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lambda_covering(7, 0)
+        with pytest.raises(ValueError):
+            lambda_lower_bound(2, 1)
+
+
+class TestTopologyGenerators:
+    def test_ring(self):
+        net = ring_network_graph(6)
+        assert net.is_ring()
+        with pytest.raises(TopologyError):
+            ring_network_graph(2)
+
+    def test_tree_of_rings_shares_nodes(self):
+        net = tree_of_rings((5, 5))
+        assert net.num_nodes == 9  # 5 + 5 − 1 shared
+        assert net.num_links == 10
+        assert net.is_two_edge_connected()
+        assert not net.is_ring()
+
+    def test_tree_of_rings_three(self):
+        net = tree_of_rings((4, 4, 4))
+        assert net.num_nodes == 10
+        assert net.is_two_edge_connected()
+
+    def test_grid_and_torus(self):
+        grid = grid_network(3, 4)
+        assert grid.num_nodes == 12
+        assert grid.num_links == 17
+        torus = torus_network(3, 3)
+        assert torus.num_nodes == 9
+        assert torus.num_links == 18
+        assert torus.is_two_edge_connected()
+
+    def test_generator_validation(self):
+        with pytest.raises(TopologyError):
+            tree_of_rings(())
+        with pytest.raises(TopologyError):
+            tree_of_rings((2,))
+        with pytest.raises(TopologyError):
+            grid_network(1, 5)
+        with pytest.raises(TopologyError):
+            torus_network(2, 3)
+
+
+class TestGeneralDrc:
+    def test_matches_ring_characterisation(self):
+        """On a ring, the general-graph router agrees with the exact
+        circular-order characterisation — anchoring the generalisation."""
+        from repro.core.drc import is_drc_routable
+
+        net = ring_network_graph(6)
+        cases = [(0, 2, 4), (0, 1, 3, 4), (0, 2, 1, 4), (0, 3, 1, 4)]
+        for vs in cases:
+            blk = CycleBlock(vs)
+            assert is_drc_routable_on_graph(net, blk) == is_drc_routable(6, blk)
+
+    def test_tree_unique_paths(self):
+        import networkx as nx
+
+        from repro.rings.topology import PhysicalNetwork
+
+        star = PhysicalNetwork(nx.star_graph(4), name="star")
+        # All paths cross the hub: a triangle of leaf requests reuses
+        # hub edges and cannot be routed edge-disjointly.
+        assert not is_drc_routable_on_graph(star, CycleBlock((1, 2, 3)))
+        # A cycle through the hub itself also reuses hub edges.
+        assert not is_drc_routable_on_graph(star, CycleBlock((0, 1, 2)))
+
+    def test_torus_has_more_room(self):
+        net = torus_network(3, 3)
+        blk = CycleBlock((0, 4, 8))
+        routing = drc_route_on_graph(net, blk)
+        assert routing is not None
+        used = set()
+        for path in routing.values():
+            for u, v in zip(path, path[1:]):
+                key = (min(u, v), max(u, v))
+                assert key not in used
+                used.add(key)
+
+    def test_endpoint_validation(self):
+        net = ring_network_graph(5)
+        with pytest.raises(TopologyError):
+            drc_route_on_graph(net, CycleBlock((0, 1, 9)))
+
+
+class TestGreedyGraphCovering:
+    @pytest.mark.parametrize(
+        "factory", [lambda: ring_network_graph(7), lambda: tree_of_rings((4, 4)),
+                    lambda: grid_network(3, 3), lambda: torus_network(3, 3)]
+    )
+    def test_covers_all_pairs_routably(self, factory):
+        net = factory()
+        blocks = greedy_graph_covering(net)
+        n = net.num_nodes
+        covered = {e for blk in blocks for e in blk.edges()}
+        assert covered == {(a, b) for a in range(n) for b in range(a + 1, n)}
+        assert all(is_drc_routable_on_graph(net, blk) for blk in blocks)
+
+    def test_rejects_non_survivable(self):
+        import networkx as nx
+
+        from repro.rings.topology import PhysicalNetwork
+
+        with pytest.raises(ConstructionError):
+            greedy_graph_covering(PhysicalNetwork(nx.path_graph(4)))

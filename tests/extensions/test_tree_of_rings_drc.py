@@ -1,0 +1,106 @@
+"""Tests for the tree-of-rings DRC characterisation — including the
+property test against the exponential path-assignment router, which is
+the empirical proof of the extended lemma."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import CycleBlock
+from repro.core.drc import is_drc_routable
+from repro.extensions.topologies import drc_route_on_graph, ring_network_graph, tree_of_rings
+from repro.extensions.tree_of_rings_drc import (
+    drc_on_tree_of_rings,
+    gate_projection,
+    is_tree_of_rings,
+    rings_of,
+)
+from repro.rings.topology import PhysicalNetwork
+from repro.util.errors import TopologyError
+
+
+class TestRecognition:
+    def test_tree_of_rings_recognised(self):
+        assert is_tree_of_rings(tree_of_rings((4, 5)))
+        assert is_tree_of_rings(ring_network_graph(6))
+
+    def test_bridge_rejected(self):
+        g = nx.cycle_graph(4)
+        g.add_edge(0, 10)  # pendant bridge
+        assert not is_tree_of_rings(PhysicalNetwork(g))
+
+    def test_grid_rejected(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        assert not is_tree_of_rings(PhysicalNetwork(g))
+
+    def test_rings_enumerated(self):
+        net = tree_of_rings((4, 4, 4))
+        rings = rings_of(net)
+        assert len(rings) == 3
+        assert all(len(r) == 4 for r in rings)
+
+    def test_predicate_requires_tree_of_rings(self):
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(3, 3))
+        with pytest.raises(TopologyError):
+            drc_on_tree_of_rings(PhysicalNetwork(g), CycleBlock((0, 1, 2)))
+
+
+class TestGateProjection:
+    def test_far_vertices_project_to_cut_node(self):
+        net = tree_of_rings((4, 4))  # ring 1: 0..3, ring 2 shares node 2
+        rings = rings_of(net)
+        ring1 = next(tuple(r) for r in rings if 0 in r)
+        # A block entirely in ring 2 projects to the cut node of ring 1.
+        far = [v for v in net.graph.nodes() if v not in ring1]
+        blk = CycleBlock(tuple(far[:3]))
+        assert len(gate_projection(net, ring1, blk)) <= 1
+
+    def test_local_block_projects_to_itself(self):
+        net = tree_of_rings((5, 4))
+        rings = rings_of(net)
+        ring1 = next(tuple(r) for r in rings if 0 in r)
+        blk = CycleBlock(tuple(sorted(ring1)[:3]))
+        assert set(gate_projection(net, ring1, blk)) == set(blk.vertices)
+
+
+class TestCharacterisation:
+    def test_matches_ring_lemma_on_single_ring(self):
+        net = ring_network_graph(7)
+        cases = [(0, 2, 4), (0, 1, 3, 5), (0, 2, 1, 4), (1, 3, 2, 6)]
+        for vs in cases:
+            blk = CycleBlock(vs)
+            assert drc_on_tree_of_rings(net, blk) == is_drc_routable(7, blk)
+
+    def test_cross_ring_cycle(self):
+        net = tree_of_rings((4, 4))
+        # Nodes 0..3 form ring 1; ring 2 = {2, 4, 5, 6} sharing node 2.
+        blk = CycleBlock((0, 1, 4, 5))
+        assert drc_on_tree_of_rings(net, blk) == (
+            drc_route_on_graph(net, blk) is not None
+        )
+
+    @given(st.sampled_from([(4, 4), (5, 5), (4, 4, 4), (3, 5)]), st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_lemma_matches_bruteforce(self, sizes, data):
+        """The extended DRC lemma, empirically: per-ring circular-order
+        gate projections ⟺ an edge-disjoint path system exists."""
+        net = tree_of_rings(sizes)
+        nodes = sorted(net.graph.nodes())
+        k = data.draw(st.integers(3, 4))
+        vs = tuple(
+            data.draw(
+                st.lists(st.sampled_from(nodes), min_size=k, max_size=k, unique=True)
+            )
+        )
+        blk = CycleBlock(vs)
+        fast = drc_on_tree_of_rings(net, blk)
+        brute = drc_route_on_graph(net, blk) is not None
+        assert fast == brute
+
+    def test_vertex_outside_network(self):
+        net = tree_of_rings((4, 4))
+        with pytest.raises(TopologyError):
+            drc_on_tree_of_rings(net, CycleBlock((0, 1, 99)))

@@ -1,0 +1,132 @@
+"""Tests for arcs, ring routings and the capacity ledger."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.capacity import LinkLoadLedger
+from repro.rings.routing import Arc, RingRouting, arcs_edge_disjoint, route_request_shortest
+from repro.util.errors import CapacityError, RoutingError
+
+
+class TestArc:
+    def test_links_and_length(self):
+        arc = Arc(8, 6, 1)
+        assert arc.length == 3
+        assert list(arc.links()) == [6, 7, 0]
+        assert arc.nodes() == [6, 7, 0, 1]
+
+    def test_request_normalised(self):
+        assert Arc(8, 6, 1).request == (1, 6)
+
+    def test_uses_link(self):
+        arc = Arc(8, 6, 1)
+        assert arc.uses_link(7) and arc.uses_link(0)
+        assert not arc.uses_link(1) and not arc.uses_link(5)
+
+    def test_reversed_complements(self):
+        arc = Arc(9, 2, 6)
+        rev = arc.reversed_arc()
+        assert arc.length + rev.length == 9
+        assert set(arc.links()) | set(rev.links()) == set(range(9))
+        assert not set(arc.links()) & set(rev.links())
+
+    def test_shortest(self):
+        assert route_request_shortest(10, 0, 3).length == 3
+        assert route_request_shortest(10, 0, 8).length == 2
+        assert Arc(10, 0, 5).is_shortest()
+        assert not Arc(10, 0, 7).is_shortest()
+
+    def test_degenerate(self):
+        with pytest.raises(RoutingError):
+            Arc(5, 2, 2)
+
+    @given(st.integers(3, 40), st.data())
+    @settings(max_examples=150)
+    def test_link_set_size_is_length(self, n, data):
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        if a == b:
+            return
+        arc = Arc(n, a, b)
+        assert len(arc.link_set) == arc.length
+
+
+class TestRingRouting:
+    def test_valid_routing(self):
+        arcs = {(0, 2): Arc(6, 0, 2), (2, 4): Arc(6, 2, 4), (0, 4): Arc(6, 4, 0)}
+        routing = RingRouting(6, arcs)
+        assert routing.uses_all_links()
+        assert routing.total_length == 6
+        assert len(routing) == 3
+
+    def test_conflict_detected(self):
+        with pytest.raises(RoutingError, match="edge-disjoint"):
+            RingRouting(6, {(0, 2): Arc(6, 0, 2), (1, 3): Arc(6, 1, 3)})
+
+    def test_wrong_ring(self):
+        with pytest.raises(RoutingError):
+            RingRouting(6, {(0, 2): Arc(7, 0, 2)})
+
+    def test_arc_request_mismatch(self):
+        with pytest.raises(RoutingError):
+            RingRouting(6, {(0, 3): Arc(6, 0, 2)})
+
+    def test_arc_for_missing(self):
+        routing = RingRouting(6, {(0, 2): Arc(6, 0, 2)})
+        with pytest.raises(RoutingError):
+            routing.arc_for((1, 3))
+
+    def test_arcs_edge_disjoint_helper(self):
+        assert arcs_edge_disjoint([Arc(6, 0, 2), Arc(6, 2, 4)])
+        assert not arcs_edge_disjoint([Arc(6, 0, 3), Arc(6, 2, 4)])
+
+
+class TestLedger:
+    def test_charge_and_saturate(self):
+        ledger = LinkLoadLedger(5)
+        ledger.charge(Arc(5, 0, 3))
+        ledger.charge(Arc(5, 3, 0))
+        assert ledger.is_saturated()
+        assert ledger.max_load == 1
+        assert ledger.total_load == 5
+
+    def test_oversubscription(self):
+        ledger = LinkLoadLedger(5)
+        ledger.charge(Arc(5, 0, 3))
+        with pytest.raises(CapacityError):
+            ledger.charge(Arc(5, 2, 4))
+
+    def test_capacity_two(self):
+        ledger = LinkLoadLedger(5, capacity=2)
+        ledger.charge(Arc(5, 0, 3))
+        ledger.charge(Arc(5, 0, 3))
+        assert ledger.load(1) == 2
+        with pytest.raises(CapacityError):
+            ledger.charge(Arc(5, 0, 1))
+
+    def test_release(self):
+        ledger = LinkLoadLedger(6)
+        arc = Arc(6, 1, 4)
+        ledger.charge(arc)
+        ledger.release(arc)
+        assert ledger.total_load == 0
+        with pytest.raises(CapacityError):
+            ledger.release(arc)
+
+    def test_charge_all_and_reset(self):
+        ledger = LinkLoadLedger(6)
+        ledger.charge_all([Arc(6, 0, 3), Arc(6, 3, 0)])
+        assert ledger.is_saturated()
+        ledger.reset()
+        assert ledger.total_load == 0
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            LinkLoadLedger(2)
+        with pytest.raises(CapacityError):
+            LinkLoadLedger(5, capacity=0)
+        with pytest.raises(CapacityError):
+            LinkLoadLedger(5).charge(Arc(6, 0, 3))

@@ -1,0 +1,66 @@
+"""Tests for dual-failure analysis (beyond the paper's design point)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.survivability.dual import analyze_dual_failures
+from repro.util.errors import ReproError
+from repro.wdm.design import design_ring_network
+
+
+class TestDualFailures:
+    @pytest.mark.parametrize("n", (6, 9, 12))
+    def test_accounting_consistent(self, n):
+        design = design_ring_network(n)
+        report = analyze_dual_failures(design)
+        assert len(report.outcomes) == n * (n - 1) // 2
+        total_requests = len(design.request_routes)
+        for outcome in report.outcomes:
+            assert outcome.total == total_requests
+            assert 0.0 <= outcome.survival_rate <= 1.0
+
+    def test_single_failure_design_point_degrades(self):
+        """Dual failures must lose something: two cuts split the ring in
+        two, physically disconnecting every pair straddling the halves."""
+        report = analyze_dual_failures(design_ring_network(10))
+        assert report.worst_survival < 1.0
+        # But most traffic still survives on average.
+        assert report.mean_survival > 0.5
+
+    def test_adjacent_cuts_are_mildest(self):
+        """Cutting two adjacent fibers isolates no pair except those
+        terminating between them — survival is maximal among pairs."""
+        design = design_ring_network(9)
+        report = analyze_dual_failures(design)
+        by_pair = {o.links: o for o in report.outcomes}
+        adjacent = by_pair[(0, 1)]
+        # Only requests involving node 1 (between the cuts) can be lost.
+        assert adjacent.lost_disconnected <= design.n - 1
+        opposite = by_pair[(0, design.n // 2)]
+        assert opposite.lost_disconnected >= adjacent.lost_disconnected
+
+    def test_disconnection_matches_cut_structure(self):
+        """A request is lost-disconnected iff the two cuts separate its
+        endpoints on the ring — cross-checked combinatorially."""
+        n = 8
+        design = design_ring_network(n)
+        report = analyze_dual_failures(design)
+        for outcome in report.outcomes:
+            f1, f2 = outcome.links
+            # Nodes strictly 'inside' the arc f1+1..f2 vs outside.
+            inside = {v % n for v in range(f1 + 1, f2 + 1)}
+            expected = sum(
+                1
+                for (a, b) in design.request_routes
+                if (a in inside) != (b in inside)
+            )
+            assert outcome.lost_disconnected == expected
+
+    def test_summary(self):
+        report = analyze_dual_failures(design_ring_network(6))
+        assert "dual failures" in report.summary()
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(ReproError):
+            analyze_dual_failures(design_ring_network(3))

@@ -1,0 +1,85 @@
+"""Tests for the restoration-dimensioning baseline (paper §1 contrast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.survivability.restoration import (
+    dimension_restoration,
+    protection_vs_restoration,
+)
+from repro.traffic.instances import from_requests
+from repro.util import circular
+
+
+class TestDimensioning:
+    @pytest.mark.parametrize("n", (6, 9, 12))
+    def test_working_load_equals_total_shortest_distance(self, n):
+        r = dimension_restoration(n)
+        assert r.total_working == circular.total_chord_distance(n)
+
+    def test_spare_covers_every_failure(self):
+        """Recompute each failure's reroute load and check the plan's
+        spare dominates it on every surviving link."""
+        n = 8
+        r = dimension_restoration(n)
+        from repro.rings.routing import route_request_shortest
+
+        arcs = {
+            (a, b): route_request_shortest(n, a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+        }
+        for f in range(n):
+            extra = [0] * n
+            for arc in arcs.values():
+                if arc.uses_link(f):
+                    for link in arc.reversed_arc().links():
+                        extra[link] += 1
+            for link in range(n):
+                if link != f:
+                    assert r.spare_required[link] >= extra[link]
+
+    def test_ring_restoration_saves_nothing(self):
+        """The headline finding: on a ring the pooled spare equals the
+        working load — restoration has no capacity advantage."""
+        for n in (7, 10, 13):
+            r = dimension_restoration(n)
+            assert r.spare_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_sparse_instance(self):
+        inst = from_requests(8, [(0, 1), (4, 5)])
+        r = dimension_restoration(8, inst)
+        assert r.total_working == 2
+        # Each failure reroutes at most one of the two short demands.
+        assert r.worst_failure_reroutes == 1
+
+    def test_instance_mismatch(self):
+        with pytest.raises(ValueError):
+            dimension_restoration(8, from_requests(7, [(0, 1)]))
+
+    def test_summary(self):
+        assert "restoration" in dimension_restoration(6).summary()
+
+
+class TestComparison:
+    @pytest.mark.parametrize("n", (9, 12))
+    def test_shape_of_paper_claim(self, n):
+        c = protection_vs_restoration(n)
+        # Both schemes carry 100%-ish spare on a ring...
+        assert c["protection_overhead"] == 1.0
+        assert c["restoration_overhead"] >= 0.9
+        # ...but protection's blast radius is bounded by the covering
+        # (one reroute per subnetwork) and switching is local.
+        assert c["protection_reroutes_per_failure"] <= c["restoration_reroutes_worst"] + 1
+
+    def test_odd_ring_working_capacity_matches(self):
+        """For odd n the exact decomposition's working capacity equals
+        shortest-path working capacity (every block is tight)."""
+        c = protection_vs_restoration(11)
+        assert c["protection_working"] == c["restoration_working"]
+
+    def test_even_ring_small_overbuild(self):
+        c = protection_vs_restoration(8)
+        overbuild = c["protection_working"] - c["restoration_working"]
+        assert 0 < overbuild <= 8  # one extra wavelength-ring at most

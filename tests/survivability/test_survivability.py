@@ -1,0 +1,105 @@
+"""Tests for failure simulation and automatic protection switching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.survivability.failures import (
+    LinkFailure,
+    NodeFailure,
+    all_link_failures,
+    all_node_failures,
+)
+from repro.survivability.metrics import evaluate_survivability
+from repro.survivability.protection import ProtectionSimulator
+from repro.util.errors import ReproError
+from repro.wdm.design import design_ring_network
+
+
+class TestFailureEvents:
+    def test_link_failure_endpoints(self):
+        assert LinkFailure(6, 5).endpoints == (5, 0)
+
+    def test_node_failure_dead_links(self):
+        assert NodeFailure(6, 0).dead_links == (5, 0)
+        assert NodeFailure(6, 3).dead_links == (2, 3)
+
+    def test_sweep_generators(self):
+        assert len(all_link_failures(7)) == 7
+        assert len(all_node_failures(7)) == 7
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFailure(5, 5)
+
+
+class TestLinkFailures:
+    def test_single_cut_fully_recovered(self, design11):
+        sim = ProtectionSimulator(design11)
+        outcome = sim.simulate_link_failure(LinkFailure(11, 4))
+        assert outcome.fully_recovered
+        assert outcome.protection_conflicts == 0
+        # Exactly one request per subnetwork crosses any given link.
+        assert outcome.affected_requests == design11.covering.num_blocks
+
+    def test_reroute_avoids_failed_link(self, design11):
+        sim = ProtectionSimulator(design11)
+        outcome = sim.simulate_link_failure(LinkFailure(11, 0))
+        for ev in outcome.reroutes:
+            assert not ev.protection_arc.uses_link(0)
+            assert ev.working_arc.uses_link(0)
+            assert ev.protection_arc.request == ev.request
+
+    def test_protection_lengths_complement(self, design8):
+        sim = ProtectionSimulator(design8)
+        outcome = sim.simulate_link_failure(LinkFailure(8, 3))
+        for ev in outcome.reroutes:
+            assert ev.working_arc.length + ev.protection_arc.length == 8
+            assert ev.stretch >= 1.0 or ev.working_arc.length > 4
+
+    def test_sweep_all_links(self, design8):
+        sim = ProtectionSimulator(design8)
+        outcomes = sim.sweep_link_failures()
+        assert len(outcomes) == 8
+        assert all(o.fully_recovered for o in outcomes)
+        assert len(sim.history) == 8
+
+    def test_wrong_ring_rejected(self, design8):
+        sim = ProtectionSimulator(design8)
+        with pytest.raises(ReproError):
+            sim.simulate_link_failure(LinkFailure(9, 0))
+
+
+class TestNodeFailures:
+    def test_terminated_counted(self, design11):
+        sim = ProtectionSimulator(design11)
+        outcome = sim.simulate_node_failure(NodeFailure(11, 3))
+        assert outcome.terminated_requests == 10  # degree of the node in K_11
+        assert outcome.recovered_requests + outcome.unrecovered_requests <= 45
+
+    def test_transit_survival_reported(self, design8):
+        sim = ProtectionSimulator(design8)
+        outcome = sim.simulate_node_failure(NodeFailure(8, 0))
+        assert 0.0 <= outcome.transit_survival_rate <= 1.0
+
+    def test_wrong_ring_rejected(self, design8):
+        sim = ProtectionSimulator(design8)
+        with pytest.raises(ReproError):
+            sim.simulate_node_failure(NodeFailure(9, 0))
+
+
+class TestMetrics:
+    @pytest.mark.parametrize("n", (6, 9, 12))
+    def test_full_survivability(self, n):
+        report = evaluate_survivability(design_ring_network(n))
+        assert report.fully_survivable
+        assert report.failures_simulated == n
+        assert report.capacity_overhead == 1.0
+        # One reroute per subnetwork per failure.
+        assert report.mean_affected_per_failure == report.num_subnetworks
+        assert report.total_reroutes == n * report.num_subnetworks
+
+    def test_summary_text(self, design8):
+        report = evaluate_survivability(design8)
+        assert "recovered" in report.summary()
+        assert "overhead" in report.summary()

@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E10" in out
+
+    def test_rho_range(self, capsys):
+        assert main(["--rho", "4..8"]) == 0
+        out = capsys.readouterr().out
+        assert "ρ(n)" in out
+        for n, r in [(4, 3), (5, 3), (6, 5), (7, 6), (8, 9)]:
+            assert f"{n}" in out and f"{r}" in out
+
+    def test_rho_commas(self, capsys):
+        assert main(["--rho", "5,9"]) == 0
+        out = capsys.readouterr().out
+        assert "10" in out  # ρ(9)
+
+    def test_single_experiment(self, capsys):
+        assert main(["E3"]) == 0
+        out = capsys.readouterr().out
+        assert "paper example" in out
+        assert "(1, 3, 4, 2)" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["E1", "E10"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "exact solver" in out
+
+
+@pytest.mark.slow
+class TestCliFull:
+    def test_default_runs_everything(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for key in ("E1", "E2", "E3", "E4", "E5", "E6", "E8", "E9", "E10"):
+            assert f"# {key}" in out

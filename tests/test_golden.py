@@ -1,0 +1,45 @@
+"""Golden regression tests: pin the exact constructions for small n.
+
+The constructions are deterministic; these snapshots protect users who
+persist coverings (via :mod:`repro.io`) from silent construction
+changes, and force any intentional algorithm change to be visible in
+review.  (Validity and optimality are tested elsewhere — this file is
+purely about stability.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.construction import optimal_covering
+
+GOLDEN = {
+    5: [(0, 1, 2, 3), (0, 2, 4), (1, 3, 4)],
+    6: [(0, 1, 2, 4), (0, 2, 5), (0, 3, 5), (1, 2, 3, 4), (1, 3, 4, 5)],
+    7: [(0, 1, 3, 4), (0, 2, 3, 5), (0, 3, 6), (1, 2, 4, 5), (1, 4, 6), (2, 5, 6)],
+    8: [
+        (0, 1, 4, 5),
+        (0, 2, 4, 6),
+        (0, 3, 4),
+        (0, 4, 7),
+        (1, 2, 3, 6),
+        (1, 3, 7),
+        (1, 5, 7),
+        (2, 3, 5, 6),
+        (2, 5, 6, 7),
+    ],
+}
+
+
+@pytest.mark.parametrize("n", sorted(GOLDEN))
+def test_construction_snapshot(n):
+    cov = optimal_covering(n)
+    assert sorted(blk.canonical for blk in cov.blocks) == GOLDEN[n]
+
+
+def test_constructions_are_deterministic():
+    """Two fresh builds agree block-for-block (no hidden randomness)."""
+    for n in (9, 10, 12):
+        a = optimal_covering(n)
+        b = optimal_covering(n)
+        assert [blk.canonical for blk in a.blocks] == [blk.canonical for blk in b.blocks]

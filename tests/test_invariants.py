@@ -1,0 +1,72 @@
+"""Last-line cross-layer invariants (hypothesis).
+
+Small, sharp properties that tie layers together: protection arcs are
+exact complements, costs are monotone in blocks, wavelength plans agree
+with coverings, statistics agree with first-principles recounts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import covering_statistics
+from repro.core.construction import optimal_covering
+from repro.survivability.failures import LinkFailure
+from repro.survivability.protection import ProtectionSimulator
+from repro.util import circular
+from repro.wdm.adm import CostModel, evaluate_cost
+from repro.wdm.design import design_ring_network
+
+design_n = st.sampled_from([6, 7, 8, 9, 10, 11, 12, 13])
+
+
+@given(design_n, st.data())
+@settings(max_examples=20, deadline=None)
+def test_protection_arcs_are_exact_complements(n, data):
+    design = design_ring_network(n)
+    link = data.draw(st.integers(0, n - 1))
+    outcome = ProtectionSimulator(design).simulate_link_failure(LinkFailure(n, link))
+    assert outcome.fully_recovered
+    for ev in outcome.reroutes:
+        w, p = ev.working_arc, ev.protection_arc
+        assert w.length + p.length == n
+        assert not (w.link_set & p.link_set)
+        assert w.link_set | p.link_set == set(range(n))
+
+
+@given(design_n)
+@settings(max_examples=12, deadline=None)
+def test_cost_strictly_monotone_in_blocks(n):
+    cov = optimal_covering(n)
+    grown = cov.with_blocks([cov.blocks[0]])
+    for model in (CostModel(), CostModel(adm_port=1, transit_port=0,
+                                          wavelength=0, amplification_per_link=0)):
+        assert evaluate_cost(grown, model).total > evaluate_cost(cov, model).total
+
+
+@given(design_n)
+@settings(max_examples=12, deadline=None)
+def test_statistics_agree_with_first_principles(n):
+    cov = optimal_covering(n)
+    stats = covering_statistics(cov)
+    # Total covered slots from the distance spectrum equals Σ block sizes.
+    assert sum(stats.distance_class_coverage.values()) == cov.total_slots
+    # Required chords per class sum to |E(K_n)|.
+    assert sum(stats.distance_class_required.values()) == circular.n_chords(n)
+    # Excess recount matches the covering's own accounting.
+    assert sum(stats.excess_by_distance.values()) == cov.excess()
+    # Vertex loads sum to Σ block sizes as well (each member counted once).
+    total_load = round(stats.vertex_load_mean * n)
+    assert total_load == cov.total_slots
+
+
+@given(design_n)
+@settings(max_examples=10, deadline=None)
+def test_wavelength_plan_consistent_with_covering(n):
+    design = design_ring_network(n)
+    plan = design.plan
+    assert plan.num_wavelengths == 2 * design.covering.num_blocks
+    assert len(plan.routings) == design.covering.num_blocks
+    for blk, routing in zip(design.covering.blocks, plan.routings):
+        assert sorted(routing.requests) == sorted(blk.edges())

@@ -1,0 +1,67 @@
+"""Tests for covering persistence (JSON round-trips, corruption)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.blocks import CycleBlock
+from repro.core.construction import optimal_covering
+from repro.core.covering import Covering
+from repro.io import covering_from_json, covering_to_json, load_covering, save_covering
+from repro.util.errors import InvalidCoveringError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", (7, 10))
+    def test_memory_roundtrip(self, n):
+        cov = optimal_covering(n)
+        again = covering_from_json(covering_to_json(cov))
+        assert again.n == cov.n
+        assert again.blocks == cov.blocks
+
+    def test_file_roundtrip(self, tmp_path):
+        cov = optimal_covering(9)
+        path = save_covering(cov, tmp_path / "nested" / "k9.json", meta={"source": "test"})
+        assert path.exists()
+        again = load_covering(path, verify=True)
+        assert again.blocks == cov.blocks
+
+    def test_meta_preserved_in_document(self):
+        text = covering_to_json(optimal_covering(5), meta={"k": 1})
+        assert json.loads(text)["meta"] == {"k": 1}
+
+
+class TestCorruption:
+    def test_not_json(self):
+        with pytest.raises(InvalidCoveringError, match="JSON"):
+            covering_from_json("not json {")
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(InvalidCoveringError, match="format"):
+            covering_from_json(json.dumps({"format": "other", "version": 1}))
+
+    def test_wrong_version(self):
+        doc = json.loads(covering_to_json(optimal_covering(5)))
+        doc["version"] = 99
+        with pytest.raises(InvalidCoveringError, match="version"):
+            covering_from_json(json.dumps(doc))
+
+    def test_malformed_blocks(self):
+        doc = json.loads(covering_to_json(optimal_covering(5)))
+        doc["blocks"][0] = [0, 0, 0]
+        with pytest.raises(InvalidCoveringError):
+            covering_from_json(json.dumps(doc))
+
+    def test_verify_catches_invalid_content(self):
+        # Structurally fine JSON, but the covering misses requests.
+        bad = Covering(5, (CycleBlock((0, 1, 2)),))
+        text = covering_to_json(bad)
+        covering_from_json(text)  # parses fine without verification
+        with pytest.raises(InvalidCoveringError, match="uncovered"):
+            covering_from_json(text, verify=True)
+
+    def test_non_dict_document(self):
+        with pytest.raises(InvalidCoveringError):
+            covering_from_json(json.dumps([1, 2, 3]))

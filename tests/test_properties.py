@@ -1,0 +1,142 @@
+"""Cross-module property-based tests (hypothesis).
+
+These are the library's deepest invariants: the things that must hold
+for *every* n, every block, every covering — not just the sampled
+values the unit tests pin down.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import CycleBlock, convex_block
+from repro.core.construction import fast_covering, optimal_covering
+from repro.core.covering import Covering
+from repro.core.drc import route_block
+from repro.core.formulas import optimal_excess, rho, theorem_cycle_mix
+from repro.core.ladder import ladder_decomposition
+from repro.core.verify import verify_covering
+from repro.survivability.metrics import evaluate_survivability
+from repro.util import circular
+from repro.wdm.design import design_ring_network
+
+# Odd sizes stay cheap; even sizes ≡ 2 (mod 4) run the completion search
+# once per size (cached), so the strategy draws from a fixed small pool.
+odd_n = st.integers(1, 15).map(lambda p: 2 * p + 1)
+even_n = st.sampled_from([4, 6, 8, 10, 12, 14, 16, 18, 20, 22])
+any_n = st.one_of(odd_n, even_n)
+
+
+@given(odd_n)
+@settings(max_examples=15, deadline=None)
+def test_odd_construction_is_exact_optimal_decomposition(n):
+    cov = ladder_decomposition(n)
+    report = verify_covering(cov, expect_optimal=True, expect_exact=True)
+    assert report.valid and report.optimal
+    assert cov.num_blocks == rho(n)
+    # Each request covered exactly once.
+    assert all(c == 1 for c in cov.coverage.values())
+    assert len(cov.coverage) == circular.n_chords(n)
+
+
+@given(even_n)
+@settings(max_examples=10, deadline=None)
+def test_even_construction_matches_theorem2(n):
+    cov = optimal_covering(n)
+    assert cov.num_blocks == rho(n)
+    assert cov.excess() == optimal_excess(n)
+    mix = theorem_cycle_mix(n)
+    assert cov.num_triangles == mix[3]
+    assert cov.num_quads == mix[4]
+
+
+@given(any_n)
+@settings(max_examples=20, deadline=None)
+def test_every_construction_survives_verification(n):
+    for builder in (optimal_covering, fast_covering):
+        report = verify_covering(builder(n))
+        assert report.valid, report.problems
+
+
+@given(any_n)
+@settings(max_examples=12, deadline=None)
+def test_block_routings_partition_ring_links(n):
+    cov = optimal_covering(n)
+    for blk in cov.blocks:
+        routing = route_block(n, blk)
+        links = sorted(link for arc in routing.arcs for link in arc.links())
+        assert links == list(range(n))
+
+
+@given(st.integers(4, 30), st.data())
+@settings(max_examples=200, deadline=None)
+def test_convex_block_equals_sorted_cycle(n, data):
+    """A block is DRC-routable iff its canonical form equals the convex
+    cycle on its vertex set (two independent formulations agree)."""
+    k = data.draw(st.integers(3, min(n, 7)))
+    verts = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+    )
+    blk = CycleBlock(tuple(verts))
+    expected = blk.canonical == convex_block(tuple(verts)).canonical
+    assert blk.is_convex(n) == expected
+
+
+@given(st.integers(4, 16), st.data())
+@settings(max_examples=100, deadline=None)
+def test_covering_excess_identity(n, data):
+    """excess = total slots − distinct-covered... precisely:
+    Σ_e max(0, cov_e − 1) for all-to-all = slots − |covered chords|."""
+    num = data.draw(st.integers(1, 6))
+    blocks = []
+    for _ in range(num):
+        k = data.draw(st.integers(3, min(n, 5)))
+        verts = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+        )
+        blocks.append(convex_block(tuple(verts)))
+    cov = Covering(n, tuple(blocks))
+    assert cov.excess() == cov.total_slots - len(cov.coverage)
+
+
+@given(st.sampled_from([5, 6, 7, 8, 9, 10, 11, 12]))
+@settings(max_examples=8, deadline=None)
+def test_design_end_to_end_invariants(n):
+    design = design_ring_network(n)
+    # Every request routed; every route serves its request.
+    assert len(design.request_routes) == circular.n_chords(n)
+    for (a, b), (_, arc) in design.request_routes.items():
+        assert arc.request == (a, b)
+    # Full survivability under single fiber cuts.
+    report = evaluate_survivability(design)
+    assert report.fully_survivable
+
+
+@given(st.integers(3, 60))
+@settings(max_examples=60, deadline=None)
+def test_rho_against_counting_identity(n):
+    """ρ(n) always within 1 of the raw counting bound, exceeding it only
+    for n ≡ 0 (mod 4) — the parity case."""
+    from repro.core.formulas import counting_bound
+
+    diff = rho(n) - counting_bound(n)
+    if n % 2 == 1 or n % 4 == 2 or n == 4:
+        assert diff == 0 or (n == 4 and diff == 1)
+    else:
+        assert diff == 1
+
+
+@given(st.integers(3, 40), st.data())
+@settings(max_examples=120, deadline=None)
+def test_serialisation_roundtrip(n, data):
+    num = data.draw(st.integers(1, 5))
+    blocks = []
+    for _ in range(num):
+        k = data.draw(st.integers(3, min(n, 6)))
+        verts = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True)
+        )
+        blocks.append(CycleBlock(tuple(verts)))
+    cov = Covering(n, tuple(blocks))
+    assert Covering.from_dict(cov.to_dict()).blocks == cov.blocks

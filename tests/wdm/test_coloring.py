@@ -1,0 +1,72 @@
+"""Tests for conflict-graph wavelength coloring on general topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import CycleBlock
+from repro.extensions.topologies import (
+    greedy_graph_covering,
+    ring_network_graph,
+    torus_network,
+    tree_of_rings,
+)
+from repro.util.errors import RoutingError
+from repro.wdm.coloring import color_wavelengths
+
+
+class TestColoring:
+    def test_ring_is_full_conflict(self):
+        """On a ring every DRC routing tiles all fibers, so no sharing:
+        wavelengths = subnetworks and the conflict graph is complete."""
+        net = ring_network_graph(6)
+        blocks = greedy_graph_covering(net)
+        plan = color_wavelengths(net, blocks)
+        assert plan.num_wavelengths == len(blocks)
+        assert plan.conflict_density == pytest.approx(1.0)
+
+    def test_torus_shares_wavelengths(self):
+        """Mesh topologies leave fibers idle per routing, so coloring
+        packs several subnetworks per wavelength."""
+        net = torus_network(3, 3)
+        blocks = greedy_graph_covering(net)
+        plan = color_wavelengths(net, blocks)
+        assert plan.num_wavelengths < len(blocks)
+        assert plan.conflict_density < 1.0
+
+    def test_assignment_is_proper(self):
+        """No two conflicting blocks share a wavelength — recheck from
+        the actual routings."""
+        from repro.extensions.topologies import drc_route_on_graph
+
+        net = tree_of_rings((4, 4))
+        blocks = greedy_graph_covering(net)
+        plan = color_wavelengths(net, blocks)
+
+        def links_of(blk):
+            routing = drc_route_on_graph(net, blk)
+            return {
+                tuple(sorted((u, v), key=repr))
+                for path in routing.values()
+                for u, v in zip(path, path[1:])
+            }
+
+        sets = [links_of(b) for b in blocks]
+        for i in range(len(blocks)):
+            for j in range(i + 1, len(blocks)):
+                if sets[i] & sets[j]:
+                    assert plan.wavelength_of(i) != plan.wavelength_of(j)
+
+    def test_unroutable_block_rejected(self):
+        net = ring_network_graph(4)
+        with pytest.raises(RoutingError):
+            color_wavelengths(net, [CycleBlock((0, 2, 3, 1))])
+
+    def test_empty_block_list(self):
+        plan = color_wavelengths(ring_network_graph(5), [])
+        assert plan.num_wavelengths == 0
+
+    def test_summary(self):
+        net = ring_network_graph(5)
+        plan = color_wavelengths(net, [CycleBlock((0, 1, 2))])
+        assert "subnetworks" in plan.summary()

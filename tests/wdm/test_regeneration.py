@@ -1,0 +1,81 @@
+"""Tests for the optical reach / regeneration model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rings.routing import Arc
+from repro.wdm.design import design_ring_network
+from repro.wdm.regeneration import plan_regeneration, regenerators_for_arc
+
+
+class TestArcRegens:
+    def test_within_reach_no_regens(self):
+        assert regenerators_for_arc(Arc(10, 0, 3), reach=5) == []
+
+    def test_exact_multiples(self):
+        # 6-hop path, reach 2: regenerate after hops 2 and 4 (not at the
+        # terminating endpoint).
+        assert regenerators_for_arc(Arc(10, 0, 6), reach=2) == [2, 4]
+
+    def test_reach_one_regenerates_everywhere(self):
+        assert regenerators_for_arc(Arc(8, 5, 1), reach=1) == [6, 7, 0]
+
+    def test_endpoint_never_a_site(self):
+        sites = regenerators_for_arc(Arc(9, 0, 6), reach=3)
+        assert 6 not in sites
+        assert sites == [3]
+
+    def test_reach_validated(self):
+        with pytest.raises(ValueError):
+            regenerators_for_arc(Arc(8, 0, 4), reach=0)
+
+
+class TestPlan:
+    def test_transparent_when_reach_covers_ring(self):
+        design = design_ring_network(8)
+        plan = plan_regeneration(design, reach=8)
+        assert plan.transparent
+        assert plan.total_cost == 0.0
+
+    def test_protection_needs_more_regens(self):
+        """Loop-back paths are longer than working paths on average, so
+        protection carries at least as many regenerators."""
+        design = design_ring_network(11)
+        plan = plan_regeneration(design, reach=4)
+        assert plan.num_protection_regens >= plan.num_working_regens
+        assert plan.total_regens == plan.num_working_regens + plan.num_protection_regens
+
+    def test_monotone_in_reach(self):
+        design = design_ring_network(10)
+        counts = [plan_regeneration(design, reach=r).total_regens for r in (2, 4, 8)]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_cost_scales_with_unit(self):
+        design = design_ring_network(9)
+        a = plan_regeneration(design, reach=3, regen_unit_cost=10.0)
+        b = plan_regeneration(design, reach=3, regen_unit_cost=20.0)
+        assert b.total_cost == pytest.approx(2 * a.total_cost)
+
+    def test_busiest_sites(self):
+        design = design_ring_network(12)
+        plan = plan_regeneration(design, reach=3)
+        top = plan.busiest_sites(top=2)
+        assert len(top) <= 2
+        if top:
+            assert top[0][1] >= top[-1][1]
+
+    def test_every_request_planned(self):
+        design = design_ring_network(9)
+        plan = plan_regeneration(design, reach=3)
+        assert set(plan.working_regens) == set(design.request_routes)
+        assert set(plan.protection_regens) == set(design.request_routes)
+
+    def test_summary(self):
+        design = design_ring_network(8)
+        assert "regeneration" in plan_regeneration(design, reach=3).summary()
+
+    def test_negative_cost_rejected(self):
+        design = design_ring_network(8)
+        with pytest.raises(ValueError):
+            plan_regeneration(design, reach=3, regen_unit_cost=-1)

@@ -1,0 +1,112 @@
+"""Tests for the WDM layer: wavelength plans, cost model, ring designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import CycleBlock
+from repro.core.covering import Covering
+from repro.core.formulas import rho
+from repro.util.errors import RoutingError
+from repro.wdm.adm import DEFAULT_COST_MODEL, CostModel, evaluate_cost
+from repro.wdm.design import design_ring_network
+from repro.wdm.wavelengths import WavelengthPlan, assign_wavelengths
+
+
+class TestWavelengthPlan:
+    def test_counts(self, covering9):
+        plan = assign_wavelengths(covering9)
+        assert plan.num_subnetworks == covering9.num_blocks
+        assert plan.num_wavelengths == 2 * covering9.num_blocks
+        assert plan.working_wavelength(3) == 6
+        assert plan.protection_wavelength(3) == 7
+
+    def test_index_bounds(self, covering9):
+        plan = assign_wavelengths(covering9)
+        with pytest.raises(IndexError):
+            plan.working_wavelength(covering9.num_blocks)
+
+    def test_routings_tile_ring(self, covering9):
+        plan = assign_wavelengths(covering9)
+        for routing in plan.routings:
+            assert routing.uses_all_links()
+
+    def test_full_utilisation_is_paper_design_point(self, covering9, covering10):
+        for cov in (covering9, covering10):
+            assert assign_wavelengths(cov).fiber_utilisation == 1.0
+
+    def test_wavelengths_through_node(self, covering9):
+        plan = assign_wavelengths(covering9)
+        assert plan.wavelengths_through_node(0) == covering9.num_blocks
+        with pytest.raises(ValueError):
+            plan.wavelengths_through_node(99)
+
+    def test_rejects_non_drc(self):
+        bad = Covering(4, (CycleBlock((0, 2, 3, 1)),))
+        with pytest.raises(RoutingError):
+            assign_wavelengths(bad)
+
+
+class TestCostModel:
+    def test_breakdown_arithmetic(self, covering9):
+        cost = evaluate_cost(covering9)
+        n, b = 9, covering9.num_blocks
+        assert cost.adm_ports == covering9.total_slots
+        assert cost.transit_ports == n * b - covering9.total_slots
+        assert cost.wavelengths == 2 * b
+        assert cost.lit_links == 2 * n * b
+        assert cost.total == pytest.approx(
+            cost.adm_cost + cost.transit_cost + cost.wavelength_cost + cost.amplification_cost
+        )
+
+    def test_fewer_cycles_cheaper(self):
+        """The paper's claim: on a ring, cost minimisation ⇔ minimising
+        the number of subnetworks (for any non-trivial price vector)."""
+        from repro.core.construction import fast_covering, optimal_covering
+
+        n = 12
+        opt = evaluate_cost(optimal_covering(n))
+        fast = evaluate_cost(fast_covering(n))
+        assert optimal_covering(n).num_blocks < fast_covering(n).num_blocks
+        assert opt.total < fast.total
+
+    def test_custom_model(self, covering9):
+        free = CostModel(adm_port=0, transit_port=0, wavelength=1, amplification_per_link=0)
+        cost = evaluate_cost(covering9, free)
+        assert cost.total == 2 * covering9.num_blocks
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(adm_port=-1)
+
+    def test_default_model_ordering(self):
+        assert DEFAULT_COST_MODEL.adm_port > DEFAULT_COST_MODEL.transit_port
+
+
+class TestRingDesign:
+    def test_end_to_end(self, design11):
+        assert design11.n == 11
+        assert design11.covering.num_blocks == rho(11)
+        assert design11.plan.num_wavelengths == 2 * rho(11)
+        assert "subnetworks" in design11.summary()
+
+    def test_every_request_routed(self, design11):
+        routes = design11.request_routes
+        assert len(routes) == 55  # C(11,2)
+        for (a, b), (k, arc) in routes.items():
+            assert arc.request == (a, b)
+            assert 0 <= k < design11.covering.num_blocks
+
+    def test_route_of(self, design8):
+        k, arc = design8.route_of(5, 1)
+        assert arc.request == (1, 5)
+        with pytest.raises(ValueError):
+            design8.route_of(0, 0)  # degenerate request
+
+    def test_even_design_covers_with_excess(self, design8):
+        assert design8.covering.excess() == 4  # p = n/2
+
+    def test_fast_mode(self):
+        d = design_ring_network(10, optimal=False)
+        assert d.covering.num_blocks >= rho(10)
+        assert d.covering.covers()
