@@ -17,7 +17,12 @@ from __future__ import annotations
 import time
 
 from repro.core.pole import pole_forced_blocks
-from repro.core.solver import enumerate_convex_blocks, enumerate_tight_blocks, exact_decomposition
+from repro.core.solver import (
+    SolverStats,
+    enumerate_convex_blocks,
+    enumerate_tight_blocks,
+    exact_decomposition,
+)
 from repro.util import circular
 from repro.util.errors import SolverError
 from repro.util.tables import Table
@@ -33,7 +38,9 @@ def _completion_edges(n_prime: int, w: int) -> frozenset:
     )
 
 
-def _solve(n_prime: int, *, strategy: str, pool: str, node_limit: int) -> tuple[float, bool]:
+def _solve(
+    n_prime: int, *, strategy: str, pool: str, node_limit: int
+) -> tuple[float, bool, int]:
     w = (n_prime - 3) // 2 + 2  # 2q + 2
     edges = _completion_edges(n_prime, w)
     cands = (
@@ -41,16 +48,17 @@ def _solve(n_prime: int, *, strategy: str, pool: str, node_limit: int) -> tuple[
         if pool == "tight"
         else enumerate_convex_blocks(n_prime)
     )
+    stats = SolverStats()
     t0 = time.perf_counter()
     try:
         result = exact_decomposition(
             n_prime, edges, max_triangles=1, candidates=cands,
-            node_limit=node_limit, strategy=strategy,
+            node_limit=node_limit, strategy=strategy, stats=stats,
         )
         ok = result is not None
     except SolverError:
         ok = False  # node budget exhausted — that IS the measurement
-    return time.perf_counter() - t0, ok
+    return time.perf_counter() - t0, ok, stats.nodes
 
 
 def test_bench_ablation_branching(benchmark, save_table):
@@ -62,22 +70,25 @@ def test_bench_ablation_branching(benchmark, save_table):
         rows = []
         for n_prime in (11, 15, 19, 23, 27, 31, 35, 39):
             for strategy in ("mrv", "static"):
-                elapsed, ok = _solve(
+                elapsed, ok, nodes = _solve(
                     n_prime, strategy=strategy, pool="tight", node_limit=100_000
                 )
                 rows.append(
                     {"np": n_prime, "strategy": strategy,
-                     "seconds": elapsed, "solved": ok}
+                     "seconds": elapsed, "solved": ok, "nodes": nodes}
                 )
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     table = Table(
         "A1 — branching strategy ablation (tight pool, 100k-node budget)",
-        ["n'", "strategy", "seconds", "solved"],
+        ["n'", "strategy", "seconds", "nodes", "solved"],
     )
     for row in rows:
-        table.add_row(row["np"], row["strategy"], round(row["seconds"], 3), row["solved"])
+        table.add_row(
+            row["np"], row["strategy"], round(row["seconds"], 3),
+            row["nodes"], row["solved"],
+        )
     text = table.render()
     save_table("A1_ablation_branching", text)
     print("\n" + text)
@@ -97,21 +108,25 @@ def test_bench_ablation_pool(benchmark, save_table):
         rows = []
         for n_prime in (11, 15):
             for pool in ("tight", "convex"):
-                elapsed, ok = _solve(
+                elapsed, ok, nodes = _solve(
                     n_prime, strategy="mrv", pool=pool, node_limit=100_000
                 )
                 rows.append(
-                    {"np": n_prime, "pool": pool, "seconds": elapsed, "solved": ok}
+                    {"np": n_prime, "pool": pool, "seconds": elapsed,
+                     "solved": ok, "nodes": nodes}
                 )
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     table = Table(
         "A2 — candidate pool ablation (MRV, 100k-node budget)",
-        ["n'", "pool", "seconds", "solved"],
+        ["n'", "pool", "seconds", "nodes", "solved"],
     )
     for row in rows:
-        table.add_row(row["np"], row["pool"], round(row["seconds"], 3), row["solved"])
+        table.add_row(
+            row["np"], row["pool"], round(row["seconds"], 3),
+            row["nodes"], row["solved"],
+        )
     text = table.render()
     save_table("A2_ablation_pool", text)
     print("\n" + text)

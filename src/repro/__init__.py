@@ -27,6 +27,7 @@ Package map
 from .core import (
     Covering,
     CycleBlock,
+    SolverEngine,
     assert_valid_covering,
     counting_bound,
     even_covering,
@@ -39,6 +40,7 @@ from .core import (
     optimality_gap,
     rho,
     route_block,
+    solve_many,
     solve_min_covering,
     theorem_cycle_mix,
     triangle_covering_number,
@@ -52,6 +54,8 @@ __all__ = [
     "Covering",
     "CycleBlock",
     "Instance",
+    "SolverEngine",
+    "solve_many",
     "all_to_all",
     "assert_valid_covering",
     "counting_bound",

@@ -24,7 +24,7 @@ from ..core.formulas import (
     theorem_cycle_mix,
     triangle_covering_number,
 )
-from ..core.solver import SolverStats, solve_min_covering
+from ..core.engine import solve_many
 from ..core.verify import verify_covering
 from ..extensions.lambda_fold import lambda_covering, lambda_lower_bound
 from ..extensions.topologies import (
@@ -445,9 +445,8 @@ def experiment_solver_certification(ns: tuple[int, ...] = (4, 5, 6, 7, 8)) -> Ex
         ["n", "solver optimum", "ρ formula", "match", "nodes explored"],
     )
     rows = []
-    for n in ns:
-        stats = SolverStats()
-        cov = solve_min_covering(n, upper_bound=rho(n) + 1, stats=stats)
+    solved = solve_many(ns, upper_bounds=[rho(n) + 1 for n in ns])
+    for n, (cov, stats) in zip(ns, solved):
         rows.append(
             {"n": n, "solver": cov.num_blocks, "formula": rho(n),
              "match": cov.num_blocks == rho(n), "nodes": stats.nodes}

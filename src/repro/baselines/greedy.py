@@ -5,13 +5,17 @@ constructions: repeatedly add the convex (DRC-routable) cycle that
 covers the most still-uncovered requests, breaking ties toward lower
 excess.  The benchmarks compare its cycle count against ρ(n) to show
 what the closed-form constructions buy.
+
+The selection loop itself is the shared greedy kernel of
+:class:`repro.core.engine.SolverEngine` (the same pass that seeds the
+branch-and-bound incumbents), run over the *tight* block pool; this
+module keeps the historical signature and error contract.
 """
 
 from __future__ import annotations
 
-from ..core.blocks import CycleBlock
 from ..core.covering import Covering
-from ..core.solver import enumerate_tight_blocks
+from ..core.engine import SolverEngine
 from ..traffic.instances import Instance, all_to_all
 from ..util.errors import ConstructionError
 
@@ -34,41 +38,12 @@ def greedy_drc_covering(
     if inst.n != n:
         raise ConstructionError(f"instance order {inst.n} ≠ n = {n}")
 
-    # Residual demand per chord (multiset semantics for λ > 1).
-    residual: dict[tuple[int, int], int] = {
-        e: m for e, m in inst.demand.items() if m > 0
-    }
-    pool: tuple[CycleBlock, ...] = enumerate_tight_blocks(n, max_size)
-    pool_edges: list[tuple[CycleBlock, tuple[tuple[int, int], ...]]] = [
-        (blk, blk.edges()) for blk in pool
-    ]
-
-    chosen: list[CycleBlock] = []
-    guard = 4 * (sum(residual.values()) + 1)
-    while residual:
-        best: tuple[int, int, CycleBlock] | None = None  # (gain, -waste, block)
-        for blk, edges in pool_edges:
-            gain = sum(1 for e in edges if residual.get(e, 0) > 0)
-            if gain == 0:
-                continue
-            waste = len(edges) - gain
-            key = (gain, -waste)
-            if best is None or key > (best[0], best[1]):
-                best = (gain, -waste, blk)
-        if best is None:
-            raise ConstructionError(
-                f"greedy covering stuck with {len(residual)} requests left "
-                f"(n={n}, max_size={max_size})"
-            )
-        blk = best[2]
-        chosen.append(blk)
-        for e in blk.edges():
-            if e in residual:
-                residual[e] -= 1
-                if residual[e] == 0:
-                    del residual[e]
-        guard -= 1
-        if guard <= 0:  # pragma: no cover - defensive
-            raise ConstructionError("greedy covering failed to terminate")
-
-    return Covering(n, tuple(chosen))
+    engine = SolverEngine(n, max_size=max_size)
+    chosen, leftover = engine.greedy_cover_indices(dict(inst.demand), pool="tight")
+    if leftover:
+        raise ConstructionError(
+            f"greedy covering stuck with {leftover} requests left "
+            f"(n={n}, max_size={max_size})"
+        )
+    table = engine.tight_table
+    return Covering(n, tuple(table.blocks[i] for i in chosen))

@@ -15,7 +15,9 @@ from .formulas import (
     theorem_cycle_mix,
     triangle_covering_number,
 )
+from .engine import SolverEngine, dihedral_canonical, solve_many
 from .ladder import ladder_decomposition
+from .ledger import CoverageLedger
 from .pole import pole_decomposition
 from .solver import (
     SolverStats,
@@ -41,10 +43,14 @@ __all__ = [
     "reflect_covering",
     "rotate_covering",
     "solve_min_covering_instance",
+    "CoverageLedger",
     "CycleBlock",
     "Covering",
     "LowerBoundCertificate",
+    "SolverEngine",
     "SolverStats",
+    "dihedral_canonical",
+    "solve_many",
     "VerificationReport",
     "assert_valid_covering",
     "brute_force_routing",

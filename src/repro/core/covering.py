@@ -5,6 +5,14 @@ subnetworks ``{I_k}`` whose union of requests covers the logical graph.
 The class is a value container with cached coverage accounting (chord →
 times covered), DRC feasibility, excess, and C3/C4 mix statistics; the
 independent validity checker lives in :mod:`repro.core.verify`.
+
+Coverage accounting is backed by a
+:class:`~repro.core.ledger.CoverageLedger`: a fresh covering recounts
+once, lazily, and every derived covering (``with_blocks``,
+``without_block``, ``replace_block``) inherits the parent's ledger and
+applies per-block deltas, so chains of edits — greedy loops, local
+search, mutation tests — pay O(block size) per step instead of
+recounting every slot.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from functools import cached_property
 from ..traffic.instances import Instance, all_to_all
 from ..util.errors import InvalidCoveringError
 from .blocks import CycleBlock
+from .ledger import CoverageLedger
 
 __all__ = ["Covering"]
 
@@ -70,24 +79,47 @@ class Covering:
     def num_quads(self) -> int:
         return self.size_histogram.get(4, 0)
 
-    @cached_property
+    @property
     def total_slots(self) -> int:
         """Total number of request slots over all blocks (Σ block sizes)."""
-        return sum(blk.size for blk in self.blocks)
+        return self._ledger.total_slots
 
     # -- coverage accounting --------------------------------------------
 
     @cached_property
+    def _ledger(self) -> CoverageLedger:
+        """Incremental coverage accounting.  Recounted lazily for fresh
+        coverings; the mutation methods pre-seed this cache on derived
+        coverings with a copied-and-patched parent ledger."""
+        return CoverageLedger.from_blocks(self.blocks)
+
+    @property
     def coverage(self) -> dict[tuple[int, int], int]:
-        """Chord → number of blocks covering it (with multiplicity)."""
-        cov: Counter[tuple[int, int]] = Counter()
-        for blk in self.blocks:
-            cov.update(blk.edges())
-        return dict(cov)
+        """Chord → number of blocks covering it (with multiplicity).
+
+        The returned mapping is the ledger's live view — treat it as
+        read-only.
+        """
+        return self._ledger.counts
+
+    def _derive(self, blocks: tuple[CycleBlock, ...], added: Iterable[CycleBlock],
+                removed: Iterable[CycleBlock]) -> "Covering":
+        """A sibling covering whose ledger is patched incrementally when
+        this covering's ledger has already been materialised."""
+        child = Covering(self.n, blocks)
+        parent = self.__dict__.get("_ledger")
+        if parent is not None:
+            ledger = parent.copy()
+            for blk in removed:
+                ledger.remove_block(blk)
+            for blk in added:
+                ledger.add_block(blk)
+            child.__dict__["_ledger"] = ledger
+        return child
 
     def multiplicity(self, e: tuple[int, int]) -> int:
         a, b = min(e), max(e)
-        return self.coverage.get((a, b), 0)
+        return self._ledger.multiplicity((a, b))
 
     def uncovered(self, instance: Instance | None = None) -> list[tuple[int, int]]:
         """Requests of ``instance`` covered fewer times than demanded."""
@@ -98,6 +130,10 @@ class Covering:
 
     def covers(self, instance: Instance | None = None) -> bool:
         """True when every request is covered at least its multiplicity."""
+        if instance is None:
+            # All-to-All, λ = 1: covered ⟺ every chord appears in the ledger.
+            n = self.n
+            return self._ledger.distinct_covered == n * (n - 1) // 2
         return not self.uncovered(instance)
 
     def excess(self, instance: Instance | None = None) -> int:
@@ -106,11 +142,13 @@ class Covering:
 
         Theorem 2's optimal coverings have excess exactly ``n/2``.
         """
-        inst = instance if instance is not None else all_to_all(self.n)
-        self._check_instance(inst)
+        if instance is None:
+            # All-to-All, λ = 1: every chord on the ring is requested once.
+            return self._ledger.excess_all_to_all()
+        self._check_instance(instance)
         extra = 0
         for e, c in self.coverage.items():
-            extra += max(0, c - inst.required(e))
+            extra += max(0, c - instance.required(e))
         return extra
 
     def doubled_edges(self, instance: Instance | None = None) -> list[tuple[int, int]]:
@@ -141,19 +179,25 @@ class Covering:
     # -- algebra ---------------------------------------------------------
 
     def with_blocks(self, extra: Iterable[CycleBlock]) -> "Covering":
-        return Covering(self.n, self.blocks + tuple(extra))
+        extra = tuple(extra)
+        return self._derive(self.blocks + extra, added=extra, removed=())
 
     def without_block(self, index: int) -> "Covering":
         if not 0 <= index < len(self.blocks):
             raise IndexError(index)
-        return Covering(self.n, self.blocks[:index] + self.blocks[index + 1 :])
+        return self._derive(
+            self.blocks[:index] + self.blocks[index + 1 :],
+            added=(),
+            removed=(self.blocks[index],),
+        )
 
     def replace_block(self, index: int, new_block: CycleBlock) -> "Covering":
         if not 0 <= index < len(self.blocks):
             raise IndexError(index)
         blocks = list(self.blocks)
+        old = blocks[index]
         blocks[index] = new_block
-        return Covering(self.n, tuple(blocks))
+        return self._derive(tuple(blocks), added=(new_block,), removed=(old,))
 
     def deduplicated(self) -> "Covering":
         """Remove repeated blocks (same canonical cycle)."""

@@ -1,0 +1,790 @@
+"""Unified incremental solver engine for DRC cycle coverings.
+
+Engine architecture
+-------------------
+Every exact solver in the repo — tight exact decomposition (the pole
+completion step), minimum covering of ``K_n`` (the ρ(n) certifier), and
+minimum covering of an arbitrary instance (the λK_n certifier) — used
+to carry its own copy of the same scaffolding: a sorted chord list, a
+chord → bit index map, per-chord candidate-block lists, and a counting
+lower bound.  :class:`SolverEngine` owns that scaffolding once:
+
+* **Edge space** (:func:`edge_space`): the sorted chords of ``K_n``,
+  their bit indices, ring distances, and the full-coverage bitmask.
+  Memoized per ring size.
+* **Block tables** (:func:`convex_block_table`,
+  :func:`tight_block_table`): candidate pools with precomputed edge
+  bitmasks, edge lists, and per-chord candidate indices.  Memoized per
+  ``(n, max_size)`` so batched sweeps (:func:`solve_many`) build each
+  table once per process.
+* **One prune** — branch-and-bound nodes compute the counting bound
+  exactly once and cut with the single exclusive test
+  ``used + bound >= best_count`` (``best_count`` is always the
+  *exclusive* threshold: one more than the best covering found so
+  far, or ``upper_bound + 1`` before an incumbent exists).  The seed
+  solver evaluated the bound twice per node against a contradictory
+  ``>=`` / ``>`` pair; this engine is the fix.
+* **Symmetry breaking** — the All-to-All problem (and any
+  dihedral-invariant instance) is preserved by the ``2n`` rotations
+  and reflections of ``C_n``, so the first branch only needs one
+  candidate block per dihedral orbit (:func:`dihedral_canonical`).
+  Every solution maps, by some ring symmetry, to a solution through a
+  retained representative, so optimality is unaffected while the root
+  fan-out shrinks by roughly the orbit sizes.
+* **Greedy incumbents** — before branching, a deterministic
+  max-coverage greedy pass (shared with :mod:`repro.baselines.greedy`)
+  seeds ``best_count``, replacing the trivial one-block-per-request
+  bound and letting the counting prune bite from the first node.
+* **Incremental coverings** — results are
+  :class:`~repro.core.covering.Covering` objects backed by a
+  :class:`~repro.core.ledger.CoverageLedger`, so downstream mutation
+  (greedy loops, local search, mutation tests) stays O(block size)
+  per edit.
+
+:mod:`repro.core.solver` remains as a thin compatibility façade
+re-exporting the public entry points with their historical signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import NamedTuple
+
+from ..util import circular
+from ..util.errors import SolverError
+from ..util.parallel import parallel_map
+from .blocks import CycleBlock
+from .covering import Covering
+from .ledger import CoverageLedger
+
+__all__ = [
+    "SolverEngine",
+    "SolverStats",
+    "dihedral_canonical",
+    "enumerate_convex_blocks",
+    "enumerate_tight_blocks",
+    "exact_decomposition",
+    "solve_many",
+    "solve_min_covering",
+    "solve_min_covering_instance",
+]
+
+DEFAULT_NODE_LIMIT = 20_000_000
+
+
+@dataclass
+class SolverStats:
+    """Search statistics, reported by the certifying benchmarks."""
+
+    nodes: int = 0
+    best_value: int | None = None
+    proven_optimal: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Block enumeration
+# ---------------------------------------------------------------------------
+
+
+def _gap_compositions(total: int, parts: int, max_part: int) -> list[tuple[int, ...]]:
+    """All ordered compositions of ``total`` into ``parts`` positive parts
+    each ≤ ``max_part`` (gap sequences of tight blocks)."""
+    out: list[tuple[int, ...]] = []
+
+    def rec(remaining: int, left: int, prefix: tuple[int, ...]) -> None:
+        if left == 1:
+            if 1 <= remaining <= max_part:
+                out.append(prefix + (remaining,))
+            return
+        lo = max(1, remaining - max_part * (left - 1))
+        hi = min(max_part, remaining - (left - 1))
+        for g in range(lo, hi + 1):
+            rec(remaining - g, left - 1, prefix + (g,))
+
+    rec(total, parts, ())
+    return out
+
+
+@lru_cache(maxsize=64)
+def enumerate_tight_blocks(n: int, max_size: int = 4) -> tuple[CycleBlock, ...]:
+    """All *tight* convex blocks of size 3..max_size on ``C_n`` (gaps
+    ≤ ⌊n/2⌋ summing to n), deduplicated by canonical rotation."""
+    if n < 3:
+        raise SolverError(f"n ≥ 3 required, got {n}")
+    half = n // 2
+    seen: set[tuple[int, ...]] = set()
+    blocks: list[CycleBlock] = []
+    for size in range(3, max_size + 1):
+        for gaps in _gap_compositions(n, size, half):
+            for start in range(n):
+                vs = [start]
+                for g in gaps[:-1]:
+                    vs.append((vs[-1] + g) % n)
+                blk = CycleBlock(tuple(vs))
+                if blk.canonical not in seen:
+                    seen.add(blk.canonical)
+                    blocks.append(blk)
+    return tuple(blocks)
+
+
+@lru_cache(maxsize=32)
+def enumerate_convex_blocks(n: int, max_size: int = 4) -> tuple[CycleBlock, ...]:
+    """All convex blocks of size 3..max_size on ``C_n`` (any gaps): one
+    block per vertex subset, joined in circular order."""
+    if n < 3:
+        raise SolverError(f"n ≥ 3 required, got {n}")
+    from itertools import combinations
+
+    blocks: list[CycleBlock] = []
+    for size in range(3, max_size + 1):
+        for subset in combinations(range(n), size):
+            blocks.append(CycleBlock(subset))
+    return tuple(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Shared bitmask universe
+# ---------------------------------------------------------------------------
+
+
+class EdgeSpace(NamedTuple):
+    """The chord universe of ``K_n`` as a bitmask space."""
+
+    n: int
+    edges: tuple[tuple[int, int], ...]
+    index: dict[tuple[int, int], int]
+    dist: tuple[int, ...]
+    full_mask: int
+
+
+class BlockTable(NamedTuple):
+    """A candidate-block pool with precomputed masks and indices."""
+
+    blocks: tuple[CycleBlock, ...]
+    masks: tuple[int, ...]
+    edge_lists: tuple[tuple[tuple[int, int], ...], ...]
+    per_edge: tuple[tuple[int, ...], ...]  # chord bit → candidate block indices
+
+
+@lru_cache(maxsize=64)
+def edge_space(n: int) -> EdgeSpace:
+    edges = tuple(sorted(circular.all_chords(n)))
+    index = {e: i for i, e in enumerate(edges)}
+    dist = tuple(circular.chord_distance(n, e) for e in edges)
+    return EdgeSpace(n, edges, index, dist, (1 << len(edges)) - 1)
+
+
+def _build_table(n: int, pool: tuple[CycleBlock, ...], *, big_first: bool) -> BlockTable:
+    space = edge_space(n)
+    masks: list[int] = []
+    edge_lists: list[tuple[tuple[int, int], ...]] = []
+    for blk in pool:
+        es = blk.edges()
+        mask = 0
+        for e in es:
+            mask |= 1 << space.index[e]
+        masks.append(mask)
+        edge_lists.append(es)
+    per_edge: list[list[int]] = [[] for _ in space.edges]
+    for i, mask in enumerate(masks):
+        m = mask
+        while m:
+            low = (m & -m).bit_length() - 1
+            per_edge[low].append(i)
+            m &= m - 1
+    if big_first:
+        # Larger blocks first: greedy-like ordering reaches strong
+        # incumbents early, which tightens the counting prune sooner.
+        for cands in per_edge:
+            cands.sort(key=lambda i: (-pool[i].size, i))
+    return BlockTable(
+        tuple(pool), tuple(masks), tuple(edge_lists), tuple(tuple(c) for c in per_edge)
+    )
+
+
+@lru_cache(maxsize=32)
+def convex_block_table(n: int, max_size: int = 4) -> BlockTable:
+    return _build_table(n, enumerate_convex_blocks(n, max_size), big_first=True)
+
+
+@lru_cache(maxsize=32)
+def tight_block_table(n: int, max_size: int = 4) -> BlockTable:
+    return _build_table(n, enumerate_tight_blocks(n, max_size), big_first=False)
+
+
+# ---------------------------------------------------------------------------
+# Dihedral symmetry
+# ---------------------------------------------------------------------------
+
+
+def dihedral_canonical(n: int, vertices: tuple[int, ...]) -> tuple[int, ...]:
+    """Canonical representative of a vertex set under the ``2n`` ring
+    symmetries (rotations and reflections of ``C_n``).
+
+    Convex blocks are determined by their vertex set, so two convex
+    blocks lie in the same dihedral orbit iff their canonical vertex
+    sets coincide.
+    """
+    best: tuple[int, ...] | None = None
+    for vs in (vertices, tuple((-v) % n for v in vertices)):
+        for r in range(n):
+            img = tuple(sorted((v + r) % n for v in vs))
+            if best is None or img < best:
+                best = img
+    assert best is not None
+    return best
+
+
+def _orbit_representatives(n: int, blocks: tuple[CycleBlock, ...], cand_indices) -> list[int]:
+    """One candidate per dihedral orbit, in candidate order."""
+    seen: set[tuple[int, ...]] = set()
+    reps: list[int] = []
+    for i in cand_indices:
+        key = dihedral_canonical(n, blocks[i].vertices)
+        if key not in seen:
+            seen.add(key)
+            reps.append(i)
+    return reps
+
+
+def _is_dihedral_invariant(instance) -> bool:
+    """True when demand depends only on chord distance — the condition
+    under which root symmetry breaking is sound for an instance."""
+    n = instance.n
+    per_dist: dict[int, int] = {}
+    for e in circular.all_chords(n):
+        d = circular.chord_distance(n, e)
+        m = instance.required(e)
+        if per_dist.setdefault(d, m) != m:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class SolverEngine:
+    """Shared bitmask kernel behind every exact solver and the greedy
+    baseline (see the module docstring for the architecture)."""
+
+    def __init__(self, n: int, *, max_size: int = 4):
+        if n < 3:
+            raise SolverError(f"n ≥ 3 required, got {n}")
+        self.n = n
+        self.max_size = max_size
+
+    # -- shared state (memoized at module level, cheap to re-ask) -------
+
+    @property
+    def space(self) -> EdgeSpace:
+        return edge_space(self.n)
+
+    @property
+    def convex_table(self) -> BlockTable:
+        return convex_block_table(self.n, self.max_size)
+
+    @property
+    def tight_table(self) -> BlockTable:
+        return tight_block_table(self.n, self.max_size)
+
+    def _table(self, pool: str) -> BlockTable:
+        if pool == "convex":
+            return self.convex_table
+        if pool == "tight":
+            return self.tight_table
+        raise SolverError(f"unknown candidate pool {pool!r}")
+
+    # -- greedy kernel ---------------------------------------------------
+
+    def greedy_cover_indices(
+        self, demand: dict[tuple[int, int], int], *, pool: str = "convex"
+    ) -> tuple[list[int], int]:
+        """Deterministic max-coverage greedy over the pool: repeatedly
+        take the block covering the most residual requests, ties toward
+        lower waste then enumeration order.  Returns the chosen block
+        indices and the number of residual requests it failed to cover
+        (0 whenever the pool can reach them, which it always can for
+        ``pool="convex"``)."""
+        table = self._table(pool)
+        residual = {e: m for e, m in demand.items() if m > 0}
+        chosen: list[int] = []
+        while residual:
+            best_key: tuple[int, int] | None = None
+            best_i = -1
+            for i, edges in enumerate(table.edge_lists):
+                gain = sum(1 for e in edges if residual.get(e, 0) > 0)
+                if gain == 0:
+                    continue
+                key = (gain, gain - len(edges))  # maximise gain, minimise waste
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_i = i
+            if best_key is None:
+                break
+            chosen.append(best_i)
+            for e in table.edge_lists[best_i]:
+                m = residual.get(e, 0)
+                if m > 0:
+                    if m == 1:
+                        del residual[e]
+                    else:
+                        residual[e] = m - 1
+        return chosen, sum(residual.values())
+
+    def greedy_cover(self, instance=None, *, pool: str = "convex") -> Covering:
+        """Greedy covering as a ledger-backed :class:`Covering`; raises
+        :class:`SolverError` when the pool cannot reach some request."""
+        from ..traffic.instances import all_to_all
+
+        inst = instance if instance is not None else all_to_all(self.n)
+        if inst.n != self.n:
+            raise SolverError(f"instance order {inst.n} ≠ n = {self.n}")
+        chosen, leftover = self.greedy_cover_indices(dict(inst.demand), pool=pool)
+        if leftover:
+            raise SolverError(
+                f"greedy covering stuck with {leftover} requests left "
+                f"(n={self.n}, pool={pool!r}, max_size={self.max_size})"
+            )
+        table = self._table(pool)
+        return Covering(self.n, tuple(table.blocks[i] for i in chosen))
+
+    # -- minimum covering of K_n ----------------------------------------
+
+    def min_covering(
+        self,
+        *,
+        upper_bound: int | None = None,
+        node_limit: int = DEFAULT_NODE_LIMIT,
+        stats: SolverStats | None = None,
+    ) -> Covering:
+        """Certified minimum DRC-covering of ``K_n`` over ``C_n``.
+
+        ``upper_bound`` is *inclusive*: a covering using exactly
+        ``upper_bound`` blocks is still found and returned (internally
+        the branch-and-bound threshold is the exclusive
+        ``upper_bound + 1``).  Raises :class:`SolverError` when no
+        covering within the bound exists.
+        """
+        n = self.n
+        if n > 12:
+            raise SolverError(f"exact covering solver is for small n (≤ 12), got {n}")
+
+        space = self.space
+        table = self.convex_table
+        dist = space.dist
+        full_mask = space.full_mask
+        masks = table.masks
+        blocks = table.blocks
+        per_edge = table.per_edge
+        st = stats if stats is not None else SolverStats()
+
+        # best_count is the exclusive threshold throughout: only strictly
+        # better coverings are accepted, so the one prune below is exact.
+        best_count = len(space.edges) + 1 if upper_bound is None else upper_bound + 1
+        best_blocks: list[CycleBlock] | None = None
+
+        from ..traffic.instances import all_to_all
+
+        greedy_idx, leftover = self.greedy_cover_indices(dict(all_to_all(n).demand))
+        if not leftover and len(greedy_idx) < best_count:
+            best_count = len(greedy_idx)
+            best_blocks = [blocks[i] for i in greedy_idx]
+
+        # All-to-All is dihedral-invariant, so the root branch (always on
+        # chord (0, 1), the lowest bit) needs one block per orbit only.
+        root_cands = _orbit_representatives(n, blocks, per_edge[0])
+
+        def dfs(covered: int, used: int, chosen: list[CycleBlock]) -> None:
+            nonlocal best_blocks, best_count
+            st.nodes += 1
+            if st.nodes > node_limit:
+                raise SolverError(f"solver exceeded node limit {node_limit} for n={n}")
+            if covered == full_mask:
+                if used < best_count:
+                    best_count = used
+                    best_blocks = list(chosen)
+                return
+            # Counting lower bound over the uncovered chords — computed
+            # once per node, pruned with the single exclusive test.
+            total = 0
+            m = (~covered) & full_mask
+            while m:
+                low = (m & -m).bit_length() - 1
+                total += dist[low]
+                m &= m - 1
+            bound = max(1, -(-total // n))
+            if used + bound >= best_count:
+                return
+            # Branch on the lowest-index uncovered chord: every solution
+            # must cover it, so trying exactly its candidates is complete.
+            m = (~covered) & full_mask
+            target = (m & -m).bit_length() - 1
+            cands = root_cands if covered == 0 else per_edge[target]
+            for i in cands:
+                chosen.append(blocks[i])
+                dfs(covered | masks[i], used + 1, chosen)
+                chosen.pop()
+
+        dfs(0, 0, [])
+        if best_blocks is None:
+            # The search ran to exhaustion (a node-limit overrun raises
+            # above), so the bound itself is below the optimum.
+            raise SolverError(
+                f"no covering of K_{n} within upper bound {upper_bound} "
+                f"(the optimum is larger)"
+            )
+        st.best_value = best_count
+        st.proven_optimal = True
+        return Covering(n, tuple(best_blocks))
+
+    # -- minimum covering of an arbitrary instance -----------------------
+
+    def min_covering_instance(
+        self,
+        instance,
+        *,
+        node_limit: int = DEFAULT_NODE_LIMIT,
+        stats: SolverStats | None = None,
+    ) -> Covering:
+        """Certified minimum DRC-covering of an arbitrary instance on
+        ``C_n`` (multiplicities supported — e.g. ``λK_n``).
+
+        Exponential; intended for tiny instances (``n ≤ 8``-ish, small
+        λ).  This is the certifier behind the λK_n experiment's exact
+        values.
+        """
+        from ..traffic.instances import Instance
+
+        if not isinstance(instance, Instance):
+            raise SolverError(f"expected an Instance, got {type(instance).__name__}")
+        n = instance.n
+        if n != self.n:
+            raise SolverError(f"instance order {n} ≠ n = {self.n}")
+        if n < 3:
+            raise SolverError(f"n ≥ 3 required, got {n}")
+        if n > 10:
+            raise SolverError(f"instance solver is for small n (≤ 10), got {n}")
+
+        residual: dict[tuple[int, int], int] = {
+            e: m for e, m in instance.demand.items() if m > 0
+        }
+        if not residual:
+            return Covering(n, ())
+        total_demand = sum(residual.values())
+        dist = {e: circular.chord_distance(n, e) for e in residual}
+
+        table = self.convex_table
+        blocks = table.blocks
+        per_edge: dict[tuple[int, int], list[int]] = {e: [] for e in residual}
+        for i, edges in enumerate(table.edge_lists):
+            for e in edges:
+                if e in per_edge:
+                    per_edge[e].append(i)
+
+        st = stats if stats is not None else SolverStats()
+        best_blocks: list[CycleBlock] | None = None
+        best_count = total_demand + 1  # exclusive threshold, as in min_covering
+
+        greedy_idx, leftover = self.greedy_cover_indices(dict(residual))
+        if not leftover and len(greedy_idx) < best_count:
+            best_count = len(greedy_idx)
+            best_blocks = [blocks[i] for i in greedy_idx]
+
+        # Root symmetry breaking is sound only when the demand itself is
+        # preserved by the ring's rotations and reflections.
+        symmetric = _is_dihedral_invariant(instance)
+        root_target = min(residual)
+
+        remaining_distance = sum(m * dist[e] for e, m in residual.items())
+
+        def pick_target() -> tuple[int, int] | None:
+            best: tuple[int, int] | None = None
+            for e, m in residual.items():
+                if m > 0 and (best is None or e < best):
+                    best = e
+            return best
+
+        def dfs(used: int, chosen: list[CycleBlock]) -> None:
+            nonlocal best_blocks, best_count, remaining_distance
+            st.nodes += 1
+            if st.nodes > node_limit:
+                raise SolverError(f"instance solver exceeded node limit {node_limit}")
+            target = pick_target()
+            if target is None:
+                if used < best_count:
+                    best_count = used
+                    best_blocks = list(chosen)
+                return
+            bound = max(1, -(-remaining_distance // n))
+            if used + bound >= best_count:
+                return
+            cands = per_edge[target]
+            if used == 0 and symmetric and target == root_target:
+                cands = _orbit_representatives(n, blocks, cands)
+            for i in cands:
+                decremented: list[tuple[int, int]] = []
+                delta = 0
+                for e in table.edge_lists[i]:
+                    m = residual.get(e, 0)
+                    if m > 0:
+                        residual[e] = m - 1
+                        decremented.append(e)
+                        delta += dist[e]
+                remaining_distance -= delta
+                chosen.append(blocks[i])
+                dfs(used + 1, chosen)
+                chosen.pop()
+                remaining_distance += delta
+                for e in decremented:
+                    residual[e] += 1
+
+        dfs(0, [])
+        if best_blocks is None:
+            raise SolverError("no covering found (node limit too small?)")
+        st.best_value = best_count
+        st.proven_optimal = True
+        return Covering(n, tuple(best_blocks))
+
+    # -- exact decomposition ---------------------------------------------
+
+    def decompose(
+        self,
+        edges: frozenset[tuple[int, int]],
+        *,
+        max_triangles: int | None = None,
+        candidates: tuple[CycleBlock, ...] | None = None,
+        node_limit: int = 5_000_000,
+        strategy: str = "mrv",
+        stats: SolverStats | None = None,
+    ) -> list[CycleBlock] | None:
+        """Partition ``edges`` into tight convex blocks, each edge exactly
+        once; returns ``None`` when no partition exists.
+
+        ``max_triangles`` bounds the number of C3 blocks (the pole
+        completion needs exactly one — enforced by edge counts, bounding
+        merely prunes).  Deterministic DFS over bitmasks; explored node
+        counts are reported through ``stats`` (same contract as
+        :meth:`min_covering`).
+
+        ``strategy`` selects the branching variable: ``"mrv"`` (default)
+        recomputes the fewest-live-candidates edge at every node —
+        near-backtrack-free on the pole completions; ``"static"`` uses a
+        one-shot scarcity order — cheaper per node but can thrash (kept
+        for the ablation benchmark, which quantifies the difference).
+        """
+        n = self.n
+        if strategy not in ("mrv", "static"):
+            raise SolverError(f"unknown branching strategy {strategy!r}")
+        edge_list = sorted(edges)
+        index = {e: i for i, e in enumerate(edge_list)}
+        full_mask = (1 << len(edge_list)) - 1
+        st = stats if stats is not None else SolverStats()
+        if full_mask == 0:
+            st.best_value = 0
+            st.proven_optimal = True
+            return []
+
+        pool = candidates if candidates is not None else enumerate_tight_blocks(n)
+        usable: list[tuple[int, CycleBlock]] = []
+        for blk in pool:
+            bes = blk.edges()
+            if all(e in index for e in bes):
+                mask = 0
+                for e in bes:
+                    mask |= 1 << index[e]
+                usable.append((mask, blk))
+
+        per_edge: list[list[tuple[int, CycleBlock]]] = [[] for _ in edge_list]
+        for mask, blk in usable:
+            m = mask
+            while m:
+                low = (m & -m).bit_length() - 1
+                per_edge[low].append((mask, blk))
+                m &= m - 1
+        if any(not cands for cands in per_edge):
+            # Some edge has no candidate block at all: non-existence is
+            # certified without search, same stats contract as below.
+            st.proven_optimal = True
+            return None
+
+        static_rank: list[int] | None = None
+        if strategy == "static":
+            order = sorted(range(len(edge_list)), key=lambda i: len(per_edge[i]))
+            static_rank = [0] * len(edge_list)
+            for pos, i in enumerate(order):
+                static_rank[i] = pos
+
+        def static_choice(covered: int) -> tuple[int, list[tuple[int, CycleBlock]]]:
+            assert static_rank is not None
+            best = -1
+            best_rank = len(edge_list) + 1
+            m = (~covered) & full_mask
+            while m:
+                low = (m & -m).bit_length() - 1
+                m &= m - 1
+                if static_rank[low] < best_rank:
+                    best_rank = static_rank[low]
+                    best = low
+            cands = [c for c in per_edge[best] if not c[0] & covered]
+            return best, cands
+
+        def most_constrained(covered: int) -> tuple[int, list[tuple[int, CycleBlock]]]:
+            """Dynamic MRV: the uncovered edge with fewest live candidates.
+
+            Scanning candidate lists per node costs more than a static
+            order but keeps backtracking near zero on these structured
+            instances (the paper-scale bottleneck is a thrashing search,
+            not the scan).
+            """
+            best_edge = -1
+            best_cands: list[tuple[int, CycleBlock]] = []
+            best_count = 1 << 30
+            m = (~covered) & full_mask
+            while m:
+                low = (m & -m).bit_length() - 1
+                m &= m - 1
+                count = 0
+                cands: list[tuple[int, CycleBlock]] = []
+                for cand in per_edge[low]:
+                    if not cand[0] & covered:
+                        count += 1
+                        cands.append(cand)
+                        if count >= best_count:
+                            break
+                if count < best_count:
+                    best_count = count
+                    best_edge = low
+                    best_cands = cands
+                    if count <= 1:
+                        break
+            return best_edge, best_cands
+
+        def dfs(covered: int, triangles_used: int, chosen: list[CycleBlock]) -> bool:
+            st.nodes += 1
+            if st.nodes > node_limit:
+                raise SolverError(
+                    f"exact_decomposition exceeded node limit {node_limit} for n={n}"
+                )
+            if covered == full_mask:
+                return True
+            chooser = static_choice if strategy == "static" else most_constrained
+            _, cands = chooser(covered)
+            for mask, blk in cands:
+                tri = 1 if blk.size == 3 else 0
+                if max_triangles is not None and triangles_used + tri > max_triangles:
+                    continue
+                chosen.append(blk)
+                if dfs(covered | mask, triangles_used + tri, chosen):
+                    return True
+                chosen.pop()
+            return False
+
+        chosen: list[CycleBlock] = []
+        if dfs(0, 0, chosen):
+            st.best_value = len(chosen)
+            st.proven_optimal = True
+            return chosen
+        st.proven_optimal = True  # exhaustive: non-existence is certified
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Front doors (historical signatures; re-exported by repro.core.solver)
+# ---------------------------------------------------------------------------
+
+
+def exact_decomposition(
+    n: int,
+    edges: frozenset[tuple[int, int]],
+    *,
+    max_triangles: int | None = None,
+    candidates: tuple[CycleBlock, ...] | None = None,
+    node_limit: int = 5_000_000,
+    strategy: str = "mrv",
+    stats: SolverStats | None = None,
+) -> list[CycleBlock] | None:
+    """See :meth:`SolverEngine.decompose`."""
+    return SolverEngine(n).decompose(
+        edges,
+        max_triangles=max_triangles,
+        candidates=candidates,
+        node_limit=node_limit,
+        strategy=strategy,
+        stats=stats,
+    )
+
+
+def solve_min_covering(
+    n: int,
+    *,
+    upper_bound: int | None = None,
+    max_size: int = 4,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    stats: SolverStats | None = None,
+) -> Covering:
+    """See :meth:`SolverEngine.min_covering`.  ``upper_bound`` is
+    inclusive: ``upper_bound=rho(n)`` still returns a certificate."""
+    return SolverEngine(n, max_size=max_size).min_covering(
+        upper_bound=upper_bound, node_limit=node_limit, stats=stats
+    )
+
+
+def solve_min_covering_instance(
+    instance,
+    *,
+    max_size: int = 4,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    stats: SolverStats | None = None,
+) -> Covering:
+    """See :meth:`SolverEngine.min_covering_instance`."""
+    from ..traffic.instances import Instance
+
+    if not isinstance(instance, Instance):
+        raise SolverError(f"expected an Instance, got {type(instance).__name__}")
+    return SolverEngine(instance.n, max_size=max_size).min_covering_instance(
+        instance, node_limit=node_limit, stats=stats
+    )
+
+
+def _solve_many_worker(
+    payload: tuple[int, int | None, int, int],
+) -> tuple[Covering, SolverStats]:
+    n, upper_bound, max_size, node_limit = payload
+    st = SolverStats()
+    cov = SolverEngine(n, max_size=max_size).min_covering(
+        upper_bound=upper_bound, node_limit=node_limit, stats=st
+    )
+    return cov, st
+
+
+def solve_many(
+    ns,
+    *,
+    upper_bounds=None,
+    max_size: int = 4,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    workers: int | None = None,
+) -> list[tuple[Covering, SolverStats]]:
+    """Batched front door: certified min coverings for every ring size in
+    ``ns``, fanned out over :func:`repro.util.parallel.parallel_map`.
+
+    ``upper_bounds`` is an optional parallel sequence of inclusive
+    bounds (``None`` entries mean unbounded).  Order of results matches
+    ``ns``.  Block tables and edge spaces are memoized per process, so
+    serial sweeps (and each pool worker) build them at most once per
+    ``(n, max_size)``.
+    """
+    ns = tuple(ns)
+    if upper_bounds is None:
+        ubs: tuple[int | None, ...] = (None,) * len(ns)
+    else:
+        ubs = tuple(upper_bounds)
+        if len(ubs) != len(ns):
+            raise SolverError(
+                f"upper_bounds has {len(ubs)} entries for {len(ns)} ring sizes"
+            )
+    payloads = [(n, ub, max_size, node_limit) for n, ub in zip(ns, ubs)]
+    return parallel_map(_solve_many_worker, payloads, workers=workers)

@@ -1,8 +1,11 @@
-"""Exact solvers over convex blocks.
+"""Exact solvers over convex blocks — compatibility façade.
 
-Two related engines, both bitmask-based (edge sets as Python ints so
-set algebra is single machine-word-ish operations even for hundreds of
-edges):
+The solver implementations live in :mod:`repro.core.engine`, which
+unifies the three historical engines (tight exact decomposition,
+min covering of ``K_n``, min covering of an arbitrary instance) over
+one shared bitmask kernel with a single counting prune, dihedral
+symmetry breaking, and greedy incumbent seeding.  This module keeps the
+historical import surface:
 
 * :func:`exact_decomposition` — partition a prescribed edge set into
   *tight* convex blocks, each edge exactly once (used by the pole
@@ -11,420 +14,30 @@ edges):
   a (small) instance, allowing excess.  This is the independent
   certifier for ρ(n): it knows nothing of the closed forms and explores
   the full block space with counting-bound pruning.
+* :func:`solve_min_covering_instance` — the same for arbitrary demand
+  (multiplicities supported, e.g. ``λK_n``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
-
-from ..util import circular
-from ..util.errors import SolverError
-from .blocks import CycleBlock
-from .covering import Covering
+from .engine import (
+    SolverEngine,
+    SolverStats,
+    enumerate_convex_blocks,
+    enumerate_tight_blocks,
+    exact_decomposition,
+    solve_many,
+    solve_min_covering,
+    solve_min_covering_instance,
+)
 
 __all__ = [
+    "SolverEngine",
     "enumerate_convex_blocks",
     "enumerate_tight_blocks",
     "exact_decomposition",
+    "solve_many",
     "solve_min_covering",
+    "solve_min_covering_instance",
     "SolverStats",
 ]
-
-
-@dataclass
-class SolverStats:
-    """Search statistics, reported by the certifying benchmarks."""
-
-    nodes: int = 0
-    best_value: int | None = None
-    proven_optimal: bool = False
-
-
-# ---------------------------------------------------------------------------
-# Block enumeration
-# ---------------------------------------------------------------------------
-
-
-def _gap_compositions(total: int, parts: int, max_part: int) -> list[tuple[int, ...]]:
-    """All ordered compositions of ``total`` into ``parts`` positive parts
-    each ≤ ``max_part`` (gap sequences of tight blocks)."""
-    out: list[tuple[int, ...]] = []
-
-    def rec(remaining: int, left: int, prefix: tuple[int, ...]) -> None:
-        if left == 1:
-            if 1 <= remaining <= max_part:
-                out.append(prefix + (remaining,))
-            return
-        lo = max(1, remaining - max_part * (left - 1))
-        hi = min(max_part, remaining - (left - 1))
-        for g in range(lo, hi + 1):
-            rec(remaining - g, left - 1, prefix + (g,))
-
-    rec(total, parts, ())
-    return out
-
-
-@lru_cache(maxsize=64)
-def enumerate_tight_blocks(n: int, max_size: int = 4) -> tuple[CycleBlock, ...]:
-    """All *tight* convex blocks of size 3..max_size on ``C_n`` (gaps
-    ≤ ⌊n/2⌋ summing to n), deduplicated by canonical rotation."""
-    if n < 3:
-        raise SolverError(f"n ≥ 3 required, got {n}")
-    half = n // 2
-    seen: set[tuple[int, ...]] = set()
-    blocks: list[CycleBlock] = []
-    for size in range(3, max_size + 1):
-        for gaps in _gap_compositions(n, size, half):
-            for start in range(n):
-                vs = [start]
-                for g in gaps[:-1]:
-                    vs.append((vs[-1] + g) % n)
-                blk = CycleBlock(tuple(vs))
-                if blk.canonical not in seen:
-                    seen.add(blk.canonical)
-                    blocks.append(blk)
-    return tuple(blocks)
-
-
-@lru_cache(maxsize=32)
-def enumerate_convex_blocks(n: int, max_size: int = 4) -> tuple[CycleBlock, ...]:
-    """All convex blocks of size 3..max_size on ``C_n`` (any gaps): one
-    block per vertex subset, joined in circular order."""
-    if n < 3:
-        raise SolverError(f"n ≥ 3 required, got {n}")
-    from itertools import combinations
-
-    blocks: list[CycleBlock] = []
-    for size in range(3, max_size + 1):
-        for subset in combinations(range(n), size):
-            blocks.append(CycleBlock(subset))
-    return tuple(blocks)
-
-
-# ---------------------------------------------------------------------------
-# Exact decomposition (edge-disjoint exact cover)
-# ---------------------------------------------------------------------------
-
-
-def exact_decomposition(
-    n: int,
-    edges: frozenset[tuple[int, int]],
-    *,
-    max_triangles: int | None = None,
-    candidates: tuple[CycleBlock, ...] | None = None,
-    node_limit: int = 5_000_000,
-    strategy: str = "mrv",
-) -> list[CycleBlock] | None:
-    """Partition ``edges`` into tight convex blocks, each edge exactly
-    once; returns ``None`` when no partition exists.
-
-    ``max_triangles`` bounds the number of C3 blocks (the pole
-    completion needs exactly one — enforced by edge counts, bounding
-    merely prunes).  Deterministic DFS over bitmasks.
-
-    ``strategy`` selects the branching variable: ``"mrv"`` (default)
-    recomputes the fewest-live-candidates edge at every node —
-    near-backtrack-free on the pole completions; ``"static"`` uses a
-    one-shot scarcity order — cheaper per node but can thrash (kept for
-    the ablation benchmark, which quantifies the difference).
-    """
-    if strategy not in ("mrv", "static"):
-        raise SolverError(f"unknown branching strategy {strategy!r}")
-    edge_list = sorted(edges)
-    index = {e: i for i, e in enumerate(edge_list)}
-    full_mask = (1 << len(edge_list)) - 1
-    if full_mask == 0:
-        return []
-
-    pool = candidates if candidates is not None else enumerate_tight_blocks(n)
-    usable: list[tuple[int, CycleBlock]] = []
-    for blk in pool:
-        bes = blk.edges()
-        if all(e in index for e in bes):
-            mask = 0
-            for e in bes:
-                mask |= 1 << index[e]
-            usable.append((mask, blk))
-
-    per_edge: list[list[tuple[int, CycleBlock]]] = [[] for _ in edge_list]
-    for mask, blk in usable:
-        m = mask
-        while m:
-            low = (m & -m).bit_length() - 1
-            per_edge[low].append((mask, blk))
-            m &= m - 1
-    if any(not cands for cands in per_edge):
-        return None
-
-    nodes = 0
-
-    static_rank: list[int] | None = None
-    if strategy == "static":
-        order = sorted(range(len(edge_list)), key=lambda i: len(per_edge[i]))
-        static_rank = [0] * len(edge_list)
-        for pos, i in enumerate(order):
-            static_rank[i] = pos
-
-    def static_choice(covered: int) -> tuple[int, list[tuple[int, CycleBlock]]]:
-        assert static_rank is not None
-        best = -1
-        best_rank = len(edge_list) + 1
-        m = (~covered) & full_mask
-        while m:
-            low = (m & -m).bit_length() - 1
-            m &= m - 1
-            if static_rank[low] < best_rank:
-                best_rank = static_rank[low]
-                best = low
-        cands = [c for c in per_edge[best] if not c[0] & covered]
-        return best, cands
-
-    def most_constrained(covered: int) -> tuple[int, list[tuple[int, CycleBlock]]]:
-        """Dynamic MRV: the uncovered edge with fewest live candidates.
-
-        Scanning candidate lists per node costs more than a static order
-        but keeps backtracking near zero on these structured instances
-        (the paper-scale bottleneck is a thrashing search, not the scan).
-        """
-        best_edge = -1
-        best_cands: list[tuple[int, CycleBlock]] = []
-        best_count = 1 << 30
-        m = (~covered) & full_mask
-        while m:
-            low = (m & -m).bit_length() - 1
-            m &= m - 1
-            count = 0
-            cands: list[tuple[int, CycleBlock]] = []
-            for cand in per_edge[low]:
-                if not cand[0] & covered:
-                    count += 1
-                    cands.append(cand)
-                    if count >= best_count:
-                        break
-            if count < best_count:
-                best_count = count
-                best_edge = low
-                best_cands = cands
-                if count <= 1:
-                    break
-        return best_edge, best_cands
-
-    def dfs(covered: int, triangles_used: int, chosen: list[CycleBlock]) -> bool:
-        nonlocal nodes
-        nodes += 1
-        if nodes > node_limit:
-            raise SolverError(
-                f"exact_decomposition exceeded node limit {node_limit} for n={n}"
-            )
-        if covered == full_mask:
-            return True
-        chooser = static_choice if strategy == "static" else most_constrained
-        _, cands = chooser(covered)
-        for mask, blk in cands:
-            tri = 1 if blk.size == 3 else 0
-            if max_triangles is not None and triangles_used + tri > max_triangles:
-                continue
-            chosen.append(blk)
-            if dfs(covered | mask, triangles_used + tri, chosen):
-                return True
-            chosen.pop()
-        return False
-
-    chosen: list[CycleBlock] = []
-    if dfs(0, 0, chosen):
-        return chosen
-    return None
-
-
-# ---------------------------------------------------------------------------
-# Minimum covering (branch & bound, excess allowed)
-# ---------------------------------------------------------------------------
-
-
-def solve_min_covering(
-    n: int,
-    *,
-    upper_bound: int | None = None,
-    max_size: int = 4,
-    node_limit: int = 20_000_000,
-    stats: SolverStats | None = None,
-) -> Covering:
-    """Certified minimum DRC-covering of ``K_n`` over ``C_n`` by cycles
-    of length ≤ ``max_size``, by exhaustive branch and bound.
-
-    Independent of the paper's formulas: the only pruning is the
-    distance-counting bound applied to the *remaining* uncovered chords.
-    Practical for ``n ≤ 9`` (``n = 10`` with patience); the benchmarks
-    use it to certify the closed forms at small ``n``.
-    """
-    if n < 3:
-        raise SolverError(f"n ≥ 3 required, got {n}")
-    if n > 12:
-        raise SolverError(f"exact covering solver is for small n (≤ 12), got {n}")
-
-    edge_list = sorted(circular.all_chords(n))
-    index = {e: i for i, e in enumerate(edge_list)}
-    dist = [circular.chord_distance(n, e) for e in edge_list]
-    full_mask = (1 << len(edge_list)) - 1
-
-    blocks = enumerate_convex_blocks(n, max_size)
-    block_masks: list[tuple[int, CycleBlock]] = []
-    for blk in blocks:
-        mask = 0
-        for e in blk.edges():
-            mask |= 1 << index[e]
-        block_masks.append((mask, blk))
-
-    per_edge: list[list[tuple[int, CycleBlock]]] = [[] for _ in edge_list]
-    for mask, blk in block_masks:
-        m = mask
-        while m:
-            low = (m & -m).bit_length() - 1
-            per_edge[low].append((mask, blk))
-            m &= m - 1
-
-    st = stats if stats is not None else SolverStats()
-    best_blocks: list[CycleBlock] | None = None
-    best_count = upper_bound if upper_bound is not None else len(edge_list)
-
-    def remaining_bound(covered: int) -> int:
-        """Counting lower bound on blocks needed for uncovered chords."""
-        total = 0
-        m = (~covered) & full_mask
-        while m:
-            low = (m & -m).bit_length() - 1
-            total += dist[low]
-            m &= m - 1
-        return -(-total // n)
-
-    def dfs(covered: int, used: int, chosen: list[CycleBlock]) -> None:
-        nonlocal best_blocks, best_count
-        st.nodes += 1
-        if st.nodes > node_limit:
-            raise SolverError(f"solver exceeded node limit {node_limit} for n={n}")
-        if covered == full_mask:
-            if used < best_count or best_blocks is None:
-                best_count = used
-                best_blocks = list(chosen)
-            return
-        if used + max(1, remaining_bound(covered)) >= best_count and best_blocks is not None:
-            return
-        if used + max(1, remaining_bound(covered)) > best_count:
-            return
-        # Branch on the lowest-index uncovered chord: every solution must
-        # cover it, so trying exactly its candidate blocks is complete.
-        m = (~covered) & full_mask
-        target = (m & -m).bit_length() - 1
-        for mask, blk in per_edge[target]:
-            chosen.append(blk)
-            dfs(covered | mask, used + 1, chosen)
-            chosen.pop()
-
-    dfs(0, 0, [])
-    if best_blocks is None:
-        raise SolverError(f"no covering found for n={n} (node limit too small?)")
-    st.best_value = best_count
-    st.proven_optimal = True
-    return Covering(n, tuple(best_blocks))
-
-
-# ---------------------------------------------------------------------------
-# Minimum covering of an arbitrary instance (multiplicities allowed)
-# ---------------------------------------------------------------------------
-
-
-def solve_min_covering_instance(
-    instance: "Instance",
-    *,
-    max_size: int = 4,
-    node_limit: int = 20_000_000,
-    stats: SolverStats | None = None,
-) -> Covering:
-    """Certified minimum DRC-covering of an arbitrary instance on
-    ``C_n`` (multiplicities supported — e.g. ``λK_n``), by branch and
-    bound over convex blocks.
-
-    Exponential; intended for tiny instances (``n ≤ 8``-ish, small λ).
-    This is the certifier behind the λK_n experiment's exact values.
-    """
-    from ..traffic.instances import Instance  # local: avoid import cycle
-
-    if not isinstance(instance, Instance):
-        raise SolverError(f"expected an Instance, got {type(instance).__name__}")
-    n = instance.n
-    if n < 3:
-        raise SolverError(f"n ≥ 3 required, got {n}")
-    if n > 10:
-        raise SolverError(f"instance solver is for small n (≤ 10), got {n}")
-
-    residual: dict[tuple[int, int], int] = {
-        e: m for e, m in instance.demand.items() if m > 0
-    }
-    if not residual:
-        return Covering(n, ())
-    total_demand = sum(residual.values())
-    dist = {e: circular.chord_distance(n, e) for e in residual}
-
-    blocks = enumerate_convex_blocks(n, max_size)
-    per_edge: dict[tuple[int, int], list[tuple[CycleBlock, tuple[tuple[int, int], ...]]]] = {
-        e: [] for e in residual
-    }
-    for blk in blocks:
-        edges = blk.edges()
-        for e in edges:
-            if e in per_edge:
-                per_edge[e].append((blk, edges))
-
-    st = stats if stats is not None else SolverStats()
-    best_blocks: list[CycleBlock] | None = None
-    best_count = total_demand + 1  # trivial upper bound: one block per unit
-
-    remaining_distance = sum(m * dist[e] for e, m in residual.items())
-
-    def bound() -> int:
-        return -(-remaining_distance // n)
-
-    def pick_target() -> tuple[int, int] | None:
-        best: tuple[int, int] | None = None
-        for e, m in residual.items():
-            if m > 0 and (best is None or e < best):
-                best = e
-        return best
-
-    def dfs(used: int, chosen: list[CycleBlock]) -> None:
-        nonlocal best_blocks, best_count, remaining_distance
-        st.nodes += 1
-        if st.nodes > node_limit:
-            raise SolverError(f"instance solver exceeded node limit {node_limit}")
-        target = pick_target()
-        if target is None:
-            if used < best_count:
-                best_count = used
-                best_blocks = list(chosen)
-            return
-        if used + max(1, bound()) >= best_count:
-            return
-        for blk, edges in per_edge[target]:
-            decremented: list[tuple[int, int]] = []
-            delta = 0
-            for e in edges:
-                m = residual.get(e, 0)
-                if m > 0:
-                    residual[e] = m - 1
-                    decremented.append(e)
-                    delta += dist[e]
-            remaining_distance -= delta
-            chosen.append(blk)
-            dfs(used + 1, chosen)
-            chosen.pop()
-            remaining_distance += delta
-            for e in decremented:
-                residual[e] += 1
-
-    dfs(0, [])
-    if best_blocks is None:
-        raise SolverError("no covering found (node limit too small?)")
-    st.best_value = best_count
-    st.proven_optimal = True
-    return Covering(n, tuple(best_blocks))

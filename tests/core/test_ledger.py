@@ -1,0 +1,121 @@
+"""Property tests: incremental coverage accounting must agree with a
+from-scratch recount after any chain of covering edits.
+
+``Covering.with_blocks`` / ``replace_block`` / ``without_block`` patch
+the parent's :class:`~repro.core.ledger.CoverageLedger` in O(block
+size); these tests drive random edit chains (hypothesis) and compare
+every cached quantity — coverage counts, total slots, excess, covers —
+against an independently recounted covering of the same blocks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covering import Covering
+from repro.core.engine import enumerate_convex_blocks
+from repro.core.ledger import CoverageLedger
+
+
+def _recount(cov: Covering) -> Counter:
+    counts: Counter = Counter()
+    for blk in cov.blocks:
+        counts.update(blk.edges())
+    return counts
+
+
+def _assert_consistent(cov: Covering) -> None:
+    expected = _recount(cov)
+    fresh = Covering(cov.n, cov.blocks)  # recounts from scratch
+    assert cov.coverage == dict(expected)
+    assert cov.total_slots == sum(expected.values())
+    assert cov.excess() == fresh.excess()
+    assert cov.covers() == fresh.covers()
+    for e in list(expected) + [(0, 1)]:
+        assert cov.multiplicity(e) == expected.get(e, 0)
+
+
+@st.composite
+def edit_chains(draw):
+    n = draw(st.integers(min_value=4, max_value=12))
+    pool = enumerate_convex_blocks(n)
+    picks = st.integers(min_value=0, max_value=len(pool) - 1)
+    initial = draw(st.lists(picks, min_size=1, max_size=8))
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "remove", "replace"]), picks, picks),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return n, pool, initial, ops
+
+
+@given(edit_chains())
+@settings(max_examples=60, deadline=None)
+def test_incremental_ledger_matches_recount(chain):
+    n, pool, initial, ops = chain
+    cov = Covering(n, tuple(pool[i] for i in initial))
+    cov.coverage  # materialise the ledger so edits take the delta path
+    for op, i, j in ops:
+        if op == "add":
+            cov = cov.with_blocks([pool[i]])
+        elif op == "remove" and cov.num_blocks > 1:
+            cov = cov.without_block(i % cov.num_blocks)
+        elif op == "replace" and cov.num_blocks > 0:
+            cov = cov.replace_block(i % cov.num_blocks, pool[j])
+        _assert_consistent(cov)
+
+
+@given(edit_chains())
+@settings(max_examples=30, deadline=None)
+def test_cold_ledger_path_matches(chain):
+    # Without touching coverage first, edits derive coverings whose
+    # ledgers are recounted lazily — results must be identical too.
+    n, pool, initial, ops = chain
+    cov = Covering(n, tuple(pool[i] for i in initial))
+    for op, i, j in ops[:4]:
+        if op == "add":
+            cov = cov.with_blocks([pool[i]])
+        elif op == "remove" and cov.num_blocks > 1:
+            cov = cov.without_block(i % cov.num_blocks)
+        elif op == "replace":
+            cov = cov.replace_block(i % cov.num_blocks, pool[j])
+    _assert_consistent(cov)
+
+
+def test_derived_covering_reuses_parent_ledger():
+    # White-box: once the parent ledger is materialised, children get a
+    # pre-seeded patched copy instead of recounting.
+    pool = enumerate_convex_blocks(7)
+    cov = Covering(7, pool[:4])
+    assert "_ledger" not in cov.__dict__
+    cov.coverage
+    child = cov.with_blocks([pool[10]])
+    assert "_ledger" in child.__dict__
+    grandchild = child.without_block(0)
+    assert "_ledger" in grandchild.__dict__
+    _assert_consistent(grandchild)
+
+
+def test_ledger_add_remove_roundtrip():
+    pool = enumerate_convex_blocks(8)
+    ledger = CoverageLedger.from_blocks(pool[:5])
+    snapshot = dict(ledger.counts)
+    ledger.add_block(pool[11])
+    ledger.remove_block(pool[11])
+    assert ledger.counts == snapshot
+    assert ledger.total_slots == sum(snapshot.values())
+
+
+def test_ledger_never_stores_zero_counts():
+    pool = enumerate_convex_blocks(6)
+    ledger = CoverageLedger.from_blocks([pool[0], pool[0]])
+    ledger.remove_block(pool[0])
+    ledger.remove_block(pool[0])
+    assert ledger.counts == {}
+    assert ledger.total_slots == 0
+    assert ledger.excess_all_to_all() == 0
