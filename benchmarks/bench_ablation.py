@@ -10,6 +10,12 @@ A2 — candidate pool: tight blocks only (distance-budget = n) vs all
      pool shrinks the search space without losing solutions.
 A3 — the pole quad's interior vertex w ∈ {2q+1, 2q+2}: both complete;
      recorded so regressions in either variant are caught.
+A4 — the ρ(n) covering search: chord branching order (lexicographic vs
+     scarcest-first) × canonical-mask transposition memo.  Lexicographic
+     order resolves all chords at a vertex together, so sibling subtrees
+     share residual states and the memo collapses them; scarcest-first
+     (classic MRV) minimises fan-out per node but starves the memo.
+     Every table is emitted as text and as JSON rows.
 """
 
 from __future__ import annotations
@@ -61,7 +67,7 @@ def _solve(
     return time.perf_counter() - t0, ok, stats.nodes
 
 
-def test_bench_ablation_branching(benchmark, save_table):
+def test_bench_ablation_branching(benchmark, save_table, save_json):
     """A1: branching strategy on the tight pool, pushed to sizes where
     static ordering starts to thrash (budget-capped so a thrash shows up
     as 'no' rather than a minutes-long stall)."""
@@ -91,6 +97,7 @@ def test_bench_ablation_branching(benchmark, save_table):
         )
     text = table.render()
     save_table("A1_ablation_branching", text)
+    save_json("A1_ablation_branching", {"experiment": "A1", "rows": rows})
     print("\n" + text)
 
     # The shipped configuration (MRV) must solve every size in budget.
@@ -99,7 +106,7 @@ def test_bench_ablation_branching(benchmark, save_table):
             assert row["solved"], f"default config failed at n={row['np']}"
 
 
-def test_bench_ablation_pool(benchmark, save_table):
+def test_bench_ablation_pool(benchmark, save_table, save_json):
     """A2: candidate pool (tight vs all-convex), small sizes only — the
     convex pool already exhausts the budget at n' = 15, which is the
     measurement: tightness pruning is what makes completions tractable."""
@@ -129,6 +136,7 @@ def test_bench_ablation_pool(benchmark, save_table):
         )
     text = table.render()
     save_table("A2_ablation_pool", text)
+    save_json("A2_ablation_pool", {"experiment": "A2", "rows": rows})
     print("\n" + text)
 
     for row in rows:
@@ -136,7 +144,7 @@ def test_bench_ablation_pool(benchmark, save_table):
             assert row["solved"]
 
 
-def test_bench_ablation_pole_w(benchmark, save_table):
+def test_bench_ablation_pole_w(benchmark, save_table, save_json):
     """A3: both pole-quad variants complete (w = 2q+1 and 2q+2)."""
 
     def run():
@@ -162,6 +170,65 @@ def test_bench_ablation_pole_w(benchmark, save_table):
         table.add_row(row["np"], row["w"], round(row["seconds"], 3), row["solved"])
     text = table.render()
     save_table("A3_ablation_pole_w", text)
+    save_json("A3_ablation_pole_w", {"experiment": "A3", "rows": rows})
     print("\n" + text)
 
     assert all(row["solved"] for row in rows)
+
+
+def test_bench_ablation_covering_search(benchmark, save_table, save_json):
+    """A4: the ρ(n) covering search — branching order × transposition
+    memo, on the even sizes whose counting-bound gap forces a real
+    exhaustion proof (budget-capped; a blow-up shows up as 'no')."""
+    from repro.core.engine import SolverEngine, SolverStats
+    from repro.core.formulas import rho
+
+    def run():
+        rows = []
+        for n in (6, 8):
+            for branching in ("lex", "scarcest"):
+                for use_memo in (True, False):
+                    stats = SolverStats()
+                    t0 = time.perf_counter()
+                    try:
+                        cov = SolverEngine(n).min_covering(
+                            branching=branching, use_memo=use_memo,
+                            node_limit=300_000, stats=stats,
+                        )
+                        solved = cov.num_blocks == rho(n)
+                    except SolverError:
+                        solved = False  # budget exhausted — the measurement
+                    rows.append(
+                        {"n": n, "branching": branching, "memo": use_memo,
+                         "seconds": time.perf_counter() - t0,
+                         "nodes": stats.nodes, "solved": solved}
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    table = Table(
+        "A4 — covering-search ablation (300k-node budget)",
+        ["n", "branching", "memo", "seconds", "nodes", "solved"],
+    )
+    for row in rows:
+        table.add_row(
+            row["n"], row["branching"], row["memo"],
+            round(row["seconds"], 3), row["nodes"], row["solved"],
+        )
+    text = table.render()
+    save_table("A4_ablation_covering_search", text)
+    save_json("A4_ablation_covering_search", {"experiment": "A4", "rows": rows})
+    print("\n" + text)
+
+    # The shipped configuration (lex + memo) must solve both sizes in
+    # budget and never explore more nodes than any other configuration
+    # that also solved.
+    by_config = {(r["n"], r["branching"], r["memo"]): r for r in rows}
+    for n in (6, 8):
+        shipped = by_config[(n, "lex", True)]
+        assert shipped["solved"], f"default config failed at n={n}"
+        for (rn, _, _), row in by_config.items():
+            if rn == n and row["solved"]:
+                assert shipped["nodes"] <= row["nodes"], (
+                    f"default config is not the fastest at n={n}"
+                )

@@ -1,28 +1,74 @@
 """E10 — exact certification of ρ(n) at small n.
 
 The branch-and-bound solver knows neither the formulas nor the
-constructions; its optimum matching ρ(n) for every n it can exhaust is
-the reproduction's independent check of the theorems' *lower* bounds.
+constructions (it gets no upper-bound hints); its optimum matching
+ρ(n) for every n it can exhaust is the reproduction's independent
+check of the theorems' *lower* bounds.
 
 Runs through :func:`repro.core.engine.solve_many`, the batched engine
-front door; n = 9 joined the sweep once greedy incumbents and dihedral
-symmetry breaking cut its search from ~1.6M nodes to a few hundred.
+front door.  The sweep reaches n = 11 since the canonical-mask
+transposition memo, the packing bound, and improver-seeded incumbents
+landed: n = 9 and n = 11 certify from the root (the counting bound is
+tight for odd n), and the even sizes — whose bound gap forces a real
+exhaustion proof — run orders of magnitude below the seed solver
+(n = 8: 85,650 → ~3.5k nodes).  Ring sizes ≥ ``SHARD_THRESHOLD``
+exercise the root-orbit-sharded scale-out path.
+
+Results are written three ways: the rendered table
+(``results/E10_solver.txt``), machine-readable rows
+(``results/E10_solver.json``), and the repo-top-level
+``BENCH_solver.json`` that CI uploads as an artifact and guards with
+the pinned ``N8_NODE_CEILING`` (the seed's 85,650-node n = 8 anomaly
+must stay ≥ 10× beaten).
+
+``REPRO_BENCH_NS`` (comma-separated ring sizes) restricts the sweep —
+CI's smoke job sets ``4,5,6,7,8``.
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis.experiments import experiment_solver_certification
+from repro.core.engine import N8_NODE_CEILING
 
-NS = (4, 5, 6, 7, 8, 9)
+NS = (4, 5, 6, 7, 8, 9, 10, 11)
+SHARD_THRESHOLD = 11
 
 
-def test_bench_solver_certification(benchmark, save_table):
+def _ns_from_env() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_NS")
+    if not raw:
+        return NS
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def test_bench_solver_certification(benchmark, save_table, save_json):
+    ns = _ns_from_env()
     result = benchmark.pedantic(
-        experiment_solver_certification, args=(NS,), rounds=1, iterations=1, warmup_rounds=0
+        experiment_solver_certification,
+        args=(ns,),
+        kwargs={"shard_threshold": SHARD_THRESHOLD},
+        rounds=1, iterations=1, warmup_rounds=0,
     )
     table = result.render()
     save_table("E10_solver", table)
+    save_json(
+        "E10_solver",
+        {
+            "experiment": "E10",
+            "title": "exact solver certification of rho(n)",
+            "n8_node_ceiling": N8_NODE_CEILING,
+            "rows": result.rows,
+        },
+        mirror="BENCH_solver.json",
+    )
     print("\n" + table)
 
     for row in result.rows:
         assert row["match"], f"solver disagrees with ρ({row['n']})"
+        assert row["proven"], f"ρ({row['n']}) not proven optimal"
+        if row["n"] == 8:
+            assert row["nodes"] <= N8_NODE_CEILING, (
+                f"n=8 node-count regression: {row['nodes']} > {N8_NODE_CEILING}"
+            )

@@ -4,16 +4,22 @@ Each benchmark regenerates one of the paper's tables (experiments
 E1–E10 in DESIGN.md), times it with pytest-benchmark, asserts the
 paper-shape of the results, and writes the rendered table to
 ``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from
-artifacts rather than by hand.
+artifacts rather than by hand.  Machine-readable companions
+(``benchmarks/results/*.json``) carry the same rows for trajectory
+tracking; the solver benchmark additionally mirrors its payload to the
+repo-top-level ``BENCH_solver.json``, the file CI uploads and guards
+against node-count regressions.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +30,24 @@ def save_table():
     def _save(name: str, text: str) -> Path:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist a machine-readable experiment payload under
+    benchmarks/results/<name>.json (and optionally mirror it to a
+    repo-top-level file — the solver benchmark's ``BENCH_solver.json``)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict, *, mirror: str | None = None) -> Path:
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(text, encoding="utf-8")
+        if mirror is not None:
+            (REPO_ROOT / mirror).write_text(text, encoding="utf-8")
         return path
 
     return _save

@@ -38,10 +38,13 @@ from .core import (
     optimal_covering,
     optimal_excess,
     optimality_gap,
+    improve_covering,
+    improved_greedy_covering,
     rho,
     route_block,
     solve_many,
     solve_min_covering,
+    solve_min_covering_sharded,
     theorem_cycle_mix,
     triangle_covering_number,
     verify_covering,
@@ -55,7 +58,10 @@ __all__ = [
     "CycleBlock",
     "Instance",
     "SolverEngine",
+    "improve_covering",
+    "improved_greedy_covering",
     "solve_many",
+    "solve_min_covering_sharded",
     "all_to_all",
     "assert_valid_covering",
     "counting_bound",

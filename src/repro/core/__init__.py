@@ -15,7 +15,14 @@ from .formulas import (
     theorem_cycle_mix,
     triangle_covering_number,
 )
-from .engine import SolverEngine, dihedral_canonical, solve_many
+from .engine import (
+    SolverEngine,
+    dihedral_canonical,
+    dominated_candidates,
+    solve_many,
+    solve_min_covering_sharded,
+)
+from .improve import ImproveStats, improve_covering, improved_greedy_covering
 from .ladder import ladder_decomposition
 from .ledger import CoverageLedger
 from .pole import pole_decomposition
@@ -47,10 +54,15 @@ __all__ = [
     "CycleBlock",
     "Covering",
     "LowerBoundCertificate",
+    "ImproveStats",
     "SolverEngine",
     "SolverStats",
     "dihedral_canonical",
+    "dominated_candidates",
+    "improve_covering",
+    "improved_greedy_covering",
     "solve_many",
+    "solve_min_covering_sharded",
     "VerificationReport",
     "assert_valid_covering",
     "brute_force_routing",

@@ -14,32 +14,93 @@ lower bound.  :class:`SolverEngine` owns that scaffolding once:
   Memoized per ring size.
 * **Block tables** (:func:`convex_block_table`,
   :func:`tight_block_table`): candidate pools with precomputed edge
-  bitmasks, edge lists, and per-chord candidate indices.  Memoized per
-  ``(n, max_size)`` so batched sweeps (:func:`solve_many`) build each
-  table once per process.
-* **One prune** — branch-and-bound nodes compute the counting bound
-  exactly once and cut with the single exclusive test
-  ``used + bound >= best_count`` (``best_count`` is always the
-  *exclusive* threshold: one more than the best covering found so
-  far, or ``upper_bound + 1`` before an incumbent exists).  The seed
-  solver evaluated the bound twice per node against a contradictory
-  ``>=`` / ``>`` pair; this engine is the fix.
-* **Symmetry breaking** — the All-to-All problem (and any
-  dihedral-invariant instance) is preserved by the ``2n`` rotations
-  and reflections of ``C_n``, so the first branch only needs one
-  candidate block per dihedral orbit (:func:`dihedral_canonical`).
-  Every solution maps, by some ring symmetry, to a solution through a
-  retained representative, so optimality is unaffected while the root
-  fan-out shrinks by roughly the orbit sizes.
-* **Greedy incumbents** — before branching, a deterministic
-  max-coverage greedy pass (shared with :mod:`repro.baselines.greedy`)
-  seeds ``best_count``, replacing the trivial one-block-per-request
-  bound and letting the counting prune bite from the first node.
+  bitmasks, bit lists, per-block coverage masses (total chord distance
+  — the quantity the DRC geometry caps at ``n`` per block), per-chord
+  candidate indices pre-sorted by coverage mass, and the *bound
+  fragments* below.  Memoized per ``(n, max_size)`` so batched sweeps
+  (:func:`solve_many`) build each table once per process.
+* **Packing lower bound** — the seed pruned with the counting bound
+  ``⌈Σ_uncovered dist(e) / n⌉`` alone.  The engine's bound is the max
+  of two strictly-dominating relaxations, both O(1) per node thanks to
+  incrementally maintained residual totals:
+
+  - the *per-chord fractional bound* ``⌈Σ dist(e)·(L/mm(e)) / L⌉``,
+    where ``mm(e)`` is the largest in-demand coverage mass of any
+    candidate block containing chord ``e`` and ``L = lcm{mm(e)}``.
+    Since every block that covers ``e`` retires at most ``mm(e)`` of
+    weighted demand, each chosen block contributes at most ``L`` to the
+    weighted total; with ``mm(e) ≤ n`` everywhere this dominates the
+    counting bound, strictly so whenever the demand leaves a chord
+    without full-mass candidates (restricted instances, residual
+    subproblems).  The scaled integer weights (``chord_weights``,
+    ``weight_denom``) are cached in the memoized block tables.
+  - the *cardinality bound* ``⌈|uncovered| / max cover⌉`` — each block
+    covers at most ``max_size`` chords, which bites exactly where the
+    distance-weighted bound is weakest (many short chords left).
+
+* **Branching** — branch-and-bound always branches on one uncovered
+  chord and tries exactly its candidate blocks (complete, since every
+  covering must cover that chord).  Candidates are expanded in
+  descending *residual* coverage-mass order, so near-zero-waste blocks
+  — the only ones optimal coverings can afford — are tried first and
+  strong incumbents appear early.  Two chord-selection orders are
+  built in (measured in the A4 ablation):
+
+  - ``"lex"`` (default): the lexicographically first uncovered chord.
+    All chords at vertex 0 are resolved first, so sibling subtrees
+    share most of their covered mask — which is precisely what makes
+    the transposition memo below hit; measured on ``n = 8`` and
+    ``n = 10`` this beats scarcity ordering by 2–30×.
+  - ``"scarcest"``: fewest candidate blocks first (most-constrained;
+    ties toward longer chords).  The classic MRV heuristic — smallest
+    fan-out per node, but sibling subtrees diverge early, starving the
+    memo.  Kept for the ablation and for restricted instances whose
+    candidate counts are genuinely lopsided.
+
+* **Dominance pruning** — when the demand does not touch every chord
+  (the λK_n certifier, residual instances), candidate blocks are
+  filtered at table-build time: a block whose in-demand edge set is a
+  subset of another candidate's is *dominated* — any covering using it
+  maps, block-for-block, to one at most as large using the dominator —
+  and is dropped (:func:`dominated_candidates`).  Unsound for exact
+  decomposition (a strict superset changes the partition), so
+  :meth:`SolverEngine.decompose` never applies it.
+* **Transposition memo** — the subproblem below a node depends only on
+  its uncovered-chord set, so the search memoizes ``uncovered → fewest
+  blocks used`` and prunes any revisit that does not arrive strictly
+  cheaper.  For dihedral-invariant demand (All-to-All), masks are
+  first canonicalised under the ``2n`` ring symmetries
+  (:func:`dihedral_bit_perms`), collapsing rotated/reflected residual
+  states *anywhere* in the tree, not just at the root.  This is the
+  fix for the seed's ``n = 8`` anomaly: even ``n`` leaves a gap of one
+  between the counting bound and ρ(n), so certification must exhaust a
+  space that is ~``2n``-fold redundant — 85,650 nodes at ``n = 8``
+  while the gap-free ``n = 9`` needed 234.  With the memo (plus the
+  mass-ordered expansion) the same proof takes ~3.5k nodes, and
+  ``n = 10`` / ``n = 11`` close in well under a second.
+* **Symmetry breaking** — for dihedral-invariant demand the first
+  branch only needs one candidate block per dihedral orbit
+  (:func:`dihedral_canonical`); every solution maps, by some ring
+  symmetry, to a solution through a retained representative.
+* **Incumbents** — before branching, a deterministic max-coverage
+  greedy pass (shared with :mod:`repro.baselines.greedy`) is tightened
+  by the :mod:`repro.core.improve` local-search improver and seeds
+  ``best_count``, letting the bound prune from the first node.
+* **Sharded scale-out** — :meth:`SolverEngine.min_covering_sharded`
+  partitions the root orbit representatives into per-worker shards
+  balanced by orbit weight (:func:`repro.util.parallel.weighted_chunks`)
+  and fans them out over :func:`repro.util.parallel.parallel_map`.
+  Every worker starts from the same shared greedy/improver incumbent
+  (the "incumbent broadcast"), so each shard proves its subtree cannot
+  beat the best known covering; the union of shards covers every root
+  orbit, which is exactly the serial proof.  :class:`SolverStats` from
+  the shards merge deterministically (:meth:`SolverStats.merge`) in
+  shard order, independent of worker scheduling.
 * **Incremental coverings** — results are
   :class:`~repro.core.covering.Covering` objects backed by a
   :class:`~repro.core.ledger.CoverageLedger`, so downstream mutation
-  (greedy loops, local search, mutation tests) stays O(block size)
-  per edit.
+  (greedy loops, the improver, mutation tests) stays O(block size) per
+  edit.
 
 :mod:`repro.core.solver` remains as a thin compatibility façade
 re-exporting the public entry points with their historical signatures.
@@ -49,11 +110,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from math import lcm
 from typing import NamedTuple
 
 from ..util import circular
 from ..util.errors import SolverError
-from ..util.parallel import parallel_map
+from ..util.parallel import parallel_map, resolve_workers, weighted_chunks
 from .blocks import CycleBlock
 from .covering import Covering
 from .ledger import CoverageLedger
@@ -62,15 +124,27 @@ __all__ = [
     "SolverEngine",
     "SolverStats",
     "dihedral_canonical",
+    "dihedral_bit_perms",
+    "dominated_candidates",
     "enumerate_convex_blocks",
     "enumerate_tight_blocks",
     "exact_decomposition",
     "solve_many",
     "solve_min_covering",
     "solve_min_covering_instance",
+    "solve_min_covering_sharded",
 ]
 
 DEFAULT_NODE_LIMIT = 20_000_000
+
+BRANCHING_ORDERS = ("lex", "scarcest")
+
+# The acceptance bar of the PR-2 perf work, shared by the regression
+# tests, the solver benchmark, and CI: the seed solver explored 85,650
+# nodes certifying ρ(8) (the even-n anomaly — see the module docstring)
+# and the engine must stay ≥ 10× below it.
+SEED_N8_NODES = 85_650
+N8_NODE_CEILING = SEED_N8_NODES // 10
 
 
 @dataclass
@@ -80,6 +154,24 @@ class SolverStats:
     nodes: int = 0
     best_value: int | None = None
     proven_optimal: bool = False
+    shards: int = 0
+
+    @classmethod
+    def merge(cls, parts: list["SolverStats"]) -> "SolverStats":
+        """Deterministic merge of per-shard statistics (in shard order):
+        nodes add up, the best value is the minimum, and optimality
+        holds only when every shard ran to completion."""
+        merged = cls(shards=len(parts))
+        best: int | None = None
+        proven = bool(parts)
+        for st in parts:
+            merged.nodes += st.nodes
+            if st.best_value is not None and (best is None or st.best_value < best):
+                best = st.best_value
+            proven = proven and st.proven_optimal
+        merged.best_value = best
+        merged.proven_optimal = proven
+        return merged
 
 
 # ---------------------------------------------------------------------------
@@ -159,12 +251,18 @@ class EdgeSpace(NamedTuple):
 
 
 class BlockTable(NamedTuple):
-    """A candidate-block pool with precomputed masks and indices."""
+    """A candidate-block pool with precomputed masks, bound fragments,
+    and per-chord candidate indices (sorted by coverage mass for the
+    convex pool — the branching expansion order)."""
 
     blocks: tuple[CycleBlock, ...]
     masks: tuple[int, ...]
     edge_lists: tuple[tuple[tuple[int, int], ...], ...]
     per_edge: tuple[tuple[int, ...], ...]  # chord bit → candidate block indices
+    bit_lists: tuple[tuple[int, ...], ...]  # block → covered chord bits
+    masses: tuple[int, ...]  # block → Σ chord distance (≤ n, = n iff tight)
+    chord_weights: tuple[int, ...]  # fractional-bound fragments (full demand)
+    weight_denom: int
 
 
 @lru_cache(maxsize=64)
@@ -175,42 +273,137 @@ def edge_space(n: int) -> EdgeSpace:
     return EdgeSpace(n, edges, index, dist, (1 << len(edges)) - 1)
 
 
-def _build_table(n: int, pool: tuple[CycleBlock, ...], *, big_first: bool) -> BlockTable:
+@lru_cache(maxsize=64)
+def dihedral_bit_perms(n: int) -> tuple[tuple[int, ...], ...]:
+    """Chord-bit permutations induced by the ``2n`` ring symmetries.
+
+    ``perms[k][b]`` is the bit index of the image of chord-bit ``b``
+    under the k-th symmetry; the identity is ``perms[0]``.  Used to
+    canonicalise residual masks in the transposition memo.
+    """
     space = edge_space(n)
+    perms: list[tuple[int, ...]] = []
+    for refl in (False, True):
+        for r in range(n):
+            perm = [0] * len(space.edges)
+            for i, (a, b) in enumerate(space.edges):
+                if refl:
+                    a, b = (-a) % n, (-b) % n
+                a2, b2 = (a + r) % n, (b + r) % n
+                perm[i] = space.index[(a2, b2) if a2 < b2 else (b2, a2)]
+            perms.append(tuple(perm))
+    return tuple(perms)
+
+
+def _mask_bits(mask: int) -> list[int]:
+    bits: list[int] = []
+    while mask:
+        bits.append((mask & -mask).bit_length() - 1)
+        mask &= mask - 1
+    return bits
+
+
+def _canonical_mask(mask: int, perms: tuple[tuple[int, ...], ...]) -> int:
+    """Minimum image of ``mask`` under the dihedral bit permutations."""
+    bits = _mask_bits(mask)
+    best = mask
+    for perm in perms[1:]:
+        img = 0
+        for b in bits:
+            img |= 1 << perm[b]
+        if img < best:
+            best = img
+    return best
+
+
+def _bound_fragments(
+    dist: tuple[int, ...], masks, bit_lists, demand_bits: list[int]
+) -> tuple[list[int], int, list[int]]:
+    """Fractional-bound fragments for the demanded chord bits.
+
+    Returns ``(weights, denom, uncoverable)`` with ``weights[e] =
+    dist(e) · denom / mm(e)`` for demanded bits (0 elsewhere), where
+    ``mm(e)`` is the maximum in-demand coverage mass over candidate
+    blocks containing ``e`` and ``denom = lcm{mm(e)}``; any demanded
+    chord no candidate covers is reported in ``uncoverable``.
+    """
+    demand_mask = 0
+    for b in demand_bits:
+        demand_mask |= 1 << b
+    nbits = len(dist)
+    mm = [0] * nbits
+    for mask, bits in zip(masks, bit_lists):
+        if not mask & demand_mask:
+            continue
+        mass = sum(dist[b] for b in bits if (demand_mask >> b) & 1)
+        for b in bits:
+            if (demand_mask >> b) & 1 and mass > mm[b]:
+                mm[b] = mass
+    uncoverable = [b for b in demand_bits if mm[b] == 0]
+    denom = 1
+    for b in demand_bits:
+        if mm[b]:
+            denom = lcm(denom, mm[b])
+    weights = [0] * nbits
+    for b in demand_bits:
+        if mm[b]:
+            weights[b] = dist[b] * denom // mm[b]
+    return weights, denom, uncoverable
+
+
+def _build_table(n: int, pool: tuple[CycleBlock, ...], *, mass_sorted: bool) -> BlockTable:
+    space = edge_space(n)
+    dist = space.dist
     masks: list[int] = []
     edge_lists: list[tuple[tuple[int, int], ...]] = []
+    bit_lists: list[tuple[int, ...]] = []
+    masses: list[int] = []
     for blk in pool:
         es = blk.edges()
         mask = 0
+        bits: list[int] = []
         for e in es:
-            mask |= 1 << space.index[e]
+            b = space.index[e]
+            mask |= 1 << b
+            bits.append(b)
         masks.append(mask)
         edge_lists.append(es)
+        bit_lists.append(tuple(bits))
+        masses.append(sum(dist[b] for b in bits))
     per_edge: list[list[int]] = [[] for _ in space.edges]
-    for i, mask in enumerate(masks):
-        m = mask
-        while m:
-            low = (m & -m).bit_length() - 1
-            per_edge[low].append(i)
-            m &= m - 1
-    if big_first:
-        # Larger blocks first: greedy-like ordering reaches strong
-        # incumbents early, which tightens the counting prune sooner.
+    for i, bits in enumerate(bit_lists):
+        for b in bits:
+            per_edge[b].append(i)
+    if mass_sorted:
+        # Widest coverage first (then heaviest): the branching expansion
+        # sorts dynamically by residual mass, and this static order is
+        # its tie-break — preferring more-chords-covered on residual
+        # ties is measured ~47× cheaper at n = 10 than mass-first.
         for cands in per_edge:
-            cands.sort(key=lambda i: (-pool[i].size, i))
+            cands.sort(key=lambda i: (-pool[i].size, -masses[i], i))
+    weights, denom, _ = _bound_fragments(
+        dist, masks, bit_lists, list(range(len(space.edges)))
+    )
     return BlockTable(
-        tuple(pool), tuple(masks), tuple(edge_lists), tuple(tuple(c) for c in per_edge)
+        tuple(pool),
+        tuple(masks),
+        tuple(edge_lists),
+        tuple(tuple(c) for c in per_edge),
+        tuple(bit_lists),
+        tuple(masses),
+        tuple(weights),
+        denom,
     )
 
 
 @lru_cache(maxsize=32)
 def convex_block_table(n: int, max_size: int = 4) -> BlockTable:
-    return _build_table(n, enumerate_convex_blocks(n, max_size), big_first=True)
+    return _build_table(n, enumerate_convex_blocks(n, max_size), mass_sorted=True)
 
 
 @lru_cache(maxsize=32)
 def tight_block_table(n: int, max_size: int = 4) -> BlockTable:
-    return _build_table(n, enumerate_tight_blocks(n, max_size), big_first=False)
+    return _build_table(n, enumerate_tight_blocks(n, max_size), mass_sorted=False)
 
 
 # ---------------------------------------------------------------------------
@@ -236,21 +429,31 @@ def dihedral_canonical(n: int, vertices: tuple[int, ...]) -> tuple[int, ...]:
     return best
 
 
-def _orbit_representatives(n: int, blocks: tuple[CycleBlock, ...], cand_indices) -> list[int]:
-    """One candidate per dihedral orbit, in candidate order."""
-    seen: set[tuple[int, ...]] = set()
+def _orbit_representatives(
+    n: int, blocks: tuple[CycleBlock, ...], cand_indices
+) -> tuple[list[int], list[int]]:
+    """One candidate per dihedral orbit, in candidate order, plus the
+    orbit weight (how many candidates each representative stands for —
+    the shard-balancing weight)."""
+    order: dict[tuple[int, ...], int] = {}
     reps: list[int] = []
+    weights: list[int] = []
     for i in cand_indices:
         key = dihedral_canonical(n, blocks[i].vertices)
-        if key not in seen:
-            seen.add(key)
+        pos = order.get(key)
+        if pos is None:
+            order[key] = len(reps)
             reps.append(i)
-    return reps
+            weights.append(1)
+        else:
+            weights[pos] += 1
+    return reps, weights
 
 
 def _is_dihedral_invariant(instance) -> bool:
     """True when demand depends only on chord distance — the condition
-    under which root symmetry breaking is sound for an instance."""
+    under which root symmetry breaking and canonical-mask memoization
+    are sound for an instance."""
     n = instance.n
     per_dist: dict[int, int] = {}
     for e in circular.all_chords(n):
@@ -259,6 +462,43 @@ def _is_dihedral_invariant(instance) -> bool:
         if per_dist.setdefault(d, m) != m:
             return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# Dominance pruning
+# ---------------------------------------------------------------------------
+
+
+def dominated_candidates(masks, restrict_mask: int | None = None) -> set[int]:
+    """Indices of candidates dominated within the demanded chord set.
+
+    Candidate ``i`` is dominated when some other candidate ``j`` covers
+    a (weak) superset of ``i``'s demanded chords; of an exactly-equal
+    pair only the later index is dropped, so at least one optimal
+    covering always survives the filter (every covering maps
+    block-for-block onto dominators without growing).  Candidates with
+    no demanded coverage at all are dominated trivially.  Only sound
+    for *covering* problems — see :meth:`SolverEngine.decompose`.
+    """
+    if restrict_mask is None:
+        restricted = list(masks)
+    else:
+        restricted = [m & restrict_mask for m in masks]
+    dropped: set[int] = set()
+    nblocks = len(restricted)
+    for i in range(nblocks):
+        ri = restricted[i]
+        if ri == 0:
+            dropped.add(i)
+            continue
+        for j in range(nblocks):
+            if j == i or j in dropped:
+                continue
+            rj = restricted[j]
+            if ri & ~rj == 0 and (ri != rj or j < i):
+                dropped.add(i)
+                break
+    return dropped
 
 
 # ---------------------------------------------------------------------------
@@ -351,6 +591,19 @@ class SolverEngine:
         table = self._table(pool)
         return Covering(self.n, tuple(table.blocks[i] for i in chosen))
 
+    def _incumbent_blocks(self) -> list[CycleBlock] | None:
+        """Greedy All-to-All covering tightened by the local-search
+        improver — the incumbent every ``K_n`` search starts from."""
+        from .improve import improved_greedy_covering
+
+        try:
+            improved = improved_greedy_covering(
+                self.n, max_size=self.max_size, max_rounds=2
+            )
+        except SolverError:
+            return None
+        return list(improved.blocks)
+
     # -- minimum covering of K_n ----------------------------------------
 
     def min_covering(
@@ -359,6 +612,8 @@ class SolverEngine:
         upper_bound: int | None = None,
         node_limit: int = DEFAULT_NODE_LIMIT,
         stats: SolverStats | None = None,
+        branching: str = "lex",
+        use_memo: bool = True,
     ) -> Covering:
         """Certified minimum DRC-covering of ``K_n`` over ``C_n``.
 
@@ -367,11 +622,99 @@ class SolverEngine:
         the branch-and-bound threshold is the exclusive
         ``upper_bound + 1``).  Raises :class:`SolverError` when no
         covering within the bound exists.
+
+        ``branching`` and ``use_memo`` select the chord order and the
+        canonical-mask transposition memo (see the module docstring);
+        the defaults are the measured-fastest configuration and the
+        knobs exist for the A4 ablation.
         """
         n = self.n
         if n > 12:
             raise SolverError(f"exact covering solver is for small n (≤ 12), got {n}")
 
+        st = stats if stats is not None else SolverStats()
+        best_count, best_blocks, order, root_cands, _ = self._search_prologue(
+            upper_bound, branching
+        )
+        best_count, best_blocks = self._covering_search(
+            root_cands=root_cands,
+            best_count=best_count,
+            best_blocks=best_blocks,
+            node_limit=node_limit,
+            st=st,
+            order=order,
+            use_memo=use_memo,
+        )
+        if best_blocks is None:
+            # The search ran to exhaustion (a node-limit overrun raises
+            # inside), so the bound itself is below the optimum.
+            raise SolverError(
+                f"no covering of K_{n} within upper bound {upper_bound} "
+                f"(the optimum is larger)"
+            )
+        st.best_value = best_count
+        st.proven_optimal = True
+        return Covering(n, tuple(best_blocks))
+
+    def _search_prologue(
+        self, upper_bound: int | None, branching: str
+    ) -> tuple[int, list[CycleBlock] | None, list[int], list[int], list[int]]:
+        """Shared setup of the serial and sharded ``K_n`` certifications:
+        the exclusive threshold (seeded by the greedy/improver
+        incumbent), the branch order, and the root orbit representatives
+        with their orbit weights.  Keeping one copy is what guarantees
+        both paths prove against the same incumbent convention."""
+        table = self.convex_table
+        best_count = (
+            len(self.space.edges) + 1 if upper_bound is None else upper_bound + 1
+        )
+        best_blocks: list[CycleBlock] | None = None
+        incumbent = self._incumbent_blocks()
+        if incumbent is not None and len(incumbent) < best_count:
+            best_count = len(incumbent)
+            best_blocks = incumbent
+        order = self._branch_order(table, branching)
+        # All-to-All is dihedral-invariant, so the root branch needs one
+        # block per orbit only.
+        root_cands, orbit_weights = _orbit_representatives(
+            self.n, table.blocks, table.per_edge[order[0]]
+        )
+        return best_count, best_blocks, order, root_cands, orbit_weights
+
+    def _branch_order(self, table: BlockTable, branching: str) -> list[int]:
+        space = self.space
+        if branching == "lex":
+            return list(range(len(space.edges)))
+        if branching == "scarcest":
+            return sorted(
+                range(len(space.edges)),
+                key=lambda e: (len(table.per_edge[e]), -space.dist[e], e),
+            )
+        raise SolverError(
+            f"unknown branching order {branching!r} (expected one of {BRANCHING_ORDERS})"
+        )
+
+    def _covering_search(
+        self,
+        *,
+        root_cands: list[int],
+        best_count: int,
+        best_blocks: list[CycleBlock] | None,
+        node_limit: int,
+        st: SolverStats,
+        order: list[int],
+        use_memo: bool = True,
+    ) -> tuple[int, list[CycleBlock] | None]:
+        """Branch-and-bound over the convex pool for All-to-All demand.
+
+        ``best_count`` is the exclusive threshold (only strictly better
+        coverings are accepted); ``root_cands`` restricts the first
+        branch — the sharded solver passes each worker its slice of the
+        root orbit representatives.  Returns the improved
+        ``(best_count, best_blocks)``; exhaustive unless the node limit
+        raises.
+        """
+        n = self.n
         space = self.space
         table = self.convex_table
         dist = space.dist
@@ -379,65 +722,122 @@ class SolverEngine:
         masks = table.masks
         blocks = table.blocks
         per_edge = table.per_edge
-        st = stats if stats is not None else SolverStats()
+        bit_lists = table.bit_lists
+        weights = table.chord_weights
+        denom = table.weight_denom
+        max_cover = self.max_size
+        perms = dihedral_bit_perms(n) if use_memo else ()
+        memo: dict[int, int] = {}
+        lex = order == list(range(len(space.edges)))
+        W_root = sum(weights)
 
-        # best_count is the exclusive threshold throughout: only strictly
-        # better coverings are accepted, so the one prune below is exact.
-        best_count = len(space.edges) + 1 if upper_bound is None else upper_bound + 1
-        best_blocks: list[CycleBlock] | None = None
+        best: list = [best_count, best_blocks]
 
-        from ..traffic.instances import all_to_all
-
-        greedy_idx, leftover = self.greedy_cover_indices(dict(all_to_all(n).demand))
-        if not leftover and len(greedy_idx) < best_count:
-            best_count = len(greedy_idx)
-            best_blocks = [blocks[i] for i in greedy_idx]
-
-        # All-to-All is dihedral-invariant, so the root branch (always on
-        # chord (0, 1), the lowest bit) needs one block per orbit only.
-        root_cands = _orbit_representatives(n, blocks, per_edge[0])
-
-        def dfs(covered: int, used: int, chosen: list[CycleBlock]) -> None:
-            nonlocal best_blocks, best_count
+        def dfs(covered: int, used: int, W: int, chosen: list[CycleBlock]) -> None:
             st.nodes += 1
             if st.nodes > node_limit:
                 raise SolverError(f"solver exceeded node limit {node_limit} for n={n}")
             if covered == full_mask:
-                if used < best_count:
-                    best_count = used
-                    best_blocks = list(chosen)
+                if used < best[0]:
+                    best[0] = used
+                    best[1] = list(chosen)
                 return
-            # Counting lower bound over the uncovered chords — computed
-            # once per node, pruned with the single exclusive test.
-            total = 0
-            m = (~covered) & full_mask
-            while m:
-                low = (m & -m).bit_length() - 1
-                total += dist[low]
-                m &= m - 1
-            bound = max(1, -(-total // n))
-            if used + bound >= best_count:
+            unc = full_mask & ~covered
+            # Packing bound: max of the fractional (weighted) and
+            # cardinality relaxations, both from running totals.
+            bound = -(-W // denom)
+            card = -(-unc.bit_count() // max_cover)
+            if card > bound:
+                bound = card
+            if used + (bound if bound > 1 else 1) >= best[0]:
                 return
-            # Branch on the lowest-index uncovered chord: every solution
-            # must cover it, so trying exactly its candidates is complete.
-            m = (~covered) & full_mask
-            target = (m & -m).bit_length() - 1
+            if use_memo:
+                key = _canonical_mask(unc, perms)
+                prev = memo.get(key)
+                if prev is not None and prev <= used:
+                    return
+                memo[key] = used
+            if lex:
+                target = (unc & -unc).bit_length() - 1
+            else:
+                target = next(e for e in order if (unc >> e) & 1)
             cands = root_cands if covered == 0 else per_edge[target]
-            for i in cands:
+            scored = sorted(
+                cands,
+                key=lambda i: -sum(dist[b] for b in bit_lists[i] if (unc >> b) & 1),
+            )
+            for i in scored:
+                dW = sum(weights[b] for b in bit_lists[i] if (unc >> b) & 1)
                 chosen.append(blocks[i])
-                dfs(covered | masks[i], used + 1, chosen)
+                dfs(covered | masks[i], used + 1, W - dW, chosen)
                 chosen.pop()
 
-        dfs(0, 0, [])
+        dfs(0, 0, W_root, [])
+        return best[0], best[1]
+
+    # -- sharded scale-out -----------------------------------------------
+
+    def min_covering_sharded(
+        self,
+        *,
+        workers: int | None = None,
+        upper_bound: int | None = None,
+        node_limit: int = DEFAULT_NODE_LIMIT,
+        stats: SolverStats | None = None,
+        branching: str = "lex",
+    ) -> Covering:
+        """Certified minimum covering of ``K_n`` sharded across
+        processes by root-orbit partitioning.
+
+        The root orbit representatives are split into per-worker shards
+        balanced by orbit weight; every worker searches its shard
+        starting from the shared greedy/improver incumbent, so the
+        union of the shard proofs is exactly the serial proof.  Results
+        and merged statistics are deterministic for a fixed shard count
+        (scheduling order cannot change them).  With one worker this
+        degrades to :meth:`min_covering`.
+        """
+        n = self.n
+        if n > 12:
+            raise SolverError(f"exact covering solver is for small n (≤ 12), got {n}")
+        nworkers = resolve_workers(workers)
+        if nworkers == 1:
+            return self.min_covering(
+                upper_bound=upper_bound,
+                node_limit=node_limit,
+                stats=stats,
+                branching=branching,
+            )
+
+        st = stats if stats is not None else SolverStats()
+        best_count, best_blocks, _, root_cands, orbit_weights = self._search_prologue(
+            upper_bound, branching
+        )
+        shards = weighted_chunks(root_cands, orbit_weights, nworkers)
+        payloads = [
+            (n, self.max_size, tuple(shard), best_count, node_limit, branching)
+            for shard in shards
+        ]
+        results = parallel_map(
+            _sharded_root_worker, payloads, workers=len(payloads), min_chunk=1
+        )
+        shard_stats = []
+        for count, vertex_lists, nodes in results:
+            part = SolverStats(nodes=nodes, best_value=count, proven_optimal=True)
+            shard_stats.append(part)
+            if count is not None and count < best_count:
+                best_count = count
+                best_blocks = [CycleBlock(tuple(vs)) for vs in vertex_lists]
+        merged = SolverStats.merge(shard_stats)
+        st.nodes += merged.nodes
+        st.shards = merged.shards
         if best_blocks is None:
-            # The search ran to exhaustion (a node-limit overrun raises
-            # above), so the bound itself is below the optimum.
             raise SolverError(
                 f"no covering of K_{n} within upper bound {upper_bound} "
                 f"(the optimum is larger)"
             )
         st.best_value = best_count
-        st.proven_optimal = True
+        st.proven_optimal = merged.proven_optimal
         return Covering(n, tuple(best_blocks))
 
     # -- minimum covering of an arbitrary instance -----------------------
@@ -448,11 +848,17 @@ class SolverEngine:
         *,
         node_limit: int = DEFAULT_NODE_LIMIT,
         stats: SolverStats | None = None,
+        dominance: bool = True,
     ) -> Covering:
         """Certified minimum DRC-covering of an arbitrary instance on
         ``C_n`` (multiplicities supported — e.g. ``λK_n``).
 
-        Exponential; intended for tiny instances (``n ≤ 8``-ish, small
+        Candidates dominated within the demanded chord set are dropped
+        up front (``dominance=False`` disables the filter — the knob
+        the soundness property tests exercise); the branch-and-bound
+        prunes with the fractional/cardinality packing bound over the
+        residual demand plus a residual-state transposition memo.
+        Exponential; intended for small instances (``n ≤ 10``, small
         λ).  This is the certifier behind the λK_n experiment's exact
         values.
         """
@@ -463,85 +869,125 @@ class SolverEngine:
         n = instance.n
         if n != self.n:
             raise SolverError(f"instance order {n} ≠ n = {self.n}")
-        if n < 3:
-            raise SolverError(f"n ≥ 3 required, got {n}")
         if n > 10:
             raise SolverError(f"instance solver is for small n (≤ 10), got {n}")
 
-        residual: dict[tuple[int, int], int] = {
-            e: m for e, m in instance.demand.items() if m > 0
-        }
-        if not residual:
+        space = self.space
+        index = space.index
+        dist_by_bit = space.dist
+        residual_counts = [0] * len(space.edges)
+        for e, m in instance.demand.items():
+            if m > 0:
+                residual_counts[index[e]] = m
+        demand_bits = [b for b, m in enumerate(residual_counts) if m]
+        st = stats if stats is not None else SolverStats()
+        if not demand_bits:
+            st.best_value = 0
+            st.proven_optimal = True
             return Covering(n, ())
-        total_demand = sum(residual.values())
-        dist = {e: circular.chord_distance(n, e) for e in residual}
 
         table = self.convex_table
+        demand_mask = 0
+        for b in demand_bits:
+            demand_mask |= 1 << b
+        keep = [i for i, m in enumerate(table.masks) if m & demand_mask]
+        if dominance:
+            dropped = dominated_candidates(
+                [table.masks[i] for i in keep], demand_mask
+            )
+            keep = [i for k, i in enumerate(keep) if k not in dropped]
+
+        weights, denom, uncoverable = _bound_fragments(
+            dist_by_bit,
+            [table.masks[i] for i in keep],
+            [table.bit_lists[i] for i in keep],
+            demand_bits,
+        )
+        if uncoverable:
+            e = space.edges[uncoverable[0]]
+            raise SolverError(f"no candidate block covers requested chord {e}")
+        per_bit: dict[int, list[int]] = {b: [] for b in demand_bits}
+        max_cover = 1
+        for i in keep:
+            covered_bits = [b for b in table.bit_lists[i] if (demand_mask >> b) & 1]
+            max_cover = max(max_cover, len(covered_bits))
+            for b in covered_bits:
+                per_bit[b].append(i)
+
         blocks = table.blocks
-        per_edge: dict[tuple[int, int], list[int]] = {e: [] for e in residual}
-        for i, edges in enumerate(table.edge_lists):
-            for e in edges:
-                if e in per_edge:
-                    per_edge[e].append(i)
+        bit_lists = table.bit_lists
+        total_requests = sum(residual_counts)
+        W_root = sum(residual_counts[b] * weights[b] for b in demand_bits)
 
-        st = stats if stats is not None else SolverStats()
         best_blocks: list[CycleBlock] | None = None
-        best_count = total_demand + 1  # exclusive threshold, as in min_covering
+        best_count = total_requests + 1  # exclusive threshold, as in min_covering
 
-        greedy_idx, leftover = self.greedy_cover_indices(dict(residual))
+        greedy_idx, leftover = self.greedy_cover_indices(dict(instance.demand))
         if not leftover and len(greedy_idx) < best_count:
             best_count = len(greedy_idx)
-            best_blocks = [blocks[i] for i in greedy_idx]
+            best_blocks = [table.blocks[i] for i in greedy_idx]
 
         # Root symmetry breaking is sound only when the demand itself is
         # preserved by the ring's rotations and reflections.
         symmetric = _is_dihedral_invariant(instance)
-        root_target = min(residual)
+        root_bit = min(demand_bits)
+        root_cands: list[int] | None = None
+        if symmetric:
+            root_cands, _ = _orbit_representatives(n, blocks, per_bit[root_bit])
 
-        remaining_distance = sum(m * dist[e] for e, m in residual.items())
+        memo: dict[tuple[int, ...], int] = {}
+        best: list = [best_count, best_blocks]
 
-        def pick_target() -> tuple[int, int] | None:
-            best: tuple[int, int] | None = None
-            for e, m in residual.items():
-                if m > 0 and (best is None or e < best):
-                    best = e
-            return best
-
-        def dfs(used: int, chosen: list[CycleBlock]) -> None:
-            nonlocal best_blocks, best_count, remaining_distance
+        def dfs(used: int, remaining: int, W: int, chosen: list[CycleBlock]) -> None:
             st.nodes += 1
             if st.nodes > node_limit:
                 raise SolverError(f"instance solver exceeded node limit {node_limit}")
-            target = pick_target()
-            if target is None:
-                if used < best_count:
-                    best_count = used
-                    best_blocks = list(chosen)
+            if remaining == 0:
+                if used < best[0]:
+                    best[0] = used
+                    best[1] = list(chosen)
                 return
-            bound = max(1, -(-remaining_distance // n))
-            if used + bound >= best_count:
+            bound = -(-W // denom)
+            card = -(-remaining // max_cover)
+            if card > bound:
+                bound = card
+            if used + (bound if bound > 1 else 1) >= best[0]:
                 return
-            cands = per_edge[target]
-            if used == 0 and symmetric and target == root_target:
-                cands = _orbit_representatives(n, blocks, cands)
-            for i in cands:
-                decremented: list[tuple[int, int]] = []
-                delta = 0
-                for e in table.edge_lists[i]:
-                    m = residual.get(e, 0)
-                    if m > 0:
-                        residual[e] = m - 1
-                        decremented.append(e)
-                        delta += dist[e]
-                remaining_distance -= delta
+            key = tuple(residual_counts)
+            prev = memo.get(key)
+            if prev is not None and prev <= used:
+                return
+            memo[key] = used
+            target = -1
+            for b in demand_bits:
+                if residual_counts[b]:
+                    target = b
+                    break
+            cands = per_bit[target]
+            if used == 0 and root_cands is not None and target == root_bit:
+                cands = root_cands
+            scored = sorted(
+                cands,
+                key=lambda i: -sum(
+                    dist_by_bit[b] for b in bit_lists[i] if residual_counts[b] > 0
+                ),
+            )
+            for i in scored:
+                decremented: list[int] = []
+                dW = 0
+                for b in bit_lists[i]:
+                    if residual_counts[b] > 0:
+                        residual_counts[b] -= 1
+                        decremented.append(b)
+                        dW += weights[b]
                 chosen.append(blocks[i])
-                dfs(used + 1, chosen)
+                dfs(used + 1, remaining - len(decremented), W - dW, chosen)
                 chosen.pop()
-                remaining_distance += delta
-                for e in decremented:
-                    residual[e] += 1
+                for b in decremented:
+                    residual_counts[b] += 1
 
-        dfs(0, [])
+        dfs(0, total_requests, W_root, [])
+        best_count, best_blocks = best
         if best_blocks is None:
             raise SolverError("no covering found (node limit too small?)")
         st.best_value = best_count
@@ -567,7 +1013,10 @@ class SolverEngine:
         completion needs exactly one — enforced by edge counts, bounding
         merely prunes).  Deterministic DFS over bitmasks; explored node
         counts are reported through ``stats`` (same contract as
-        :meth:`min_covering`).
+        :meth:`min_covering`).  Dominance filtering is deliberately
+        *not* applied here: replacing a block by a strict superset
+        changes the partition, so dominated candidates can still be the
+        only way to complete a decomposition.
 
         ``strategy`` selects the branching variable: ``"mrv"`` (default)
         recomputes the fewest-live-candidates edge at every node —
@@ -724,11 +1173,35 @@ def solve_min_covering(
     max_size: int = 4,
     node_limit: int = DEFAULT_NODE_LIMIT,
     stats: SolverStats | None = None,
+    branching: str = "lex",
+    use_memo: bool = True,
 ) -> Covering:
     """See :meth:`SolverEngine.min_covering`.  ``upper_bound`` is
     inclusive: ``upper_bound=rho(n)`` still returns a certificate."""
     return SolverEngine(n, max_size=max_size).min_covering(
-        upper_bound=upper_bound, node_limit=node_limit, stats=stats
+        upper_bound=upper_bound,
+        node_limit=node_limit,
+        stats=stats,
+        branching=branching,
+        use_memo=use_memo,
+    )
+
+
+def solve_min_covering_sharded(
+    n: int,
+    *,
+    workers: int | None = None,
+    upper_bound: int | None = None,
+    max_size: int = 4,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    stats: SolverStats | None = None,
+) -> Covering:
+    """See :meth:`SolverEngine.min_covering_sharded`."""
+    return SolverEngine(n, max_size=max_size).min_covering_sharded(
+        workers=workers,
+        upper_bound=upper_bound,
+        node_limit=node_limit,
+        stats=stats,
     )
 
 
@@ -738,6 +1211,7 @@ def solve_min_covering_instance(
     max_size: int = 4,
     node_limit: int = DEFAULT_NODE_LIMIT,
     stats: SolverStats | None = None,
+    dominance: bool = True,
 ) -> Covering:
     """See :meth:`SolverEngine.min_covering_instance`."""
     from ..traffic.instances import Instance
@@ -745,8 +1219,32 @@ def solve_min_covering_instance(
     if not isinstance(instance, Instance):
         raise SolverError(f"expected an Instance, got {type(instance).__name__}")
     return SolverEngine(instance.n, max_size=max_size).min_covering_instance(
-        instance, node_limit=node_limit, stats=stats
+        instance, node_limit=node_limit, stats=stats, dominance=dominance
     )
+
+
+def _sharded_root_worker(
+    payload: tuple[int, int, tuple[int, ...], int, int, str],
+) -> tuple[int | None, list[tuple[int, ...]] | None, int]:
+    """One shard of a root-orbit-partitioned certification: search the
+    given root candidates only, starting from the broadcast incumbent
+    count (exclusive threshold).  Returns a strictly-better covering's
+    vertex lists or ``None``, plus the shard's node count."""
+    n, max_size, root_cands, best_count, node_limit, branching = payload
+    engine = SolverEngine(n, max_size=max_size)
+    st = SolverStats()
+    order = engine._branch_order(engine.convex_table, branching)
+    count, blocks = engine._covering_search(
+        root_cands=list(root_cands),
+        best_count=best_count,
+        best_blocks=None,
+        node_limit=node_limit,
+        st=st,
+        order=order,
+    )
+    if blocks is None:
+        return None, None, st.nodes
+    return count, [blk.vertices for blk in blocks], st.nodes
 
 
 def _solve_many_worker(
@@ -767,6 +1265,7 @@ def solve_many(
     max_size: int = 4,
     node_limit: int = DEFAULT_NODE_LIMIT,
     workers: int | None = None,
+    shard_threshold: int | None = None,
 ) -> list[tuple[Covering, SolverStats]]:
     """Batched front door: certified min coverings for every ring size in
     ``ns``, fanned out over :func:`repro.util.parallel.parallel_map`.
@@ -776,6 +1275,13 @@ def solve_many(
     ``ns``.  Block tables and edge spaces are memoized per process, so
     serial sweeps (and each pool worker) build them at most once per
     ``(n, max_size)``.
+
+    The batch is chunked by estimated cost (exponential in n), so one
+    large ring size cannot serialise the sweep behind round-robin
+    chunks.  Ring sizes ≥ ``shard_threshold`` additionally scale *out*:
+    each is certified on its own via
+    :meth:`SolverEngine.min_covering_sharded`, partitioning its root
+    orbits across all workers instead of occupying one.
     """
     ns = tuple(ns)
     if upper_bounds is None:
@@ -786,5 +1292,23 @@ def solve_many(
             raise SolverError(
                 f"upper_bounds has {len(ubs)} entries for {len(ns)} ring sizes"
             )
-    payloads = [(n, ub, max_size, node_limit) for n, ub in zip(ns, ubs)]
-    return parallel_map(_solve_many_worker, payloads, workers=workers)
+    results: dict[int, tuple[Covering, SolverStats]] = {}
+    batched: list[tuple[int, tuple[int, int | None, int, int]]] = []
+    for pos, (n, ub) in enumerate(zip(ns, ubs)):
+        if shard_threshold is not None and n >= shard_threshold:
+            st = SolverStats()
+            cov = SolverEngine(n, max_size=max_size).min_covering_sharded(
+                workers=workers, upper_bound=ub, node_limit=node_limit, stats=st
+            )
+            results[pos] = (cov, st)
+        else:
+            batched.append((pos, (n, ub, max_size, node_limit)))
+    if batched:
+        payloads = [payload for _, payload in batched]
+        weights = [4.0 ** payload[0] for payload in payloads]
+        solved = parallel_map(
+            _solve_many_worker, payloads, workers=workers, weights=weights
+        )
+        for (pos, _), result in zip(batched, solved):
+            results[pos] = result
+    return [results[pos] for pos in range(len(ns))]

@@ -16,6 +16,8 @@ historical import surface:
   the full block space with counting-bound pruning.
 * :func:`solve_min_covering_instance` — the same for arbitrary demand
   (multiplicities supported, e.g. ``λK_n``).
+* :func:`solve_min_covering_sharded` — the root-orbit-sharded scale-out
+  path of the same certification (PR 2).
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from .engine import (
     solve_many,
     solve_min_covering,
     solve_min_covering_instance,
+    solve_min_covering_sharded,
 )
 
 __all__ = [
@@ -39,5 +42,6 @@ __all__ = [
     "solve_many",
     "solve_min_covering",
     "solve_min_covering_instance",
+    "solve_min_covering_sharded",
     "SolverStats",
 ]

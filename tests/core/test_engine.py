@@ -1,24 +1,33 @@
 """Tests for the unified solver engine (:mod:`repro.core.engine`).
 
-The headline regression: the seed solver evaluated its counting bound
-twice per node against a contradictory ``>=`` / ``>`` pair and started
-from the trivial one-block-per-chord incumbent; the engine computes the
-bound once, prunes with the single exclusive test, seeds greedy
-incumbents, and breaks dihedral symmetry at the root.  The node counts
-below (measured on the seed at commit 88bda6a) must strictly drop while
-every certified optimum stays equal to ρ(n).
+Two generations of regression constants live here.  ``SEED_NODES`` is
+the seed solver (contradictory double prune, trivial incumbents,
+measured at commit 88bda6a); every engine count must stay strictly
+below it.  ``ENGINE_NODE_CEILINGS`` pins the current engine —
+lexicographic branching + canonical-mask transposition memo + packing
+bound + improver-seeded incumbents — with modest headroom: the n = 8
+anomaly (85,650 seed nodes against n = 9's 234, an even/odd bound-gap
+artifact amplified by ~2n-fold dihedral state duplication) must stay
+≥ 10× beaten, and the n = 10 / n = 11 certifications must stay
+tractable.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
 
 from repro.core.blocks import CycleBlock
 from repro.core.engine import (
+    N8_NODE_CEILING,
     SolverEngine,
     SolverStats,
+    dihedral_bit_perms,
     dihedral_canonical,
+    dominated_candidates,
     solve_many,
+    solve_min_covering_sharded,
 )
 from repro.core.formulas import rho
 from repro.core.solver import (
@@ -32,6 +41,22 @@ from repro.util.errors import SolverError
 
 # SolverStats.nodes of the seed's solve_min_covering(n) (no upper bound).
 SEED_NODES = {5: 43, 6: 494, 7: 889, 8: 1_794_078, 9: 1_612_361}
+
+# Pinned ceilings for the current engine (measured: 8, 1, 32, 1, 3493,
+# 1, 111453, 461 — the search is deterministic, the headroom only
+# covers improver-incumbent drift).  n = 8's ceiling is the shared
+# ≥ 10× acceptance bar against the seed's 85,650-node anomaly,
+# enforced identically by the solver benchmark and CI.
+ENGINE_NODE_CEILINGS = {
+    4: 16,
+    5: 4,
+    6: 64,
+    7: 4,
+    8: N8_NODE_CEILING,
+    9: 4,
+    10: 140_000,
+    11: 600,
+}
 
 
 class TestPruningRegression:
@@ -55,9 +80,42 @@ class TestPruningRegression:
         solve_min_covering(9, stats=stats)
         assert stats.nodes * 10 < SEED_NODES[9]
 
+    @pytest.mark.parametrize("n", sorted(ENGINE_NODE_CEILINGS))
+    def test_pinned_node_ceilings(self, n):
+        stats = SolverStats()
+        cov = solve_min_covering(n, stats=stats)
+        assert cov.num_blocks == rho(n)
+        assert stats.proven_optimal
+        assert stats.nodes <= ENGINE_NODE_CEILINGS[n], (
+            f"n={n}: node-count regression — {stats.nodes} > "
+            f"{ENGINE_NODE_CEILINGS[n]}"
+        )
+
     def test_all_small_n_certified(self):
         for n in range(4, 10):
             assert solve_min_covering(n).num_blocks == rho(n)
+
+    def test_past_ten_certified(self):
+        # The PR's headline: ρ(10) and ρ(11) proven optimal, no hints.
+        for n in (10, 11):
+            stats = SolverStats()
+            cov = solve_min_covering(n, stats=stats)
+            assert cov.num_blocks == rho(n)
+            assert cov.covers() and cov.is_drc_feasible()
+            assert stats.proven_optimal
+
+    @pytest.mark.parametrize("branching", ("lex", "scarcest"))
+    @pytest.mark.parametrize("use_memo", (True, False))
+    def test_search_knobs_agree(self, branching, use_memo):
+        # Every ablation configuration proves the same optimum.
+        stats = SolverStats()
+        cov = solve_min_covering(8, branching=branching, use_memo=use_memo, stats=stats)
+        assert cov.num_blocks == rho(8)
+        assert stats.proven_optimal
+
+    def test_unknown_branching_rejected(self):
+        with pytest.raises(SolverError, match="branching"):
+            solve_min_covering(6, branching="mystery")
 
 
 class TestUpperBoundSemantics:
@@ -143,11 +201,48 @@ class TestDihedralSymmetry:
         assert cov.num_blocks == 1
         assert cov.covers(inst)
 
+    def test_orbit_trap_instance_guarded(self):
+        # The edges of triangle (2, 3, 5) on C_7.  Another triangle in
+        # the same dihedral orbit also covers the branching chord
+        # (2, 3), so *unsound* root symmetry breaking could discard the
+        # unique one-block optimum and report 2; the invariance guard
+        # must keep it.
+        tri = CycleBlock((2, 3, 5))
+        orbitmates = [
+            vs
+            for vs in ((0, 2, 3), (2, 3, 0), (1, 2, 3))
+            if dihedral_canonical(7, vs) == dihedral_canonical(7, tri.vertices)
+        ]
+        assert orbitmates, "test premise: an orbit-mate shares chord (2, 3)"
+        inst = Instance(7, {e: 1 for e in tri.edges()})
+        cov = solve_min_covering_instance(inst)
+        assert cov.num_blocks == 1
+        assert cov.covers(inst)
+
+    def test_invariance_predicate(self):
+        from repro.core.engine import _is_dihedral_invariant
+
+        assert _is_dihedral_invariant(all_to_all(7))
+        assert _is_dihedral_invariant(lambda_all_to_all(6, 3))
+        assert not _is_dihedral_invariant(Instance(6, {(0, 1): 1}))
+
     def test_lambda_instance_optimum(self):
         stats = SolverStats()
         cov = solve_min_covering_instance(lambda_all_to_all(5, 2), stats=stats)
         assert cov.num_blocks == 2 * rho(5)
         assert stats.proven_optimal
+
+    def test_large_multiplicity_demand(self):
+        # Regression: the residual-state memo key must survive demand
+        # multiplicities ≥ 256 (a bytes() key overflowed there).
+        inst = Instance(6, {(0, 1): 300, (2, 3): 300, (0, 3): 1, (1, 4): 1})
+        stats = SolverStats()
+        cov = solve_min_covering_instance(inst, stats=stats)
+        assert cov.covers(inst)
+        assert stats.proven_optimal
+        # 300 quads (0,1,2,3) retire both heavy chords; (1,4) needs its
+        # own block (no convex ≤ 4-cycle carries (0,1), (2,3) and (1,4)).
+        assert cov.num_blocks == 301
 
 
 class TestEngineObject:
@@ -183,6 +278,132 @@ class TestEngineObject:
             SolverEngine(8).min_covering(node_limit=3)
 
 
+class TestDominanceFilter:
+    def test_subset_is_dominated(self):
+        # 0b011 ⊂ 0b111 → index 0 dropped; 0b100 ⊂ 0b111 → index 2 dropped.
+        assert dominated_candidates([0b011, 0b111, 0b100]) == {0, 2}
+
+    def test_equal_pair_keeps_earlier(self):
+        assert dominated_candidates([0b011, 0b011]) == {1}
+
+    def test_no_demanded_coverage_dropped(self):
+        assert dominated_candidates([0b100, 0b011], restrict_mask=0b011) == {0}
+
+    def test_restriction_changes_dominance(self):
+        # Unrestricted the masks are incomparable; demanding only the
+        # low bits makes the first a subset of the second.
+        masks = [0b1101, 0b0111]
+        assert dominated_candidates(masks) == set()
+        assert dominated_candidates(masks, restrict_mask=0b0011) == {0}
+
+    def test_filter_keeps_instance_optimum(self):
+        # Dominance must never remove every optimal covering.
+        inst = Instance(7, {(0, 2): 1, (2, 4): 1, (0, 4): 1, (1, 5): 1})
+        with_filter = solve_min_covering_instance(inst, dominance=True)
+        without = solve_min_covering_instance(inst, dominance=False)
+        assert with_filter.num_blocks == without.num_blocks
+        assert with_filter.covers(inst)
+
+
+class TestDominanceFilterProperties:
+    """Hypothesis: the dominance filter never removes all optima — for
+    any random demand, the filtered search proves the same optimum as
+    the unfiltered one."""
+
+    @staticmethod
+    def _instance(n, chosen, lam):
+        chords = sorted(circular.all_chords(n))
+        demand = {chords[i % len(chords)]: lam for i in chosen}
+        return Instance(n, demand)
+
+    @given(
+        n=hst.integers(min_value=5, max_value=7),
+        chosen=hst.sets(hst.integers(min_value=0, max_value=20), min_size=1, max_size=6),
+        lam=hst.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_same_optimum_with_and_without_filter(self, n, chosen, lam):
+        inst = self._instance(n, chosen, lam)
+        filtered = solve_min_covering_instance(inst, dominance=True)
+        unfiltered = solve_min_covering_instance(inst, dominance=False)
+        assert filtered.num_blocks == unfiltered.num_blocks
+        assert filtered.covers(inst)
+
+    @given(
+        n=hst.integers(min_value=5, max_value=8),
+        chosen=hst.sets(hst.integers(min_value=0, max_value=27), min_size=1, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_demanded_chord_keeps_a_candidate(self, n, chosen):
+        from repro.core.engine import convex_block_table, edge_space
+
+        inst = self._instance(n, chosen, 1)
+        space = edge_space(n)
+        table = convex_block_table(n)
+        demand_mask = 0
+        for e in inst.demand:
+            demand_mask |= 1 << space.index[e]
+        keep = [i for i, m in enumerate(table.masks) if m & demand_mask]
+        dropped = dominated_candidates([table.masks[i] for i in keep], demand_mask)
+        survivors = [table.masks[i] for k, i in enumerate(keep) if k not in dropped]
+        for e in inst.demand:
+            bit = 1 << space.index[e]
+            assert any(m & bit for m in survivors), f"chord {e} lost all candidates"
+
+
+class TestDihedralBitPerms:
+    def test_identity_first_and_group_size(self):
+        n = 7
+        perms = dihedral_bit_perms(n)
+        nedges = n * (n - 1) // 2
+        assert len(perms) == 2 * n
+        assert perms[0] == tuple(range(nedges))
+        for perm in perms:
+            assert sorted(perm) == list(range(nedges))
+
+    def test_perms_preserve_chord_distance(self):
+        from repro.core.engine import edge_space
+
+        n = 8
+        space = edge_space(n)
+        for perm in dihedral_bit_perms(n):
+            for b, img in enumerate(perm):
+                assert space.dist[b] == space.dist[img]
+
+
+class TestShardedSolver:
+    def test_matches_serial_optimum(self, monkeypatch):
+        # The REPRO_MAX_WORKERS cap applies to explicit worker requests
+        # too (that is its CI job), so clear it for a real fan-out.
+        from repro.util.parallel import MAX_WORKERS_ENV
+
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        serial = SolverStats()
+        cov_serial = solve_min_covering(8, stats=serial)
+        sharded = SolverStats()
+        cov_sharded = solve_min_covering_sharded(8, workers=3, stats=sharded)
+        assert cov_sharded.num_blocks == cov_serial.num_blocks == rho(8)
+        assert cov_sharded.covers() and cov_sharded.is_drc_feasible()
+        assert sharded.proven_optimal
+        assert sharded.shards >= 2  # actually fanned out
+        assert sharded.nodes > 0
+
+    def test_single_worker_degrades_to_serial(self):
+        stats = SolverStats()
+        cov = solve_min_covering_sharded(7, workers=1, stats=stats)
+        assert cov.num_blocks == rho(7)
+        assert stats.shards == 0  # plain min_covering path
+
+    def test_deterministic_across_runs(self):
+        a = solve_min_covering_sharded(8, workers=2)
+        b = solve_min_covering_sharded(8, workers=2)
+        assert a.blocks == b.blocks
+
+    def test_sharded_respects_upper_bound(self):
+        with pytest.raises(SolverError, match="no covering"):
+            solve_min_covering_sharded(6, workers=2, upper_bound=rho(6) - 1)
+
+
 class TestSolveMany:
     def test_matches_serial(self):
         ns = (4, 5, 6, 7)
@@ -203,6 +424,19 @@ class TestSolveMany:
     def test_upper_bounds_length_mismatch(self):
         with pytest.raises(SolverError, match="upper_bounds"):
             solve_many((4, 5), upper_bounds=[3])
+
+    def test_shard_threshold_routes_large_n(self, monkeypatch):
+        from repro.util.parallel import MAX_WORKERS_ENV
+
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        ns = (5, 8)
+        results = solve_many(ns, workers=2, shard_threshold=8)
+        for n, (cov, st) in zip(ns, results):
+            assert cov.num_blocks == rho(n)
+            assert st.proven_optimal
+        # The n = 8 entry went through the sharded path.
+        assert results[1][1].shards >= 2
+        assert results[0][1].shards == 0
 
 
 class TestFacadeCompatibility:

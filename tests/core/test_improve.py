@@ -1,0 +1,153 @@
+"""Tests for the local-search improver (:mod:`repro.core.improve`).
+
+The improver's contract: never return a larger covering, never break
+feasibility, stay deterministic, and do all its bookkeeping through the
+O(block) ledger deltas (so a final recount must agree).  The padded
+coverings below (optimum + junk) are where the eject/merge moves must
+fire; the hypothesis chains check the contract on arbitrary feasible
+starting points.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.baselines.greedy import greedy_drc_covering
+from repro.core.construction import optimal_covering
+from repro.core.covering import Covering
+from repro.core.engine import SolverEngine, enumerate_convex_blocks
+from repro.core.formulas import rho
+from repro.core.improve import ImproveStats, improve_covering, improved_greedy_covering
+from repro.core.ledger import CoverageLedger
+from repro.traffic.instances import Instance, all_to_all
+from repro.util.errors import SolverError
+
+
+def _assert_ledger_consistent(cov: Covering) -> None:
+    recount = CoverageLedger.from_blocks(cov.blocks)
+    assert cov.coverage == recount.counts
+    assert cov.total_slots == recount.total_slots
+
+
+class TestImproveCovering:
+    @pytest.mark.parametrize("n", (6, 8, 9, 11))
+    def test_never_larger_and_stays_feasible(self, n):
+        start = SolverEngine(n).greedy_cover()
+        out = improve_covering(start)
+        assert out.num_blocks <= start.num_blocks
+        assert out.covers() and out.is_drc_feasible()
+        _assert_ledger_consistent(out)
+
+    @pytest.mark.parametrize("n", (6, 8, 10))
+    def test_strips_padded_covering(self, n):
+        # Optimal covering plus junk duplicates: the eject pass must
+        # remove every redundant block and land back at the optimum.
+        base = optimal_covering(n)
+        padded = base.with_blocks(base.blocks[:3])
+        st = ImproveStats()
+        out = improve_covering(padded, stats=st)
+        assert out.num_blocks == base.num_blocks
+        assert out.covers()
+        assert st.ejects >= 3
+        assert st.start_blocks == padded.num_blocks
+        assert st.end_blocks == out.num_blocks
+
+    def test_deterministic(self):
+        a = improve_covering(SolverEngine(9).greedy_cover())
+        b = improve_covering(SolverEngine(9).greedy_cover())
+        assert a.blocks == b.blocks
+
+    def test_merge_shared_edge_pair_stays_feasible(self):
+        # Regression: chord (0, 2) is covered exactly twice — once by
+        # each triangle — so it is binding for neither, yet a merge
+        # removing both must not orphan it.  The quad (0, 1, 2, 3)
+        # covers both triangles' *binding* edges, so a merge scanning
+        # only binding edges would take it and lose (0, 2).
+        inst = Instance(6, {(0, 1): 1, (1, 2): 1, (0, 2): 1, (2, 3): 1, (0, 3): 1})
+        cov = Covering.from_vertex_lists(6, [(0, 1, 2), (0, 2, 3)])
+        assert cov.covers(inst)
+        out = improve_covering(cov, inst)
+        assert out.covers(inst)
+        assert out.num_blocks <= cov.num_blocks
+
+    def test_merge_respects_multiplicity_demand(self):
+        # Regression: chord (0, 1) demands two copies, supplied once by
+        # each triangle.  A merge into one block can restore only one
+        # copy, so the pair must be left alone.
+        inst = Instance(6, {(0, 1): 2})
+        cov = Covering.from_vertex_lists(6, [(0, 1, 2), (0, 1, 3)])
+        assert cov.covers(inst)
+        out = improve_covering(cov, inst)
+        assert out.covers(inst)
+
+    def test_infeasible_start_rejected(self):
+        with pytest.raises(SolverError, match="feasible"):
+            improve_covering(Covering(6, ()))
+
+    def test_instance_mismatch_rejected(self):
+        with pytest.raises(SolverError, match="order"):
+            improve_covering(SolverEngine(6).greedy_cover(), all_to_all(7))
+
+    def test_restricted_instance_respected(self):
+        inst = Instance(7, {(0, 2): 1, (2, 4): 1, (0, 4): 1})
+        start = Covering.from_vertex_lists(7, [(0, 1, 2), (2, 3, 4), (0, 4, 5)])
+        assert start.covers(inst)
+        out = improve_covering(start, inst)
+        assert out.covers(inst)
+        assert out.num_blocks == 1  # triangle (0, 2, 4) covers everything
+
+    @given(
+        n=hst.integers(min_value=5, max_value=8),
+        picks=hst.lists(hst.integers(min_value=0, max_value=1_000), min_size=0, max_size=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_contract_on_arbitrary_feasible_starts(self, n, picks):
+        pool = enumerate_convex_blocks(n)
+        base = SolverEngine(n).greedy_cover()
+        extra = tuple(pool[p % len(pool)] for p in picks)
+        start = base.with_blocks(extra)
+        out = improve_covering(start)
+        assert out.covers() and out.is_drc_feasible()
+        assert out.num_blocks <= start.num_blocks
+        _assert_ledger_consistent(out)
+
+
+class TestImprovedGreedy:
+    @pytest.mark.parametrize("n", (8, 10, 13))
+    def test_no_worse_than_greedy_baseline(self, n):
+        greedy = greedy_drc_covering(n)
+        improved = improved_greedy_covering(n)
+        assert improved.num_blocks <= greedy.num_blocks
+        assert improved.num_blocks >= rho(n)  # never beats the optimum
+        assert improved.covers() and improved.is_drc_feasible()
+
+    def test_large_n_tier_runs_on_tight_pool(self):
+        # Past the convex-pool cutoff the improver must stay tractable.
+        cov = improved_greedy_covering(16, max_rounds=1)
+        assert cov.covers() and cov.is_drc_feasible()
+        assert cov.num_blocks <= greedy_drc_covering(16).num_blocks
+
+    def test_stats_reported(self):
+        st = ImproveStats()
+        improved_greedy_covering(10, stats=st)
+        assert st.start_blocks >= st.end_blocks > 0
+
+
+class TestLedgerHelpers:
+    def test_binding_edges_and_redundancy(self):
+        cov = Covering.from_vertex_lists(6, [(0, 1, 2), (0, 1, 2), (2, 3, 4)])
+        # Block 0 is duplicated: removing one copy is safe for the
+        # all-to-all demand on its own edges only where the twin covers.
+        assert not cov.binding_edges(0)  # twin covers everything block 0 has
+        assert cov.binding_edges(2) == ((2, 3), (3, 4), (2, 4))
+        assert cov.is_redundant_block(0)
+        assert not cov.is_redundant_block(2)
+
+    def test_index_bounds(self):
+        cov = Covering.from_vertex_lists(6, [(0, 1, 2)])
+        with pytest.raises(IndexError):
+            cov.binding_edges(1)
+        with pytest.raises(IndexError):
+            cov.is_redundant_block(-1)

@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.util.parallel` — weight-balanced chunking and
+the worker-count environment override."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.parallel import (
+    MAX_WORKERS_ENV,
+    default_workers,
+    parallel_map,
+    resolve_workers,
+    weighted_chunks,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestWeightedChunks:
+    def test_balances_by_weight_not_count(self):
+        items = ["a", "b", "c", "d", "e"]
+        weights = [10, 1, 1, 1, 10]
+        bins = weighted_chunks(items, weights, 2)
+        loads = sorted(
+            sum(weights[items.index(it)] for it in bin_) for bin_ in bins
+        )
+        # Count-based halving would give loads (12, 11) at best only by
+        # luck; LPT pairs the two heavy items apart: (11, 12).
+        assert loads == [11, 12]
+
+    def test_preserves_all_items_once(self):
+        items = list(range(9))
+        bins = weighted_chunks(items, [1] * 9, 4)
+        flat = sorted(x for bin_ in bins for x in bin_)
+        assert flat == items
+
+    def test_item_order_within_bin(self):
+        bins = weighted_chunks([3, 1, 2], [5, 5, 5], 1)
+        assert bins == [[3, 1, 2]]
+
+    def test_deterministic(self):
+        items = list(range(12))
+        weights = [(i * 7) % 5 + 1 for i in items]
+        assert weighted_chunks(items, weights, 3) == weighted_chunks(items, weights, 3)
+
+    def test_drops_empty_bins(self):
+        bins = weighted_chunks([1], [1.0], 4)
+        assert bins == [[1]]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="weights"):
+            weighted_chunks([1, 2], [1.0], 2)
+
+
+class TestWorkerResolution:
+    def test_default_at_least_one(self):
+        assert default_workers() >= 1
+
+    def test_env_override_caps_default(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        assert default_workers() == 1
+
+    def test_env_override_caps_explicit(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+        assert resolve_workers(8) == 2
+        assert resolve_workers(1) == 1
+
+    def test_env_override_unparsable_ignored(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "not-a-number")
+        assert resolve_workers(3) == 3
+
+    def test_env_override_floor_one(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "0")
+        assert default_workers() == 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_weighted_path_preserves_order(self):
+        items = list(range(10))
+        out = parallel_map(
+            _square, items, workers=2, weights=[float(i) for i in items]
+        )
+        assert out == [x * x for x in items]
+
+    def test_weighted_serial_when_capped(self, monkeypatch):
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        out = parallel_map(_square, list(range(8)), weights=[1.0] * 8)
+        assert out == [x * x for x in range(8)]
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(ValueError, match="weights"):
+            parallel_map(_square, [1, 2, 3, 4, 5], workers=2, weights=[1.0])
