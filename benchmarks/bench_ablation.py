@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.core.pole import pole_forced_blocks
-from repro.core.solver import (
+from repro.core.engine import (
     SolverStats,
     enumerate_convex_blocks,
     enumerate_tight_blocks,
@@ -179,8 +179,12 @@ def test_bench_ablation_pole_w(benchmark, save_table, save_json):
 def test_bench_ablation_covering_search(benchmark, save_table, save_json):
     """A4: the ρ(n) covering search — branching order × transposition
     memo, on the even sizes whose counting-bound gap forces a real
-    exhaustion proof (budget-capped; a blow-up shows up as 'no')."""
-    from repro.core.engine import SolverEngine, SolverStats
+    exhaustion proof (budget-capped; a blow-up shows up as 'no').
+    Runs through the declarative API: the solver-regime knobs
+    (``branching``, ``use_memo``, ``node_limit``) are spec fields, so
+    the ablation is just a grid of ``CoverSpec``\\ s over the pinned
+    ``exact`` backend."""
+    from repro.api import CoverSpec, solve
     from repro.core.formulas import rho
 
     def run():
@@ -188,20 +192,28 @@ def test_bench_ablation_covering_search(benchmark, save_table, save_json):
         for n in (6, 8):
             for branching in ("lex", "scarcest"):
                 for use_memo in (True, False):
-                    stats = SolverStats()
+                    spec = CoverSpec.for_ring(
+                        n, backend="exact", use_hints=False,
+                        branching=branching, use_memo=use_memo,
+                        node_limit=300_000,
+                    )
+                    nodes = 0
                     t0 = time.perf_counter()
                     try:
-                        cov = SolverEngine(n).min_covering(
-                            branching=branching, use_memo=use_memo,
-                            node_limit=300_000, stats=stats,
-                        )
-                        solved = cov.num_blocks == rho(n)
+                        result = solve(spec)
+                        solved = result.num_blocks == rho(n)
+                        nodes = result.stats.nodes
                     except SolverError:
-                        solved = False  # budget exhausted — the measurement
+                        # Budget exhausted — the measurement.  The stats
+                        # stay inside the unreturned Result, so record
+                        # the budget itself: the explored count at the
+                        # point of the overrun.
+                        solved = False
+                        nodes = spec.node_limit
                     rows.append(
                         {"n": n, "branching": branching, "memo": use_memo,
                          "seconds": time.perf_counter() - t0,
-                         "nodes": stats.nodes, "solved": solved}
+                         "nodes": nodes, "solved": solved}
                     )
         return rows
 

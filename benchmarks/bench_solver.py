@@ -5,8 +5,10 @@ constructions (it gets no upper-bound hints); its optimum matching
 ρ(n) for every n it can exhaust is the reproduction's independent
 check of the theorems' *lower* bounds.
 
-Runs through :func:`repro.core.engine.solve_many`, the batched engine
-front door.  The sweep reaches n = 11 since the canonical-mask
+Runs through the declarative :mod:`repro.api` layer (one ``CoverSpec``
+per ring size, the exact backends pinned, hints off — see
+:func:`repro.analysis.experiments.experiment_solver_certification`).
+The sweep reaches n = 11 since the canonical-mask
 transposition memo, the packing bound, and improver-seeded incumbents
 landed: n = 9 and n = 11 certify from the root (the counting bound is
 tight for odd n), and the even sizes — whose bound gap forces a real

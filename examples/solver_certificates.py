@@ -11,15 +11,19 @@ reproduction's three-way certification for small n:
    give matching *lower* bounds — plus, for n ≤ 8, a branch-and-bound
    solver that knows none of the above and exhausts the search space.
 
+Everything runs through the declarative API: one ``CoverSpec`` per
+job, the ``exact`` backend pinned for the certification runs (with
+warm-start hints *off*, so the search proves optimality unaided).
+
 Run:  python examples/solver_certificates.py
 """
 
 from __future__ import annotations
 
+from repro.api import CoverSpec, solve
 from repro.core.bounds import lower_bound
 from repro.core.construction import optimal_covering
 from repro.core.formulas import rho
-from repro.core.solver import SolverStats, solve_min_covering
 from repro.util.tables import Table
 
 
@@ -34,9 +38,8 @@ def main() -> None:
         built = optimal_covering(n).num_blocks
         lb = lower_bound(n).value
         if n <= 8:
-            stats = SolverStats()
-            solved = solve_min_covering(n, upper_bound=rho(n) + 1, stats=stats)
-            solver_val, nodes = str(solved.num_blocks), stats.nodes
+            result = solve(CoverSpec.for_ring(n, backend="exact", use_hints=False))
+            solver_val, nodes = str(result.num_blocks), result.stats.nodes
         else:
             solver_val, nodes = "—", "—"
         table.add_row(n, rho(n), built, lb, solver_val, nodes)

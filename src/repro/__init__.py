@@ -6,6 +6,11 @@ edge-disjoint paths on the physical ring ``C_n``.
 
 Quickstart::
 
+    from repro.api import CoverSpec, solve
+
+    result = solve(CoverSpec.for_ring(11))   # routed: closed_form, ρ(11)=15
+    result.status, result.num_blocks
+
     from repro import optimal_covering, rho, verify_covering
 
     cov = optimal_covering(11)          # Theorem 1 object: 15 cycles
@@ -14,6 +19,7 @@ Quickstart::
 
 Package map
 -----------
+``repro.api``            declarative front door: CoverSpec → backend → Result
 ``repro.core``           the paper's contribution (coverings, bounds, theorems)
 ``repro.rings``          physical ring substrate (topology, arcs, capacities)
 ``repro.traffic``        logical instances (All-to-All, λK_n, custom)
@@ -51,9 +57,17 @@ from .core import (
 )
 from .traffic import Instance, all_to_all, lambda_all_to_all
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from . import api
+from .api import CoverSpec, Result, solve, solve_batch
 
 __all__ = [
+    "CoverSpec",
+    "Result",
+    "api",
+    "solve",
+    "solve_batch",
     "Covering",
     "CycleBlock",
     "Instance",

@@ -1,23 +1,45 @@
-"""Command-line interface: regenerate the paper's tables.
+"""Command-line interface over the declarative :mod:`repro.api` layer.
 
-Usage::
+Subcommands::
 
-    python -m repro                 # run every experiment, print tables
-    python -m repro E1 E2           # selected experiments
-    python -m repro --list          # what's available
-    python -m repro --rho 6..20     # just the ρ(n) values over a range
+    python -m repro solve --n 11                  # one job, auto-routed
+    python -m repro solve --n 10 --backend exact --no-hints --json
+    python -m repro sweep --ns 4..11 --json       # many jobs, shared cache
+    python -m repro experiments E1 E10            # regenerate paper tables
+    python -m repro experiments --list
+    python -m repro rho 6..20                     # closed-form ρ(n) table
 
-Experiments map 1:1 to DESIGN.md §4 / the benchmark suite; this entry
-point exists so the tables are reachable without pytest.
+``solve`` and ``sweep`` go through ``api.solve`` — spec construction,
+backend routing, the content-addressed result cache (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; ``--no-cache`` disables,
+``--cache DIR`` redirects).  ``--json`` prints the deterministic
+``Result`` envelope(s), so two runs of the same jobs emit *byte
+identical* output — cache hits are reported on stderr, never mixed
+into the payload.
+
+The pre-subcommand spelling (``python -m repro E1 E2``, ``--list``,
+``--rho 6..20``) keeps working as a legacy alias of ``experiments`` /
+``rho``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from collections.abc import Callable
 
 from .analysis import experiments as X
+
+_SUBCOMMANDS = ("solve", "sweep", "experiments", "rho")
+
+# E10's default range tracks the certified sweep (ρ(n) proven through
+# n = 11 — BENCH_solver.json); the time budget gates the tail so a
+# full `experiments` run stays interactive even on slow hardware.
+_E10_NS = (4, 5, 6, 7, 8, 9, 10, 11)
+_E10_SHARD_THRESHOLD = 11
+_E10_TIME_BUDGET = 60.0
 
 _EXPERIMENTS: dict[str, tuple[str, Callable[[], "X.ExperimentResult"]]] = {
     "E1": ("Theorem 1 (odd n)", lambda: X.experiment_theorem1((5, 7, 9, 11, 13, 15, 17, 21))),
@@ -28,7 +50,14 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[], "X.ExperimentResult"]]] = {
     "E6": ("survivability sweep", lambda: X.experiment_survivability((6, 8, 9, 11))),
     "E8": ("λK_n extension", lambda: X.experiment_lambda_fold((5, 7, 6, 8), (1, 2, 3))),
     "E9": ("other topologies", X.experiment_topologies),
-    "E10": ("exact solver certification", lambda: X.experiment_solver_certification((4, 5, 6, 7))),
+    "E10": (
+        "exact solver certification (n ≤ 11)",
+        lambda: X.experiment_solver_certification(
+            _E10_NS,
+            shard_threshold=_E10_SHARD_THRESHOLD,
+            time_budget=_E10_TIME_BUDGET,
+        ),
+    ),
     "E11": ("protection vs restoration", lambda: X.experiment_protection_vs_restoration((8, 11, 14))),
     "E12": ("dual-failure degradation", lambda: X.experiment_dual_failures((8, 10, 12))),
 }
@@ -41,10 +70,216 @@ def _parse_range(spec: str) -> list[int]:
     return [int(s) for s in spec.split(",")]
 
 
-def main(argv: list[str] | None = None) -> int:
+# ---------------------------------------------------------------------------
+# solve / sweep (the api-backed subcommands)
+# ---------------------------------------------------------------------------
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    from .api import available_backends
+
+    parser.add_argument("--lam", type=int, default=1, metavar="λ",
+                        help="demand multiplicity (λK_n; default 1)")
+    parser.add_argument("--max-size", type=int, default=4,
+                        help="largest candidate cycle length (default 4)")
+    parser.add_argument("--backend", choices=available_backends(),
+                        help="pin a backend instead of routing")
+    parser.add_argument("--no-optimal", action="store_true",
+                        help="accept a heuristic (uncertified) covering")
+    parser.add_argument("--no-hints", action="store_true",
+                        help="certification mode: no warm-start upper bounds")
+    parser.add_argument("--workers", type=int, help="worker processes for sharded solves")
+    parser.add_argument("--shard-threshold", type=int, metavar="N",
+                        help="ring sizes ≥ N use the sharded exact backend")
+    parser.add_argument("--node-limit", type=int, help="branch-and-bound node cap")
+    parser.add_argument("--time-budget", type=float, metavar="SECONDS",
+                        help="wall-clock budget for exact solves")
+    parser.add_argument("--json", action="store_true",
+                        help="print deterministic Result envelope JSON")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+
+
+def _spec_from_args(args: argparse.Namespace, n: int):
+    from .api import CoverSpec
+
+    return CoverSpec.for_ring(
+        n,
+        lam=args.lam,
+        max_size=args.max_size,
+        backend=args.backend,
+        require_optimal=not args.no_optimal,
+        use_hints=not args.no_hints,
+        workers=args.workers,
+        shard_threshold=args.shard_threshold,
+        node_limit=args.node_limit,
+        time_budget=args.time_budget,
+    )
+
+
+def _cache_from_args(args: argparse.Namespace):
+    from .api import ResultCache, default_cache_dir
+
+    if args.no_cache:
+        return None
+    if args.cache:
+        return ResultCache(args.cache)
+    return ResultCache(default_cache_dir())
+
+
+def _note_cache(result) -> None:
+    if result.from_cache:
+        print(
+            f"[cache] hit {result.spec.spec_hash[:12]} (n={result.spec.n})",
+            file=sys.stderr,
+        )
+
+
+def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) -> int:
+    from .api import solve
+    from .util.errors import ReproError
+    from .util.tables import Table
+
+    cache = _cache_from_args(args)
+    results = []
+    for n in ns:
+        t0 = time.perf_counter()
+        try:
+            spec = _spec_from_args(args, n)
+            result = solve(spec, cache=cache)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - t0
+        _note_cache(result)
+        results.append((result, elapsed))
+
+    if args.json:
+        payloads = [result.to_payload() for result, _ in results]
+        # `solve` emits one envelope; `sweep` always emits an array, even
+        # for a one-element range — scripts parse a stable shape.
+        out = payloads[0] if single else payloads
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+
+    table = Table(
+        "DRC covering jobs (repro.api)",
+        ["n", "λ", "backend", "status", "blocks", "lower bnd", "nodes", "seconds", "origin"],
+    )
+    for result, elapsed in results:
+        table.add_row(
+            result.spec.n,
+            result.spec.lam,
+            result.backend,
+            result.status,
+            result.num_blocks,
+            result.lower_bound,
+            result.stats.nodes,
+            round(elapsed, 3),
+            "cache" if result.from_cache else "solved",
+        )
+    print(table.render())
+    if single:
+        result = results[0][0]
+        print("\nblocks:", " ".join(str(blk.vertices) for blk in result.covering.blocks))
+    return 0
+
+
+def _cmd_solve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro solve",
+        description="Solve one covering job through the declarative API.",
+    )
+    parser.add_argument("--n", type=int, required=True, help="ring order")
+    _add_spec_arguments(parser)
+    args = parser.parse_args(argv)
+    return _run_jobs([args.n], args, single=True)
+
+
+def _cmd_sweep(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Solve a range of ring sizes through the declarative API.",
+    )
+    parser.add_argument("--ns", required=True, metavar="RANGE",
+                        help="ring sizes (e.g. 4..11 or 5,9,14)")
+    _add_spec_arguments(parser)
+    args = parser.parse_args(argv)
+    return _run_jobs(_parse_range(args.ns), args)
+
+
+# ---------------------------------------------------------------------------
+# experiments / rho
+# ---------------------------------------------------------------------------
+
+
+def _list_experiments() -> int:
+    for key, (desc, _) in _EXPERIMENTS.items():
+        print(f"{key:4s} {desc}")
+    return 0
+
+
+def _run_experiments(selected: list[str]) -> int:
+    selected = selected or list(_EXPERIMENTS)
+    unknown = [e for e in selected if e not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} (try --list)", file=sys.stderr)
+        return 2
+    for key in selected:
+        desc, runner = _EXPERIMENTS[key]
+        print(f"\n# {key} — {desc}\n")
+        print(runner().render())
+    return 0
+
+
+def _cmd_experiments(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro experiments",
+        description="Regenerate tables from 'A Note on Cycle Covering' (SPAA 2001).",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        return _list_experiments()
+    return _run_experiments(args.experiments)
+
+
+def _print_rho(spec: str) -> int:
+    from .core.formulas import optimal_excess, rho, theorem_cycle_mix
+    from .util.tables import Table
+
+    table = Table("ρ(n) — minimum DRC-covering sizes", ["n", "ρ(n)", "C3", "C4", "excess"])
+    for n in _parse_range(spec):
+        mix = theorem_cycle_mix(n)
+        table.add_row(n, rho(n), mix[3], mix[4], optimal_excess(n))
+    print(table.render())
+    return 0
+
+
+def _cmd_rho(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro rho",
+        description="Print closed-form ρ(n) over a range.",
+    )
+    parser.add_argument("range", metavar="RANGE", help="e.g. 6..20 or 5,9,14")
+    args = parser.parse_args(argv)
+    return _print_rho(args.range)
+
+
+# ---------------------------------------------------------------------------
+# entry point (subcommands + the legacy flat spelling)
+# ---------------------------------------------------------------------------
+
+
+def _legacy_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate tables from 'A Note on Cycle Covering' (SPAA 2001).",
+        description=(
+            "Regenerate tables from 'A Note on Cycle Covering' (SPAA 2001). "
+            "Subcommands: solve, sweep, experiments, rho (see --help of each)."
+        ),
     )
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
@@ -52,34 +287,25 @@ def main(argv: list[str] | None = None) -> int:
         "--rho", metavar="RANGE", help="print ρ(n) for n in RANGE (e.g. 6..20 or 5,9,14)"
     )
     args = parser.parse_args(argv)
-
     if args.list:
-        for key, (desc, _) in _EXPERIMENTS.items():
-            print(f"{key:4s} {desc}")
-        return 0
-
+        return _list_experiments()
     if args.rho:
-        from .core.formulas import optimal_excess, rho, theorem_cycle_mix
-        from .util.tables import Table
+        return _print_rho(args.rho)
+    return _run_experiments(args.experiments)
 
-        table = Table("ρ(n) — minimum DRC-covering sizes", ["n", "ρ(n)", "C3", "C4", "excess"])
-        for n in _parse_range(args.rho):
-            mix = theorem_cycle_mix(n)
-            table.add_row(n, rho(n), mix[3], mix[4], optimal_excess(n))
-        print(table.render())
-        return 0
 
-    selected = args.experiments or list(_EXPERIMENTS)
-    unknown = [e for e in selected if e not in _EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)} (try --list)", file=sys.stderr)
-        return 2
-
-    for key in selected:
-        desc, runner = _EXPERIMENTS[key]
-        print(f"\n# {key} — {desc}\n")
-        print(runner().render())
-    return 0
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "solve":
+            return _cmd_solve(rest)
+        if command == "sweep":
+            return _cmd_sweep(rest)
+        if command == "experiments":
+            return _cmd_experiments(rest)
+        return _cmd_rho(rest)
+    return _legacy_main(argv)
 
 
 if __name__ == "__main__":

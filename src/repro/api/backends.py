@@ -1,0 +1,358 @@
+"""Backend implementations behind the declarative API.
+
+A :class:`Backend` turns a :class:`~repro.api.spec.CoverSpec` into a
+:class:`~repro.api.result.Result`.  Four ship by default:
+
+``closed_form``
+    The paper's Theorem 1/2 constructions (and, for odd ``n``, their
+    λ-fold repetition).  Applies only where a formula certificate proves
+    optimality — the lower-bound certificate is recomputed and attached,
+    never trusted.  O(n²); no search.
+``exact``
+    The branch-and-bound certifier: :meth:`SolverEngine.min_covering`
+    for uniform ``K_n`` demand, :meth:`SolverEngine.min_covering_instance`
+    for everything else (``λK_n``, restricted variants).  Exhaustive —
+    status ``proven_optimal``.
+``exact_sharded``
+    The same certification scaled out across processes by root-orbit
+    partitioning (uniform ``K_n`` only — the shard seam lives in the
+    root branch of the All-to-All search).
+``heuristic``
+    Deterministic max-coverage greedy tightened by the
+    :mod:`repro.core.improve` local search.  Status ``feasible`` —
+    valid, never claimed optimal.
+
+Custom backends register through :func:`register_backend`; the router
+and CLI discover them via :func:`available_backends` — restricted-cover
+variants (PAPERS.md: Manthey's restricted cycle covers) plug in here
+without touching callers.
+
+Warm-start hints flow *between* tiers at this layer: a uniform-``K_n``
+exact solve with ``use_hints=True`` first asks the closed-form tier
+for an inclusive upper bound (exactly ρ-sized where its certificate
+applies), so the search opens with the strongest possible incumbent.
+The greedy+improve pass is *not* re-run here — every exact engine path
+already seeds its own greedy/improver incumbent internally, and the
+instance solver accepts no external bound at all.  Certification runs
+(``use_hints=False``) get no cross-tier hint — that is what makes
+their node counts comparable with ``BENCH_solver.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from ..core.bounds import instance_lower_bound, lower_bound
+from ..core.construction import optimal_covering
+from ..core.covering import Covering
+from ..core.engine import DEFAULT_NODE_LIMIT, SolverEngine, SolverStats
+from ..core.formulas import rho
+from ..util.errors import SolverError
+from .result import Result
+from .spec import CoverSpec, SpecError
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "EXACT_KN_MAX_N",
+    "EXACT_INSTANCE_MAX_N",
+]
+
+# The exact solvers' size ceilings (mirrored from the engine's own
+# guards so the router can refuse *before* dispatch, with a routing
+# error instead of a deep solver failure).
+EXACT_KN_MAX_N = 12
+EXACT_INSTANCE_MAX_N = 10
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """A registered solving strategy."""
+
+    name: str
+
+    def supports(self, spec: CoverSpec) -> bool:
+        """Can this backend honour the spec's guarantees?  Must be cheap
+        (formula-level work only) — the router calls it while choosing."""
+        ...
+
+    def run(self, spec: CoverSpec) -> Result:
+        """Solve the job.  Only called when :meth:`supports` is true."""
+        ...
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register a backend under ``backend.name``; refuses to shadow an
+    existing name unless ``replace=True``."""
+    name = backend.name
+    if not replace and name in _REGISTRY:
+        raise SpecError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown backend {name!r} (available: {', '.join(available_backends())})"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _deadline_of(spec: CoverSpec) -> float | None:
+    if spec.time_budget is None:
+        return None
+    return time.time() + spec.time_budget
+
+
+def _node_limit_of(spec: CoverSpec) -> int:
+    return spec.node_limit if spec.node_limit is not None else DEFAULT_NODE_LIMIT
+
+
+def _kn_lower_bound(spec: CoverSpec):
+    """Formula-independent lower-bound certificate for uniform demand."""
+    if spec.lam == 1:
+        return lower_bound(spec.n)
+    from ..extensions.lambda_fold import lambda_lower_bound
+
+    return lambda_lower_bound(spec.n, spec.lam)
+
+
+def warm_start_bound(spec: CoverSpec) -> int | None:
+    """An inclusive upper bound from the closed-form tier, or ``None``.
+
+    Only the formula tier is consulted: its bound is exactly ρ-sized
+    where the certificate applies, and the exact engine paths already
+    seed their own greedy+improve incumbent internally, so re-running
+    the heuristic here would duplicate work for no tighter bound.
+    Never consulted when the spec disables hints.
+    """
+    if not spec.use_hints:
+        return None
+    closed = get_backend("closed_form")
+    if closed.supports(spec):
+        return closed.run(spec).num_blocks
+    return None
+
+
+# ---------------------------------------------------------------------------
+# closed_form
+# ---------------------------------------------------------------------------
+
+
+class ClosedFormBackend:
+    """Theorem 1/2 constructions (λ-fold repetition for odd ``n``)."""
+
+    name = "closed_form"
+
+    def supports(self, spec: CoverSpec) -> bool:
+        if not spec.is_all_to_all or spec.objective != "min_blocks":
+            return False
+        # The theorems build C3/C4 coverings: the spec must admit
+        # 4-cycles and must not restrict the pool below them.
+        if spec.max_size != 4:
+            return False
+        if spec.lam == 1:
+            return True
+        # λ-fold repetition is certified optimal exactly when the λ
+        # lower bound meets λ·ρ(n) — always for odd n, never useful for
+        # even n (the doubled-copy constructions beat it, so the exact
+        # tier must decide).
+        return spec.n % 2 == 1 and _kn_lower_bound(spec).value == spec.lam * rho(spec.n)
+
+    def run(self, spec: CoverSpec) -> Result:
+        if not self.supports(spec):
+            raise SpecError("closed_form backend does not support this spec")
+        base = optimal_covering(spec.n)
+        covering = base if spec.lam == 1 else Covering(spec.n, base.blocks * spec.lam)
+        cert = _kn_lower_bound(spec)
+        if covering.num_blocks != cert.value:
+            raise SolverError(
+                f"closed-form covering has {covering.num_blocks} blocks but the "
+                f"lower bound certifies {cert.value} — formula/construction mismatch"
+            )
+        theorem = "theorem1_odd" if spec.n % 2 == 1 else "theorem2_even"
+        stats = SolverStats(nodes=0, best_value=covering.num_blocks, proven_optimal=True)
+        return Result(
+            spec=spec,
+            covering=covering,
+            status="closed_form",
+            backend=self.name,
+            stats=stats,
+            lower_bound=cert.value,
+            certificates=(theorem,) + tuple(a.name for a in cert.arguments),
+        )
+
+
+# ---------------------------------------------------------------------------
+# exact / exact_sharded
+# ---------------------------------------------------------------------------
+
+
+class ExactBackend:
+    """Serial branch-and-bound certification (``K_n`` or instance)."""
+
+    name = "exact"
+
+    def supports(self, spec: CoverSpec) -> bool:
+        if spec.objective != "min_blocks":
+            return False
+        if spec.is_all_to_all and spec.lam == 1:
+            return spec.n <= EXACT_KN_MAX_N
+        return spec.n <= EXACT_INSTANCE_MAX_N
+
+    def run(self, spec: CoverSpec) -> Result:
+        engine = SolverEngine(spec.n, max_size=spec.max_size)
+        stats = SolverStats()
+        deadline = _deadline_of(spec)
+        node_limit = _node_limit_of(spec)
+        if spec.is_all_to_all and spec.lam == 1:
+            covering = engine.min_covering(
+                upper_bound=warm_start_bound(spec),
+                node_limit=node_limit,
+                stats=stats,
+                branching=spec.branching,
+                use_memo=spec.use_memo,
+                deadline=deadline,
+            )
+            cert = lower_bound(spec.n)
+        else:
+            # The instance solver has no external-bound seam — it seeds
+            # its own greedy incumbent — so use_hints cannot thread a
+            # cross-tier bound into this path (see the module docstring).
+            inst = spec.instance()
+            covering = engine.min_covering_instance(
+                inst, node_limit=node_limit, stats=stats, deadline=deadline
+            )
+            cert = instance_lower_bound(inst)
+        return Result(
+            spec=spec,
+            covering=covering,
+            status="proven_optimal",
+            backend=self.name,
+            stats=stats,
+            lower_bound=cert.value,
+            certificates=("branch_and_bound_exhaustive",)
+            + tuple(a.name for a in cert.arguments),
+        )
+
+
+class ExactShardedBackend:
+    """Root-orbit-sharded certification across worker processes."""
+
+    name = "exact_sharded"
+
+    def supports(self, spec: CoverSpec) -> bool:
+        return (
+            spec.objective == "min_blocks"
+            and spec.is_all_to_all
+            and spec.lam == 1
+            and spec.n <= EXACT_KN_MAX_N
+        )
+
+    def run(self, spec: CoverSpec) -> Result:
+        if not self.supports(spec):
+            raise SpecError(
+                "exact_sharded certifies uniform K_n demand only "
+                "(the shard seam is the All-to-All root orbit)"
+            )
+        engine = SolverEngine(spec.n, max_size=spec.max_size)
+        stats = SolverStats()
+        covering = engine.min_covering_sharded(
+            workers=spec.workers,
+            upper_bound=warm_start_bound(spec),
+            node_limit=_node_limit_of(spec),
+            stats=stats,
+            branching=spec.branching,
+            deadline=_deadline_of(spec),
+        )
+        cert = lower_bound(spec.n)
+        return Result(
+            spec=spec,
+            covering=covering,
+            status="proven_optimal",
+            backend=self.name,
+            stats=stats,
+            lower_bound=cert.value,
+            certificates=("branch_and_bound_exhaustive",)
+            + tuple(a.name for a in cert.arguments),
+        )
+
+
+# ---------------------------------------------------------------------------
+# heuristic
+# ---------------------------------------------------------------------------
+
+
+class HeuristicBackend:
+    """Greedy + local-search tier: always feasible, never certified."""
+
+    name = "heuristic"
+
+    def supports(self, spec: CoverSpec) -> bool:
+        return spec.objective == "min_blocks"
+
+    def run(self, spec: CoverSpec) -> Result:
+        from ..core.improve import ImproveStats, improve_covering
+
+        inst = spec.instance()
+        engine = SolverEngine(spec.n, max_size=spec.max_size)
+        covering = self._greedy(engine, inst, spec)
+        if spec.improve:
+            covering = improve_covering(
+                covering,
+                inst,
+                pool=spec.pool,
+                max_size=spec.max_size,
+                stats=ImproveStats(),
+            )
+        stats = SolverStats(
+            nodes=0, best_value=covering.num_blocks, proven_optimal=False
+        )
+        cert = instance_lower_bound(inst)
+        return Result(
+            spec=spec,
+            covering=covering,
+            status="feasible",
+            backend=self.name,
+            stats=stats,
+            lower_bound=cert.value,
+            certificates=tuple(a.name for a in cert.arguments),
+        )
+
+    @staticmethod
+    def _greedy(engine: SolverEngine, inst, spec: CoverSpec) -> Covering:
+        """Pool resolution mirrors :func:`improved_greedy_covering`:
+        ``auto`` prefers the tight pool (zero-waste blocks) and falls
+        back to convex; an explicit pool is honoured strictly (the
+        greedy baseline's historical error contract relies on a tight
+        pool that cannot reach some demand *raising*)."""
+        if spec.pool == "auto":
+            try:
+                return engine.greedy_cover(inst, pool="tight")
+            except SolverError:
+                return engine.greedy_cover(inst, pool="convex")
+        return engine.greedy_cover(inst, pool=spec.pool)
+
+
+register_backend(ClosedFormBackend())
+register_backend(ExactBackend())
+register_backend(ExactShardedBackend())
+register_backend(HeuristicBackend())

@@ -1,0 +1,165 @@
+"""Content-addressed on-disk result cache.
+
+Entries are keyed by the canonical spec hash
+(:attr:`~repro.api.spec.CoverSpec.spec_hash` — SHA-256 of the spec's
+compact canonical JSON) and stored as the result's own deterministic
+JSON envelope at ``<root>/<hash[:2]>/<hash>.json``.  Because the
+envelope serialises byte-identically, a cache hit returns *exactly*
+the bytes the first run produced — repeated sweeps and experiment
+reruns skip the solve and still emit diffable output.
+
+Robustness contract:
+
+* writes are atomic (temp file + ``os.replace``), so a crashed run
+  never leaves a half-written entry;
+* reads re-parse and re-validate the envelope (format tag, schema
+  major, spec-hash consistency, covering structure); any failure
+  *quarantines* the entry — it is deleted and reported as a miss, and
+  the job is simply re-solved;
+* a hit whose embedded spec hash disagrees with the requested spec
+  (hash collision or hand-edited file) is likewise discarded.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..util.errors import InvalidCoveringError, ReproError
+from .result import Result
+from .spec import CoverSpec, SpecError
+
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_DIR_ENV"]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class ResultCache:
+    """A content-addressed store of :class:`~repro.api.result.Result`
+    envelopes under ``root``."""
+
+    root: Path
+    verify: bool = False  # re-run the coverage verifier on every hit
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+    evictions: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @classmethod
+    def open(cls, where: "ResultCache | str | Path | None") -> "ResultCache | None":
+        """Coerce a user-facing cache argument: an existing cache passes
+        through, a path opens one, ``None`` stays ``None`` (disabled)."""
+        if where is None or isinstance(where, ResultCache):
+            return where
+        return cls(Path(where))
+
+    # -- addressing ------------------------------------------------------
+
+    def path_for(self, spec: CoverSpec) -> Path:
+        h = spec.spec_hash
+        return self.root / h[:2] / f"{h}.json"
+
+    # -- operations ------------------------------------------------------
+
+    def get(self, spec: CoverSpec) -> Result | None:
+        """The cached result for ``spec``, or ``None``.
+
+        Corrupt or inconsistent entries are deleted (quarantined) and
+        reported as misses — the cache never propagates a bad artifact.
+        """
+        path = self.path_for(spec)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = Result.from_json(text, verify=self.verify)
+            if result.spec != spec:
+                raise SpecError(
+                    "cache entry's spec does not match the requested spec"
+                )
+        except (
+            ReproError,
+            InvalidCoveringError,
+            SpecError,
+            ValueError,
+            KeyError,
+            TypeError,
+        ):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: Result) -> Path:
+        """Store ``result`` under its spec hash (atomic write)."""
+        path = self.path_for(result.spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = result.to_json()
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def evict(self, spec: CoverSpec) -> None:
+        """Drop the entry for ``spec`` (the service quarantines hits
+        that fail its demand validation through this)."""
+        self._quarantine(self.path_for(spec))
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.unlink()
+            self.evictions += 1
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,189 @@
+"""The uniform :class:`Result` envelope every backend returns.
+
+One shape for every tier: the covering itself, a three-valued status
+(``proven_optimal`` — exhaustive branch-and-bound; ``closed_form`` —
+a Theorem 1/2 construction whose optimality the formula certificates
+prove; ``feasible`` — heuristic, valid but unproven), the solver
+statistics, the lower-bound certificates backing any optimality claim,
+and provenance (backend, spec, canonical spec hash, library version).
+
+Serialisation is deterministic — sorted keys, no timestamps — so a
+result round-trips to *byte-identical* JSON, which is what lets the
+content-addressed cache serve reruns verbatim and lets CI diff two
+sweep outputs with ``cmp``.  The covering payload inside the envelope
+is the standard :mod:`repro.io` document, version checks included.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.covering import Covering
+from ..core.engine import SolverStats
+from ..util.errors import InvalidCoveringError
+from .spec import CoverSpec, SpecError
+
+__all__ = ["Result", "RESULT_FORMAT", "RESULT_SCHEMA_MAJOR", "STATUSES"]
+
+RESULT_FORMAT = "repro-result"
+RESULT_SCHEMA_MAJOR = 1
+_RESULT_SCHEMA_MINOR = 0
+
+STATUSES = ("proven_optimal", "closed_form", "feasible")
+
+
+@dataclass(frozen=True)
+class Result:
+    """Outcome of one :func:`repro.api.solve` call.
+
+    ``from_cache`` is runtime-only bookkeeping (did this envelope come
+    off disk?) and deliberately excluded from equality and JSON — a
+    cached result must serialise byte-identically to the original.
+    """
+
+    spec: CoverSpec
+    covering: Covering
+    status: str
+    backend: str
+    stats: SolverStats
+    lower_bound: int | None = None
+    certificates: tuple[str, ...] = ()
+    from_cache: bool = field(default=False, compare=False)
+    # Stamped at first serialisation and round-tripped verbatim after
+    # that, so a cache hit keeps the *producing* library's version (and
+    # stays byte-identical across upgrades).  Metadata, not identity —
+    # excluded from equality like from_cache.
+    provenance: dict[str, Any] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise SpecError(
+                f"unknown result status {self.status!r} (expected one of {STATUSES})"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise SpecError(f"result backend must be a non-empty string, got {self.backend!r}")
+        if self.covering.n != self.spec.n:
+            raise SpecError(
+                f"covering order {self.covering.n} ≠ spec order {self.spec.n}"
+            )
+
+    # -- convenience -----------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self.covering.num_blocks
+
+    @property
+    def proven_optimal(self) -> bool:
+        """True when optimality is certified (by exhaustion or formula)."""
+        return self.status in ("proven_optimal", "closed_form")
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash
+
+    def summary(self) -> str:
+        origin = " [cache]" if self.from_cache else ""
+        return (
+            f"n={self.spec.n} λ={self.spec.lam} backend={self.backend} "
+            f"status={self.status} blocks={self.num_blocks} "
+            f"nodes={self.stats.nodes}{origin}"
+        )
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        from ..io import covering_to_payload, schema_version_field
+
+        return {
+            "format": RESULT_FORMAT,
+            "version": schema_version_field(RESULT_SCHEMA_MAJOR, _RESULT_SCHEMA_MINOR),
+            "spec": self.spec.to_payload(),
+            "spec_hash": self.spec.spec_hash,
+            "status": self.status,
+            "backend": self.backend,
+            "covering": covering_to_payload(self.covering),
+            "stats": {
+                "nodes": self.stats.nodes,
+                "best_value": self.stats.best_value,
+                "proven_optimal": self.stats.proven_optimal,
+                "shards": self.stats.shards,
+            },
+            "lower_bound": self.lower_bound,
+            "certificates": list(self.certificates),
+            "provenance": dict(self.provenance)
+            if self.provenance is not None
+            else self._provenance(),
+        }
+
+    def _provenance(self) -> dict[str, Any]:
+        from .. import __version__
+
+        return {"library": "repro", "library_version": __version__}
+
+    @classmethod
+    def from_payload(cls, payload: Any, *, verify: bool = False) -> "Result":
+        """Rebuild a result from :meth:`to_payload` output.
+
+        Raises :class:`SpecError` / :class:`InvalidCoveringError` on any
+        structural problem — the cache treats every failure here as a
+        corrupt entry.  ``verify=True`` additionally re-runs the DRC and
+        coverage verifier on the embedded covering.
+        """
+        from ..io import covering_from_payload, require_schema
+
+        require_schema(payload, RESULT_FORMAT, RESULT_SCHEMA_MAJOR)
+        spec = CoverSpec.from_payload(payload.get("spec"))
+        declared = payload.get("spec_hash")
+        if declared != spec.spec_hash:
+            raise SpecError(
+                f"result envelope spec_hash {declared!r} does not match "
+                f"its spec (expected {spec.spec_hash})"
+            )
+        covering = covering_from_payload(payload.get("covering"))
+        if verify and not covering.covers(spec.instance()):
+            raise InvalidCoveringError(
+                "cached covering does not cover its spec's demand"
+            )
+        raw_stats = payload.get("stats")
+        if not isinstance(raw_stats, dict):
+            raise SpecError(f"malformed stats payload: {raw_stats!r}")
+        stats = SolverStats(
+            nodes=int(raw_stats.get("nodes", 0)),
+            best_value=raw_stats.get("best_value"),
+            proven_optimal=bool(raw_stats.get("proven_optimal", False)),
+            shards=int(raw_stats.get("shards", 0)),
+        )
+        certificates = payload.get("certificates") or ()
+        if not isinstance(certificates, (list, tuple)) or not all(
+            isinstance(c, str) for c in certificates
+        ):
+            raise SpecError(f"malformed certificates payload: {certificates!r}")
+        provenance = payload.get("provenance")
+        if provenance is not None and not isinstance(provenance, dict):
+            raise SpecError(f"malformed provenance payload: {provenance!r}")
+        return cls(
+            spec=spec,
+            covering=covering,
+            status=payload.get("status"),
+            backend=payload.get("backend"),
+            stats=stats,
+            lower_bound=payload.get("lower_bound"),
+            certificates=tuple(certificates),
+            provenance=provenance,
+        )
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, stable field set) — two
+        results with the same content are byte-identical."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, *, verify: bool = False) -> "Result":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"not valid JSON: {exc}") from exc
+        return cls.from_payload(payload, verify=verify)

@@ -1,0 +1,80 @@
+"""The service front door: :func:`solve` and :func:`solve_batch`.
+
+``solve(spec)`` is the repo's single call path into the covering
+machinery: route the spec to a backend (or honour its pin), serve from
+the content-addressed cache when one is supplied, run, validate, store.
+``solve_batch`` is the sweep shape — one call, many specs, shared
+cache — and the serializable :class:`~repro.api.spec.CoverSpec` is the
+wire format a distributed dispatcher would ship to remote workers (the
+ROADMAP's distributed-``solve_many`` seam).
+
+Every result is re-checked against the spec's demand before it is
+returned or cached — no backend, present or future, can hand back a
+non-covering without tripping :class:`InvalidCoveringError` here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import replace
+
+from ..util.errors import InvalidCoveringError
+from .cache import ResultCache
+from .result import Result
+from .router import route_backend
+from .spec import CoverSpec
+from .backends import get_backend
+
+__all__ = ["solve", "solve_batch"]
+
+
+def solve(
+    spec: CoverSpec, *, cache: ResultCache | str | None = None
+) -> Result:
+    """Solve one covering job.
+
+    ``cache`` may be a :class:`~repro.api.cache.ResultCache`, a
+    directory path (opened as one), or ``None`` (no caching).  Cache
+    hits come back with ``from_cache=True`` and byte-identical
+    :meth:`~repro.api.result.Result.to_json` output.
+    """
+    store = ResultCache.open(cache)
+    if store is not None:
+        hit = store.get(spec)
+        if hit is not None:
+            # The service-level invariant holds for hits too: a
+            # structurally-valid envelope whose covering no longer
+            # meets the demand (hand-edited, bit-rotted) is evicted
+            # and the job re-solved, never served.
+            try:
+                _validate(hit)
+            except InvalidCoveringError:
+                store.evict(spec)
+            else:
+                return replace(hit, from_cache=True)
+
+    backend = get_backend(route_backend(spec))
+    result = backend.run(spec)
+    _validate(result)
+    if store is not None:
+        store.put(result)
+    return result
+
+
+def solve_batch(
+    specs: Iterable[CoverSpec], *, cache: ResultCache | str | None = None
+) -> list[Result]:
+    """Solve many jobs with one shared cache handle; result order
+    matches spec order."""
+    store = ResultCache.open(cache)
+    return [solve(spec, cache=store) for spec in specs]
+
+
+def _validate(result: Result) -> None:
+    """Reject any backend output that fails the spec's demand (the
+    service-level invariant the Result envelope promises)."""
+    if not result.covering.covers(result.spec.instance()):
+        raise InvalidCoveringError(
+            f"backend {result.backend!r} returned a non-covering for "
+            f"spec {result.spec.spec_hash[:12]}"
+        )

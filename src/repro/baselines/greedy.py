@@ -6,18 +6,18 @@ covers the most still-uncovered requests, breaking ties toward lower
 excess.  The benchmarks compare its cycle count against ρ(n) to show
 what the closed-form constructions buy.
 
-The selection loop itself is the shared greedy kernel of
-:class:`repro.core.engine.SolverEngine` (the same pass that seeds the
-branch-and-bound incumbents), run over the *tight* block pool; this
-module keeps the historical signature and error contract.
+The selection loop itself is the greedy kernel behind the
+:mod:`repro.api` heuristic backend (the same pass that seeds the
+branch-and-bound incumbents), pinned to the *tight* block pool with the
+local-search improver off; this module keeps the historical signature
+and error contract over an ``api.solve`` call.
 """
 
 from __future__ import annotations
 
 from ..core.covering import Covering
-from ..core.engine import SolverEngine
-from ..traffic.instances import Instance, all_to_all
-from ..util.errors import ConstructionError
+from ..traffic.instances import Instance
+from ..util.errors import ConstructionError, SolverError
 
 __all__ = ["greedy_drc_covering"]
 
@@ -34,16 +34,21 @@ def greedy_drc_covering(
     Deterministic; runs in ``O(iterations × |blocks|)``.  Not optimal —
     that is the point of the baseline.
     """
-    inst = instance if instance is not None else all_to_all(n)
-    if inst.n != n:
-        raise ConstructionError(f"instance order {inst.n} ≠ n = {n}")
+    from ..api import CoverSpec, solve
 
-    engine = SolverEngine(n, max_size=max_size)
-    chosen, leftover = engine.greedy_cover_indices(dict(inst.demand), pool="tight")
-    if leftover:
-        raise ConstructionError(
-            f"greedy covering stuck with {leftover} requests left "
-            f"(n={n}, max_size={max_size})"
+    if instance is not None and instance.n != n:
+        raise ConstructionError(f"instance order {instance.n} ≠ n = {n}")
+    if instance is None:
+        spec = CoverSpec.for_ring(
+            n, max_size=max_size, backend="heuristic",
+            require_optimal=False, pool="tight", improve=False,
         )
-    table = engine.tight_table
-    return Covering(n, tuple(table.blocks[i] for i in chosen))
+    else:
+        spec = CoverSpec.from_instance(
+            instance, max_size=max_size, backend="heuristic",
+            require_optimal=False, pool="tight", improve=False,
+        )
+    try:
+        return solve(spec).covering
+    except SolverError as exc:
+        raise ConstructionError(str(exc)) from exc

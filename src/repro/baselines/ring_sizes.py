@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ..core.blocks import CycleBlock
 from ..core.covering import Covering
-from ..core.solver import enumerate_tight_blocks
+from ..core.engine import enumerate_tight_blocks
 from ..util import circular
 from ..util.errors import ConstructionError
 

@@ -15,25 +15,26 @@ from .formulas import (
     theorem_cycle_mix,
     triangle_covering_number,
 )
+# The engine exports (not the repro.core.solver façade): the top-level
+# surface stays warning-free; DeprecationWarnings fire only for callers
+# importing through repro.core.solver itself.
 from .engine import (
     SolverEngine,
+    SolverStats,
     dihedral_canonical,
     dominated_candidates,
+    enumerate_convex_blocks,
+    enumerate_tight_blocks,
+    exact_decomposition,
     solve_many,
+    solve_min_covering,
+    solve_min_covering_instance,
     solve_min_covering_sharded,
 )
 from .improve import ImproveStats, improve_covering, improved_greedy_covering
 from .ladder import ladder_decomposition
 from .ledger import CoverageLedger
 from .pole import pole_decomposition
-from .solver import (
-    SolverStats,
-    solve_min_covering_instance,
-    enumerate_convex_blocks,
-    enumerate_tight_blocks,
-    exact_decomposition,
-    solve_min_covering,
-)
 from .transforms import (
     canonical_covering_key,
     coverings_equivalent,

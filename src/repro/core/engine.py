@@ -108,6 +108,7 @@ re-exporting the public entry points with their historical signatures.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from math import lcm
@@ -138,6 +139,20 @@ __all__ = [
 DEFAULT_NODE_LIMIT = 20_000_000
 
 BRANCHING_ORDERS = ("lex", "scarcest")
+
+# Wall-clock deadlines (``time.time()``-based so they survive pickling
+# into sharded workers) are polled every DEADLINE_POLL_MASK+1 nodes —
+# cheap enough to leave on, frequent enough for sub-second budgets.
+DEADLINE_POLL_MASK = 0xFF
+
+
+def _check_deadline(deadline: float | None, nodes: int, n: int) -> None:
+    if (
+        deadline is not None
+        and nodes & DEADLINE_POLL_MASK == 0
+        and time.time() > deadline
+    ):
+        raise SolverError(f"solver exceeded its time budget for n={n}")
 
 # The acceptance bar of the PR-2 perf work, shared by the regression
 # tests, the solver benchmark, and CI: the seed solver explored 85,650
@@ -614,6 +629,7 @@ class SolverEngine:
         stats: SolverStats | None = None,
         branching: str = "lex",
         use_memo: bool = True,
+        deadline: float | None = None,
     ) -> Covering:
         """Certified minimum DRC-covering of ``K_n`` over ``C_n``.
 
@@ -626,7 +642,10 @@ class SolverEngine:
         ``branching`` and ``use_memo`` select the chord order and the
         canonical-mask transposition memo (see the module docstring);
         the defaults are the measured-fastest configuration and the
-        knobs exist for the A4 ablation.
+        knobs exist for the A4 ablation.  ``deadline`` is an absolute
+        ``time.time()`` wall-clock cutoff (the :mod:`repro.api` layer
+        derives it from a spec's time budget); overrunning it raises,
+        exactly like the node limit.
         """
         n = self.n
         if n > 12:
@@ -644,6 +663,7 @@ class SolverEngine:
             st=st,
             order=order,
             use_memo=use_memo,
+            deadline=deadline,
         )
         if best_blocks is None:
             # The search ran to exhaustion (a node-limit overrun raises
@@ -704,6 +724,7 @@ class SolverEngine:
         st: SolverStats,
         order: list[int],
         use_memo: bool = True,
+        deadline: float | None = None,
     ) -> tuple[int, list[CycleBlock] | None]:
         """Branch-and-bound over the convex pool for All-to-All demand.
 
@@ -737,6 +758,7 @@ class SolverEngine:
             st.nodes += 1
             if st.nodes > node_limit:
                 raise SolverError(f"solver exceeded node limit {node_limit} for n={n}")
+            _check_deadline(deadline, st.nodes, n)
             if covered == full_mask:
                 if used < best[0]:
                     best[0] = used
@@ -785,6 +807,7 @@ class SolverEngine:
         node_limit: int = DEFAULT_NODE_LIMIT,
         stats: SolverStats | None = None,
         branching: str = "lex",
+        deadline: float | None = None,
     ) -> Covering:
         """Certified minimum covering of ``K_n`` sharded across
         processes by root-orbit partitioning.
@@ -807,6 +830,7 @@ class SolverEngine:
                 node_limit=node_limit,
                 stats=stats,
                 branching=branching,
+                deadline=deadline,
             )
 
         st = stats if stats is not None else SolverStats()
@@ -815,7 +839,7 @@ class SolverEngine:
         )
         shards = weighted_chunks(root_cands, orbit_weights, nworkers)
         payloads = [
-            (n, self.max_size, tuple(shard), best_count, node_limit, branching)
+            (n, self.max_size, tuple(shard), best_count, node_limit, branching, deadline)
             for shard in shards
         ]
         results = parallel_map(
@@ -849,6 +873,7 @@ class SolverEngine:
         node_limit: int = DEFAULT_NODE_LIMIT,
         stats: SolverStats | None = None,
         dominance: bool = True,
+        deadline: float | None = None,
     ) -> Covering:
         """Certified minimum DRC-covering of an arbitrary instance on
         ``C_n`` (multiplicities supported — e.g. ``λK_n``).
@@ -942,6 +967,7 @@ class SolverEngine:
             st.nodes += 1
             if st.nodes > node_limit:
                 raise SolverError(f"instance solver exceeded node limit {node_limit}")
+            _check_deadline(deadline, st.nodes, n)
             if remaining == 0:
                 if used < best[0]:
                     best[0] = used
@@ -1224,13 +1250,13 @@ def solve_min_covering_instance(
 
 
 def _sharded_root_worker(
-    payload: tuple[int, int, tuple[int, ...], int, int, str],
+    payload: tuple[int, int, tuple[int, ...], int, int, str, float | None],
 ) -> tuple[int | None, list[tuple[int, ...]] | None, int]:
     """One shard of a root-orbit-partitioned certification: search the
     given root candidates only, starting from the broadcast incumbent
     count (exclusive threshold).  Returns a strictly-better covering's
     vertex lists or ``None``, plus the shard's node count."""
-    n, max_size, root_cands, best_count, node_limit, branching = payload
+    n, max_size, root_cands, best_count, node_limit, branching, deadline = payload
     engine = SolverEngine(n, max_size=max_size)
     st = SolverStats()
     order = engine._branch_order(engine.convex_table, branching)
@@ -1241,6 +1267,7 @@ def _sharded_root_worker(
         node_limit=node_limit,
         st=st,
         order=order,
+        deadline=deadline,
     )
     if blocks is None:
         return None, None, st.nodes

@@ -35,7 +35,7 @@ from ..util.validation import as_int
 from .blocks import CycleBlock
 from .covering import Covering
 from .formulas import rho
-from .solver import enumerate_tight_blocks, exact_decomposition
+from .engine import enumerate_tight_blocks, exact_decomposition
 
 __all__ = ["pole_decomposition", "pole_forced_blocks", "POLE"]
 

@@ -1,38 +1,42 @@
-"""Exact solvers over convex blocks — compatibility façade.
+"""Exact solvers over convex blocks — **deprecated** compatibility façade.
 
-The solver implementations live in :mod:`repro.core.engine`, which
-unifies the three historical engines (tight exact decomposition,
-min covering of ``K_n``, min covering of an arbitrary instance) over
-one shared bitmask kernel with a single counting prune, dihedral
-symmetry breaking, and greedy incumbent seeding.  This module keeps the
-historical import surface:
+The solver implementations live in :mod:`repro.core.engine`; the
+supported way to reach them is the declarative :mod:`repro.api` layer::
 
-* :func:`exact_decomposition` — partition a prescribed edge set into
-  *tight* convex blocks, each edge exactly once (used by the pole
-  construction's completion step and by tests).
-* :func:`solve_min_covering` — branch-and-bound minimum DRC-covering of
-  a (small) instance, allowing excess.  This is the independent
-  certifier for ρ(n): it knows nothing of the closed forms and explores
-  the full block space with counting-bound pruning.
-* :func:`solve_min_covering_instance` — the same for arbitrary demand
-  (multiplicities supported, e.g. ``λK_n``).
-* :func:`solve_min_covering_sharded` — the root-orbit-sharded scale-out
-  path of the same certification (PR 2).
+    from repro.api import CoverSpec, solve
+
+    solve(CoverSpec.for_ring(9))                                # routed
+    solve(CoverSpec.for_ring(9, backend="exact", use_hints=False))  # certify
+    solve(CoverSpec.from_instance(inst))                        # λK_n / custom
+
+This module keeps the historical free-function import surface for
+out-of-tree callers and old notebooks.  Each call emits a
+:class:`DeprecationWarning` naming the replacement spec; behaviour is
+otherwise unchanged (the functions delegate to the same engine the API
+backends run).  ``SolverEngine``, ``SolverStats``, and the block
+enumerators re-export silently — they are the implementation layer the
+API wraps, not a deprecated surface.
+
+Deprecation path: the warnings land in this release; the free functions
+will be removed once no in-repo caller outside ``repro/api`` remains
+(already true) and downstream users have had a release to migrate.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from .engine import (
     SolverEngine,
     SolverStats,
     enumerate_convex_blocks,
     enumerate_tight_blocks,
-    exact_decomposition,
-    solve_many,
-    solve_min_covering,
-    solve_min_covering_instance,
-    solve_min_covering_sharded,
 )
+from .engine import exact_decomposition as _exact_decomposition
+from .engine import solve_many as _solve_many
+from .engine import solve_min_covering as _solve_min_covering
+from .engine import solve_min_covering_instance as _solve_min_covering_instance
+from .engine import solve_min_covering_sharded as _solve_min_covering_sharded
 
 __all__ = [
     "SolverEngine",
@@ -45,3 +49,48 @@ __all__ = [
     "solve_min_covering_sharded",
     "SolverStats",
 ]
+
+
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.solver.{name} is deprecated; use {replacement} "
+        "(see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def exact_decomposition(*args, **kwargs):
+    """Deprecated alias of :func:`repro.core.engine.exact_decomposition`."""
+    _warn("exact_decomposition", "repro.core.engine.exact_decomposition")
+    return _exact_decomposition(*args, **kwargs)
+
+
+def solve_min_covering(*args, **kwargs):
+    """Deprecated; use ``api.solve(CoverSpec.for_ring(n, backend='exact'))``."""
+    _warn("solve_min_covering", "api.solve(CoverSpec.for_ring(n, backend='exact'))")
+    return _solve_min_covering(*args, **kwargs)
+
+
+def solve_min_covering_sharded(*args, **kwargs):
+    """Deprecated; use ``api.solve(CoverSpec.for_ring(n, backend='exact_sharded'))``."""
+    _warn(
+        "solve_min_covering_sharded",
+        "api.solve(CoverSpec.for_ring(n, backend='exact_sharded'))",
+    )
+    return _solve_min_covering_sharded(*args, **kwargs)
+
+
+def solve_min_covering_instance(*args, **kwargs):
+    """Deprecated; use ``api.solve(CoverSpec.from_instance(instance))``."""
+    _warn(
+        "solve_min_covering_instance",
+        "api.solve(CoverSpec.from_instance(instance, backend='exact'))",
+    )
+    return _solve_min_covering_instance(*args, **kwargs)
+
+
+def solve_many(*args, **kwargs):
+    """Deprecated; use ``api.solve_batch([CoverSpec.for_ring(n) for n in ns])``."""
+    _warn("solve_many", "api.solve_batch([CoverSpec.for_ring(n) for n in ns])")
+    return _solve_many(*args, **kwargs)

@@ -106,9 +106,12 @@ def certified_lambda_optimum(n: int, lam: int) -> Covering:
 
 @lru_cache(maxsize=64)
 def _certified_cache(n: int, lam: int) -> Covering:
-    from ..core.solver import solve_min_covering_instance
+    # Route through the declarative API with the exact backend pinned:
+    # this is a certifier, so neither the closed forms nor the heuristic
+    # tier may answer for it.
+    from ..api import CoverSpec, solve
 
-    return solve_min_covering_instance(lambda_all_to_all(n, lam))
+    return solve(CoverSpec.for_ring(n, lam=lam, backend="exact")).covering
 
 
 def _doubled_even_covering(n: int) -> Covering:

@@ -1,0 +1,162 @@
+"""Content-addressed result cache: hit, miss, corruption recovery.
+
+The contract under test is the one the CLI and the experiment reruns
+lean on: a second identical solve is served from disk with *byte
+identical* envelope JSON, and a corrupt/tampered entry is quarantined
+(deleted, reported as a miss) rather than propagated.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CoverSpec, ResultCache, solve
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+SPEC = CoverSpec.for_ring(6, backend="exact", use_hints=False)
+
+
+class TestHitMiss:
+    def test_cold_cache_misses_then_populates(self, cache):
+        assert cache.get(SPEC) is None
+        assert cache.misses == 1
+        result = solve(SPEC, cache=cache)
+        assert not result.from_cache
+        assert cache.path_for(SPEC).is_file()
+        assert len(cache) == 1
+
+    def test_second_solve_is_served_from_cache(self, cache):
+        first = solve(SPEC, cache=cache)
+        second = solve(SPEC, cache=cache)
+        assert second.from_cache and not first.from_cache
+        assert second.to_json() == first.to_json()  # byte-identical envelope
+        assert cache.hits == 1
+
+    def test_from_cache_is_excluded_from_equality(self, cache):
+        first = solve(SPEC, cache=cache)
+        second = solve(SPEC, cache=cache)
+        assert first == second
+
+    def test_distinct_specs_use_distinct_entries(self, cache):
+        other = CoverSpec.for_ring(7, backend="exact", use_hints=False)
+        solve(SPEC, cache=cache)
+        solve(other, cache=cache)
+        assert len(cache) == 2
+        assert cache.path_for(SPEC) != cache.path_for(other)
+
+    def test_path_is_content_addressed(self, cache):
+        path = cache.path_for(SPEC)
+        assert path.name == f"{SPEC.spec_hash}.json"
+        assert path.parent.name == SPEC.spec_hash[:2]
+
+
+class TestCorruptionRecovery:
+    def test_garbage_entry_is_quarantined_and_resolved(self, cache):
+        solve(SPEC, cache=cache)
+        path = cache.path_for(SPEC)
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(SPEC) is None
+        assert not path.exists()  # quarantined
+        assert cache.evictions == 1
+        result = solve(SPEC, cache=cache)  # re-solves and re-populates
+        assert not result.from_cache
+        assert path.is_file()
+
+    def test_tampered_spec_hash_is_quarantined(self, cache):
+        solve(SPEC, cache=cache)
+        path = cache.path_for(SPEC)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["spec_hash"] = "0" * 64
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(SPEC) is None
+        assert not path.exists()
+
+    def test_tampered_covering_fails_verification(self, cache):
+        verifying = ResultCache(cache.root, verify=True)
+        solve(SPEC, cache=verifying)
+        path = verifying.path_for(SPEC)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["covering"]["blocks"] = doc["covering"]["blocks"][:1]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert verifying.get(SPEC) is None
+        assert not path.exists()
+
+    def test_foreign_schema_major_is_quarantined(self, cache):
+        solve(SPEC, cache=cache)
+        path = cache.path_for(SPEC)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["version"] = "99.0"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(SPEC) is None
+
+
+class TestHandleCoercion:
+    def test_open_none_is_disabled(self):
+        assert ResultCache.open(None) is None
+
+    def test_open_path_makes_a_cache(self, tmp_path):
+        store = ResultCache.open(tmp_path / "c")
+        assert isinstance(store, ResultCache)
+
+    def test_open_cache_passes_through(self, cache):
+        assert ResultCache.open(cache) is cache
+
+    def test_solve_accepts_a_directory_path(self, tmp_path):
+        solve(SPEC, cache=tmp_path / "c")
+        again = solve(SPEC, cache=tmp_path / "c")
+        assert again.from_cache
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, cache):
+        solve(SPEC, cache=cache)
+        solve(SPEC, cache=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestCorruptStatsRecovery:
+    def test_wrong_typed_stats_value_is_quarantined(self, cache):
+        # "nodes": null reaches int(...) inside Result.from_payload and
+        # raises TypeError — the cache must treat that as corruption,
+        # not crash the solve.
+        solve(SPEC, cache=cache)
+        path = cache.path_for(SPEC)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["stats"]["nodes"] = None
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert cache.get(SPEC) is None
+        assert not path.exists()
+        assert not solve(SPEC, cache=cache).from_cache  # re-solved
+
+
+class TestHitValidation:
+    def test_non_covering_hit_is_evicted_and_resolved(self, cache):
+        # Structurally valid envelope, but the covering no longer meets
+        # the demand: the service must evict and re-solve, not serve it.
+        solve(SPEC, cache=cache)
+        path = cache.path_for(SPEC)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["covering"]["blocks"] = doc["covering"]["blocks"][:1]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        result = solve(SPEC, cache=cache)
+        assert not result.from_cache
+        assert result.covering.covers(SPEC.instance())
+        # the bad entry was replaced by the fresh solve
+        again = solve(SPEC, cache=cache)
+        assert again.from_cache and again.covering.covers(SPEC.instance())
+
+    def test_evict_drops_the_entry(self, cache):
+        solve(SPEC, cache=cache)
+        assert len(cache) == 1
+        cache.evict(SPEC)
+        assert len(cache) == 0

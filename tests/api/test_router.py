@@ -1,0 +1,71 @@
+"""Router golden tests: the spec → backend mapping is pinned.
+
+``route_backend`` is pure policy — these tests freeze the policy so a
+refactor that silently reroutes (say) the λ-fold certifier from
+``closed_form`` to ``exact`` shows up as a test diff, not as a perf or
+status regression three layers up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CoverSpec, RoutingError, SpecError, route, route_backend
+
+GOLDEN = [
+    # The paper's headline jobs: Theorem 1/2 certificates make them free.
+    (dict(n=7), "closed_form"),
+    (dict(n=8), "closed_form"),
+    (dict(n=11), "closed_form"),
+    # Odd-n λ-fold: λ-repetition meets the λ lower bound → still free.
+    (dict(n=7, lam=2), "closed_form"),
+    (dict(n=9, lam=3), "closed_form"),
+    # Even-n λ-fold: repetition is not optimal, the exact tier decides.
+    (dict(n=8, lam=2), "exact"),
+    # A restricted pool disables the C3/C4 constructions.
+    (dict(n=6, max_size=3), "exact"),
+    (dict(n=10, max_size=5), "exact"),
+    # The shard policy kicks in at the threshold (where exact_sharded applies).
+    (dict(n=10, max_size=5, shard_threshold=10), "exact_sharded"),
+    # No certificate requested → heuristic, regardless of size.
+    (dict(n=30, require_optimal=False), "heuristic"),
+    (dict(n=7, require_optimal=False), "heuristic"),
+    # A pinned backend wins over routing.
+    (dict(n=9, backend="exact"), "exact"),
+    (dict(n=9, backend="exact_sharded"), "exact_sharded"),
+    (dict(n=9, backend="heuristic", require_optimal=False), "heuristic"),
+]
+
+
+class TestGoldenRouting:
+    @pytest.mark.parametrize("kwargs,expected", GOLDEN)
+    def test_route_backend(self, kwargs, expected):
+        assert route_backend(CoverSpec.for_ring(**kwargs)) == expected
+
+    @pytest.mark.parametrize("kwargs,expected", GOLDEN)
+    def test_route_returns_the_named_backend(self, kwargs, expected):
+        assert route(CoverSpec.for_ring(**kwargs)).name == expected
+
+    def test_explicit_non_uniform_demand_routes_exact(self):
+        spec = CoverSpec(n=6, demand=((0, 2, 1), (1, 4, 2)))
+        assert route_backend(spec) == "exact"
+
+
+class TestRoutingErrors:
+    def test_beyond_every_exact_ceiling(self):
+        # max_size ≠ 4 rules out closed form; n = 13 exceeds both exact tiers.
+        with pytest.raises(RoutingError, match="require_optimal"):
+            route_backend(CoverSpec.for_ring(13, max_size=5))
+
+    def test_lambda_fold_beyond_instance_ceiling(self):
+        with pytest.raises(RoutingError):
+            route_backend(CoverSpec.for_ring(14, lam=2))
+
+    def test_pinned_backend_that_cannot_honour_the_spec(self):
+        # exact_sharded shards All-to-All root orbits; λ > 1 is out.
+        with pytest.raises(RoutingError, match="exact_sharded"):
+            route_backend(CoverSpec.for_ring(6, lam=2, backend="exact_sharded"))
+
+    def test_pinned_unknown_backend(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            route_backend(CoverSpec.for_ring(6, backend="quantum"))

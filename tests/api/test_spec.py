@@ -1,0 +1,178 @@
+"""CoverSpec contract: validation, canonicalisation, hashing, JSON.
+
+The spec is the API's wire format *and* the result cache's content
+address, so the properties under test are load-bearing: equal specs
+must hash identically (canonicalisation folds uniform explicit demand
+into the ``(n, λ)`` spelling), the JSON round-trip must be lossless,
+and malformed payloads must be rejected rather than half-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CoverSpec, SpecError
+from repro.core.engine import BRANCHING_ORDERS
+from repro.traffic.instances import all_to_all, lambda_all_to_all
+from repro.util import circular
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def cover_specs(draw) -> CoverSpec:
+    n = draw(st.integers(min_value=3, max_value=16))
+    if draw(st.booleans()):
+        demand, lam = None, draw(st.integers(min_value=1, max_value=3))
+    else:
+        lam = 1
+        chords = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1),
+                    st.integers(0, n - 1),
+                    st.integers(1, 3),
+                ).filter(lambda e: e[0] != e[1]),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        demand = tuple(chords)
+    return CoverSpec(
+        n=n,
+        demand=demand,
+        lam=lam,
+        max_size=draw(st.integers(min_value=3, max_value=6)),
+        pool=draw(st.sampled_from(("auto", "convex", "tight"))),
+        require_optimal=draw(st.booleans()),
+        use_hints=draw(st.booleans()),
+        improve=draw(st.booleans()),
+        node_limit=draw(st.none() | st.integers(min_value=1, max_value=10**6)),
+        time_budget=draw(st.none() | st.floats(min_value=0.5, max_value=60.0)),
+        workers=draw(st.none() | st.integers(min_value=1, max_value=4)),
+        shard_threshold=draw(st.none() | st.integers(min_value=3, max_value=20)),
+        backend=draw(st.none() | st.sampled_from(("exact", "heuristic"))),
+        branching=draw(st.sampled_from(BRANCHING_ORDERS)),
+        use_memo=draw(st.booleans()),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(spec=cover_specs())
+    def test_json_round_trip_preserves_equality_and_hash(self, spec):
+        again = CoverSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec=cover_specs())
+    def test_payload_round_trip(self, spec):
+        assert CoverSpec.from_payload(spec.to_payload()) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=cover_specs())
+    def test_hash_is_deterministic_hex_sha256(self, spec):
+        assert spec.spec_hash == spec.spec_hash
+        assert len(spec.spec_hash) == 64
+        int(spec.spec_hash, 16)  # valid hex
+
+
+class TestCanonicalisation:
+    def test_uniform_instance_folds_to_ring_spelling(self):
+        explicit = CoverSpec.from_instance(lambda_all_to_all(7, 2))
+        declared = CoverSpec.for_ring(7, lam=2)
+        assert explicit == declared
+        assert explicit.spec_hash == declared.spec_hash
+        assert explicit.demand is None and explicit.lam == 2
+
+    def test_all_to_all_instance_is_the_lam1_ring(self):
+        assert CoverSpec.from_instance(all_to_all(6)) == CoverSpec.for_ring(6)
+
+    def test_duplicate_demand_entries_merge(self):
+        spec = CoverSpec(n=6, demand=((0, 2, 1), (2, 0, 2)))
+        assert spec.demand == ((0, 2, 3),)
+
+    def test_demand_entries_are_sorted_chords(self):
+        spec = CoverSpec(n=7, demand=((4, 1, 1), (0, 3, 1)))
+        assert spec.demand == tuple(sorted(spec.demand))
+        for a, b, _ in spec.demand:
+            assert (a, b) == circular.chord(a, b)
+
+    def test_non_uniform_demand_stays_explicit(self):
+        spec = CoverSpec(n=6, demand=((0, 2, 1),))
+        assert not spec.is_all_to_all
+        inst = spec.instance()
+        assert inst.demand == {(0, 2): 1}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=2),
+            dict(n="9"),
+            dict(n=True),
+            dict(n=6, lam=0),
+            dict(n=6, max_size=2),
+            dict(n=6, objective="max_profit"),
+            dict(n=6, pool="everything"),
+            dict(n=6, branching="random"),
+            dict(n=6, node_limit=0),
+            dict(n=6, time_budget=0.0),
+            dict(n=6, workers=0),
+            dict(n=6, shard_threshold=2),
+            dict(n=6, lam=2, demand=((0, 2, 1),)),
+            dict(n=6, demand=((0, 0, 1),)),
+            dict(n=6, demand=((0, 9, 1),)),
+            dict(n=6, demand=((0, 2, 0),)),
+            dict(n=6, demand=()),
+        ],
+    )
+    def test_malformed_specs_raise(self, kwargs):
+        with pytest.raises(SpecError):
+            CoverSpec(**kwargs)
+
+    def test_unknown_payload_field_rejected(self):
+        payload = CoverSpec.for_ring(6).to_payload()
+        payload["frobnicate"] = True
+        with pytest.raises(SpecError, match="frobnicate"):
+            CoverSpec.from_payload(payload)
+
+    def test_unknown_schema_major_rejected(self):
+        payload = CoverSpec.for_ring(6).to_payload()
+        payload["version"] = "99.0"
+        with pytest.raises(SpecError, match="version"):
+            CoverSpec.from_payload(payload)
+
+    def test_wrong_format_tag_rejected(self):
+        payload = CoverSpec.for_ring(6).to_payload()
+        payload["format"] = "repro-covering"
+        with pytest.raises(SpecError):
+            CoverSpec.from_payload(payload)
+
+    def test_not_json_rejected(self):
+        with pytest.raises(SpecError, match="JSON"):
+            CoverSpec.from_json("{nope")
+
+    def test_newer_minor_of_same_major_accepted(self):
+        payload = CoverSpec.for_ring(6).to_payload()
+        major = payload["version"].split(".")[0]
+        payload["version"] = f"{major}.7"
+        assert CoverSpec.from_payload(payload) == CoverSpec.for_ring(6)
+
+
+class TestHashSensitivity:
+    def test_distinct_jobs_hash_differently(self):
+        base = CoverSpec.for_ring(8)
+        assert base.spec_hash != CoverSpec.for_ring(9).spec_hash
+        assert base.spec_hash != CoverSpec.for_ring(8, lam=2).spec_hash
+        assert base.spec_hash != CoverSpec.for_ring(8, use_hints=False).spec_hash
+        assert base.spec_hash != CoverSpec.for_ring(8, backend="exact").spec_hash

@@ -29,12 +29,12 @@ from repro.core.engine import (
     solve_many,
     solve_min_covering_sharded,
 )
-from repro.core.formulas import rho
-from repro.core.solver import (
+from repro.core.engine import (
     exact_decomposition,
     solve_min_covering,
     solve_min_covering_instance,
 )
+from repro.core.formulas import rho
 from repro.traffic.instances import Instance, all_to_all, lambda_all_to_all
 from repro.util import circular
 from repro.util.errors import SolverError
@@ -455,6 +455,17 @@ class TestFacadeCompatibility:
 
         assert repro.SolverEngine is SolverEngine
         assert repro.solve_many is solve_many
+
+    def test_facade_warns_deprecation_and_delegates(self):
+        import warnings
+
+        from repro.core import solver as facade
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cov = facade.solve_min_covering(6)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        assert cov.num_blocks == rho(6)
 
     def test_results_are_paper_objects(self):
         cov = solve_min_covering(6)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.formulas import rho
-from repro.core.solver import SolverStats, solve_min_covering_instance
+from repro.core.engine import SolverStats, solve_min_covering_instance
 from repro.extensions.lambda_fold import lambda_lower_bound
 from repro.traffic.instances import Instance, all_to_all, from_requests, lambda_all_to_all
 from repro.util.errors import SolverError

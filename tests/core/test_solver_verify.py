@@ -8,7 +8,7 @@ from repro.core.blocks import CycleBlock
 from repro.core.covering import Covering
 from repro.core.formulas import rho
 from repro.core.ladder import ladder_decomposition
-from repro.core.solver import (
+from repro.core.engine import (
     SolverStats,
     enumerate_convex_blocks,
     enumerate_tight_blocks,

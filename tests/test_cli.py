@@ -50,3 +50,61 @@ class TestCliFull:
         out = capsys.readouterr().out
         for key in ("E1", "E2", "E3", "E4", "E5", "E6", "E8", "E9", "E10"):
             assert f"# {key}" in out
+
+
+class TestApiSubcommands:
+    def test_solve_table(self, capsys):
+        assert main(["solve", "--n", "7", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "closed_form" in out
+        assert "blocks:" in out  # single-job spelling prints the covering
+
+    def test_solve_json_is_one_envelope(self, capsys):
+        import json
+
+        assert main(["solve", "--n", "6", "--backend", "exact", "--no-cache",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert isinstance(doc, dict)
+        assert doc["status"] == "proven_optimal"
+        assert len(doc["covering"]["blocks"]) == 5  # ρ(6)
+
+    def test_sweep_json_is_always_an_array(self, capsys):
+        import json
+
+        assert main(["sweep", "--ns", "5..5", "--no-cache", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert isinstance(doc, list) and len(doc) == 1
+
+    def test_sweep_table_rows(self, capsys):
+        assert main(["sweep", "--ns", "5..7", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("closed_form") >= 3
+        assert "blocks:" not in out
+
+    def test_sweep_uses_cache_on_rerun(self, capsys, tmp_path, monkeypatch):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--ns", "5..6", "--cache", cache, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "--ns", "5..6", "--cache", cache, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first  # byte-identical envelopes
+        assert "[cache] hit" in captured.err
+
+    def test_invalid_spec_prints_friendly_error(self, capsys):
+        assert main(["solve", "--n", "2", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_unroutable_spec_prints_friendly_error(self, capsys):
+        assert main(["solve", "--n", "14", "--lam", "2", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "require_optimal" in err
+
+    def test_rho_subcommand(self, capsys):
+        assert main(["rho", "4..6"]) == 0
+        assert "ρ(n)" in capsys.readouterr().out
+
+    def test_experiments_list_subcommand(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "E10" in capsys.readouterr().out

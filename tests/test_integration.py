@@ -13,7 +13,7 @@ from repro import (
     theorem_cycle_mix,
 )
 from repro.core.pole import pole_decomposition
-from repro.core.solver import solve_min_covering
+from repro.core.engine import solve_min_covering
 from repro.survivability.failures import LinkFailure
 from repro.survivability.protection import ProtectionSimulator
 from repro.wdm.adm import evaluate_cost

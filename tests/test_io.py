@@ -65,3 +65,44 @@ class TestCorruption:
     def test_non_dict_document(self):
         with pytest.raises(InvalidCoveringError):
             covering_from_json(json.dumps([1, 2, 3]))
+
+
+class TestSchemaVersioning:
+    """The "version" field contract: legacy integers parse as (major, 0),
+    newer minors of a known major are accepted, unknown majors and
+    malformed strings are rejected."""
+
+    def _doc(self):
+        return json.loads(covering_to_json(optimal_covering(5)))
+
+    def test_documents_carry_major_minor_version(self):
+        assert self._doc()["version"] == "1.1"
+
+    def test_legacy_integer_version_accepted(self):
+        doc = self._doc()
+        doc["version"] = 1
+        assert covering_from_json(json.dumps(doc)).n == 5
+
+    def test_newer_minor_of_same_major_accepted(self):
+        doc = self._doc()
+        doc["version"] = "1.9"
+        assert covering_from_json(json.dumps(doc)).n == 5
+
+    def test_unknown_major_rejected(self):
+        doc = self._doc()
+        doc["version"] = "2.0"
+        with pytest.raises(InvalidCoveringError, match="version"):
+            covering_from_json(json.dumps(doc))
+
+    def test_missing_version_rejected(self):
+        doc = self._doc()
+        del doc["version"]
+        with pytest.raises(InvalidCoveringError, match="version"):
+            covering_from_json(json.dumps(doc))
+
+    @pytest.mark.parametrize("bad", ["one.two", "1.x", True, 1.5, None])
+    def test_malformed_version_rejected(self, bad):
+        doc = self._doc()
+        doc["version"] = bad
+        with pytest.raises(InvalidCoveringError, match="version"):
+            covering_from_json(json.dumps(doc))
