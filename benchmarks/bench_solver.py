@@ -24,7 +24,12 @@ the pinned ``N8_NODE_CEILING`` (the seed's 85,650-node n = 8 anomaly
 must stay ≥ 10× beaten).
 
 ``REPRO_BENCH_NS`` (comma-separated ring sizes) restricts the sweep —
-CI's smoke job sets ``4,5,6,7,8``.
+CI's smoke job sets ``4,5,6,7,8``.  The sweep itself goes through
+``api.solve_batch``'s dispatcher (``repro.dispatch``);
+``REPRO_BENCH_TRANSPORT`` (``inproc``/``subprocess``/``spool``) and
+``REPRO_BENCH_DISPATCH_WORKERS`` select the transport and fleet size —
+the default single-worker in-process transport keeps per-n timings
+exact.
 """
 
 from __future__ import annotations
@@ -45,12 +50,23 @@ def _ns_from_env() -> tuple[int, ...]:
     return tuple(int(part) for part in raw.split(",") if part.strip())
 
 
+def _dispatch_from_env() -> dict:
+    kwargs: dict = {}
+    transport = os.environ.get("REPRO_BENCH_TRANSPORT")
+    if transport:
+        kwargs["transport"] = transport
+    raw_workers = os.environ.get("REPRO_BENCH_DISPATCH_WORKERS")
+    if raw_workers:
+        kwargs["dispatch_workers"] = int(raw_workers)
+    return kwargs
+
+
 def test_bench_solver_certification(benchmark, save_table, save_json):
     ns = _ns_from_env()
     result = benchmark.pedantic(
         experiment_solver_certification,
         args=(ns,),
-        kwargs={"shard_threshold": SHARD_THRESHOLD},
+        kwargs={"shard_threshold": SHARD_THRESHOLD, **_dispatch_from_env()},
         rounds=1, iterations=1, warmup_rounds=0,
     )
     table = result.render()

@@ -5,9 +5,21 @@ Subcommands::
     python -m repro solve --n 11                  # one job, auto-routed
     python -m repro solve --n 10 --backend exact --no-hints --json
     python -m repro sweep --ns 4..11 --json       # many jobs, shared cache
+    python -m repro sweep --ns 4..11 --transport subprocess --workers 2
+    python -m repro worker                        # serve dispatcher jobs (stdio)
+    python -m repro worker --spool DIR            # serve a shared spool dir
     python -m repro experiments E1 E10            # regenerate paper tables
     python -m repro experiments --list
     python -m repro rho 6..20                     # closed-form ρ(n) table
+
+``sweep --transport {inproc,subprocess,spool}`` fans the jobs out
+through the distributed dispatcher (:mod:`repro.dispatch`): with
+``--transport`` set, ``--workers`` sizes the dispatch pool (it is *not*
+written into the specs, so the envelopes stay byte-identical to a
+serial run's), ``--job-timeout`` adds a per-job deadline with
+retry-with-exclusion, and ``--spool DIR`` names the shared spool
+directory external ``python -m repro worker --spool DIR`` workers are
+watching.  ``worker`` is the remote end of both worker protocols.
 
 ``solve`` and ``sweep`` go through ``api.solve`` — spec construction,
 backend routing, the content-addressed result cache (default
@@ -32,7 +44,7 @@ from collections.abc import Callable
 
 from .analysis import experiments as X
 
-_SUBCOMMANDS = ("solve", "sweep", "experiments", "rho")
+_SUBCOMMANDS = ("solve", "sweep", "worker", "experiments", "rho")
 
 # E10's default range tracks the certified sweep (ρ(n) proven through
 # n = 11 — BENCH_solver.json); the time budget gates the tail so a
@@ -101,9 +113,28 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
 
 
+def _add_dispatch_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transport", choices=("inproc", "subprocess", "spool"),
+        help="fan the sweep out through the distributed dispatcher; "
+             "--workers then sizes the dispatch pool",
+    )
+    parser.add_argument("--job-timeout", type=float, metavar="SECONDS",
+                        help="per-job deadline (dead jobs retry on another worker)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="worker deaths tolerated per job (default 2)")
+    parser.add_argument("--spool", metavar="DIR",
+                        help="spool directory for --transport spool "
+                             "(default: a private temp dir)")
+
+
 def _spec_from_args(args: argparse.Namespace, n: int):
     from .api import CoverSpec
 
+    # With --transport, --workers sizes the *dispatch* pool; keeping it
+    # out of the spec keeps the spec hash (and therefore the envelope
+    # bytes and cache entry) identical to a serial run's.
+    dispatching = getattr(args, "transport", None) is not None
     return CoverSpec.for_ring(
         n,
         lam=args.lam,
@@ -111,7 +142,7 @@ def _spec_from_args(args: argparse.Namespace, n: int):
         backend=args.backend,
         require_optimal=not args.no_optimal,
         use_hints=not args.no_hints,
-        workers=args.workers,
+        workers=None if dispatching else args.workers,
         shard_threshold=args.shard_threshold,
         node_limit=args.node_limit,
         time_budget=args.time_budget,
@@ -143,17 +174,39 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
 
     cache = _cache_from_args(args)
     results = []
-    for n in ns:
-        t0 = time.perf_counter()
+    if getattr(args, "transport", None):
+        from .dispatch import dispatch_batch
+
         try:
-            spec = _spec_from_args(args, n)
-            result = solve(spec, cache=cache)
+            specs = [_spec_from_args(args, n) for n in ns]
+            report = dispatch_batch(
+                specs,
+                transport=args.transport,
+                workers=args.workers,
+                cache=cache,
+                job_timeout=args.job_timeout,
+                max_retries=args.max_retries,
+                spool_dir=args.spool,
+            )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        elapsed = time.perf_counter() - t0
-        _note_cache(result)
-        results.append((result, elapsed))
+        for result in report.results:
+            _note_cache(result)
+            results.append((result, report.seconds.get(result.spec_hash, 0.0)))
+        print(f"[dispatch] {report.summary()}", file=sys.stderr)
+    else:
+        for n in ns:
+            t0 = time.perf_counter()
+            try:
+                spec = _spec_from_args(args, n)
+                result = solve(spec, cache=cache)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            elapsed = time.perf_counter() - t0
+            _note_cache(result)
+            results.append((result, elapsed))
 
     if args.json:
         payloads = [result.to_payload() for result, _ in results]
@@ -205,8 +258,44 @@ def _cmd_sweep(argv: list[str]) -> int:
     parser.add_argument("--ns", required=True, metavar="RANGE",
                         help="ring sizes (e.g. 4..11 or 5,9,14)")
     _add_spec_arguments(parser)
+    _add_dispatch_arguments(parser)
     args = parser.parse_args(argv)
     return _run_jobs(_parse_range(args.ns), args)
+
+
+def _cmd_worker(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description=(
+            "Serve dispatcher jobs: with no arguments, read spec-JSON job "
+            "lines from stdin and emit Result envelopes on stdout (the "
+            "subprocess transport); with --spool DIR, poll a shared spool "
+            "directory (claim jobs by atomic rename, write results "
+            "atomically) until DIR/STOP appears."
+        ),
+    )
+    parser.add_argument("--spool", metavar="DIR",
+                        help="serve a spool directory instead of stdio")
+    parser.add_argument("--poll", type=float, default=0.05, metavar="SECONDS",
+                        help="spool polling interval (default 0.05)")
+    parser.add_argument("--max-jobs", type=int, metavar="K",
+                        help="exit after serving K spool jobs")
+    parser.add_argument("--exit-when-idle", action="store_true",
+                        help="exit when the spool has no eligible jobs")
+    parser.add_argument("--worker-id", metavar="ID",
+                        help="spool worker id (default: w<pid>)")
+    args = parser.parse_args(argv)
+    from .dispatch import spool_worker_loop, stdio_worker_loop
+
+    if args.spool:
+        return spool_worker_loop(
+            args.spool,
+            poll=args.poll,
+            exit_when_idle=args.exit_when_idle,
+            max_jobs=args.max_jobs,
+            worker_id=args.worker_id,
+        )
+    return stdio_worker_loop()
 
 
 # ---------------------------------------------------------------------------
@@ -302,6 +391,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_solve(rest)
         if command == "sweep":
             return _cmd_sweep(rest)
+        if command == "worker":
+            return _cmd_worker(rest)
         if command == "experiments":
             return _cmd_experiments(rest)
         return _cmd_rho(rest)

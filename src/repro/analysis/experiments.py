@@ -442,46 +442,59 @@ def experiment_solver_certification(
     workers: int | None = None,
     shard_threshold: int | None = None,
     time_budget: float | None = None,
+    transport: str | None = "inproc",
+    dispatch_workers: int | None = 1,
 ) -> ExperimentResult:
     """E10 — branch-and-bound certification through the declarative API:
-    ``api.solve(CoverSpec(...))`` with the exact backends pinned and
+    one ``CoverSpec`` per ring size with the exact backends pinned and
     hints disabled, so the solver — which knows no formulas — must
-    independently return exactly ρ(n).  Each ring size is timed on its
-    own so the per-n wall-clock lands in the benchmark trajectory; ring
-    sizes ≥ ``shard_threshold`` go through the root-orbit-sharded
-    scale-out backend.
+    independently return exactly ρ(n).  The batch runs through the
+    distributed dispatcher (:func:`repro.dispatch.dispatch_batch`) in
+    FIFO order; the default in-process single-worker transport keeps
+    the per-n wall-clock exact for the benchmark trajectory, while
+    ``transport="subprocess"``/``"spool"`` (and ``dispatch_workers``)
+    certify the same sweep across a worker fleet.  Ring sizes ≥
+    ``shard_threshold`` additionally go through the root-orbit-sharded
+    scale-out backend (``workers`` processes per solve).
 
-    ``time_budget`` caps the *sweep's* total wall-clock: once the
-    elapsed time crosses it, the remaining ring sizes are reported as
-    skipped instead of run — the gate that keeps CLI-driven full runs
-    fast.  The benchmark suite passes no budget and gets the full sweep.
+    ``time_budget`` caps the *sweep's* total wall-clock: jobs not yet
+    started when it runs out are reported as skipped instead of run —
+    the gate that keeps CLI-driven full runs fast.  The benchmark suite
+    passes no budget and gets the full sweep.
     """
-    import time
-
     from .. import api
+    from ..dispatch import dispatch_batch
 
     table = Table(
         "E10 — exact solver certification of ρ(n)",
         ["n", "solver optimum", "ρ formula", "match", "proven", "nodes explored", "seconds"],
     )
-    rows = []
-    start = time.perf_counter()
+    specs = []
     for n in ns:
-        if time_budget is not None and time.perf_counter() - start > time_budget:
-            rows.append({"n": n, "skipped": True})
-            table.add_row(n, "—", rho(n), "—", "—", "—", "over budget")
-            continue
         backend = (
             "exact_sharded"
             if shard_threshold is not None and n >= shard_threshold
             else "exact"
         )
-        spec = api.CoverSpec.for_ring(
-            n, backend=backend, use_hints=False, workers=workers
+        specs.append(
+            api.CoverSpec.for_ring(n, backend=backend, use_hints=False, workers=workers)
         )
-        t0 = time.perf_counter()
-        result = api.solve(spec)
-        elapsed = time.perf_counter() - t0
+    report = dispatch_batch(
+        specs,
+        transport=transport or "inproc",
+        workers=dispatch_workers,
+        order="fifo",
+        time_budget=time_budget,
+    )
+    by_hash = {result.spec_hash: result for result in report.results}
+    rows = []
+    for n, spec in zip(ns, specs):
+        result = by_hash.get(spec.spec_hash)
+        if result is None:  # budget ran out before this ring size started
+            rows.append({"n": n, "skipped": True})
+            table.add_row(n, "—", rho(n), "—", "—", "—", "over budget")
+            continue
+        elapsed = report.seconds[spec.spec_hash]
         match = result.num_blocks == rho(n)
         rows.append(
             {"n": n, "solver": result.num_blocks, "formula": rho(n), "match": match,

@@ -11,7 +11,11 @@ reruns skip the solve and still emit diffable output.
 Robustness contract:
 
 * writes are atomic (temp file + ``os.replace``), so a crashed run
-  never leaves a half-written entry;
+  never leaves a half-written entry — and *concurrent* writers (two
+  dispatch workers completing the same spec hash) cannot interleave
+  partial JSON: each writes a private temp file and the last rename
+  wins whole, a property the multi-process race test in
+  ``tests/api/test_cache.py`` hammers;
 * reads re-parse and re-validate the envelope (format tag, schema
   major, spec-hash consistency, covering structure); any failure
   *quarantines* the entry — it is deleted and reported as a miss, and

@@ -62,12 +62,42 @@ def solve(
 
 
 def solve_batch(
-    specs: Iterable[CoverSpec], *, cache: ResultCache | str | None = None
+    specs: Iterable[CoverSpec],
+    *,
+    cache: ResultCache | str | None = None,
+    transport: str | object | None = None,
+    workers: int | None = None,
+    job_timeout: float | None = None,
+    max_retries: int = 2,
 ) -> list[Result]:
     """Solve many jobs with one shared cache handle; result order
-    matches spec order."""
-    store = ResultCache.open(cache)
-    return [solve(spec, cache=store) for spec in specs]
+    matches spec order.
+
+    ``transport=None`` (the default) solves in-line, serially, in this
+    process.  Anything else — a transport name (``"inproc"``,
+    ``"subprocess"``, ``"spool"``) or a
+    :class:`~repro.dispatch.base.Transport` instance — routes the batch
+    through the distributed dispatcher
+    (:func:`repro.dispatch.dispatch_batch`): cost-weighted scheduling
+    over ``workers`` workers, per-job ``job_timeout`` deadlines,
+    retry-with-exclusion on worker death, and cache write-through, with
+    envelopes byte-identical to the in-line path's.
+    """
+    specs = list(specs)
+    if transport is None:
+        store = ResultCache.open(cache)
+        return [solve(spec, cache=store) for spec in specs]
+    from ..dispatch import dispatch_batch
+
+    report = dispatch_batch(
+        specs,
+        transport=transport,
+        workers=workers,
+        cache=cache,
+        job_timeout=job_timeout,
+        max_retries=max_retries,
+    )
+    return report.results
 
 
 def _validate(result: Result) -> None:

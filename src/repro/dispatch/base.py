@@ -1,0 +1,299 @@
+"""Transport contract for the distributed CoverSpec dispatcher.
+
+A :class:`Transport` executes a batch of :class:`Job`\\ s — each one a
+serialized :class:`~repro.api.spec.CoverSpec` — and reports every
+completed :class:`~repro.api.result.Result` envelope back through a
+callback.  The *dispatcher* (:mod:`repro.dispatch.dispatcher`) owns
+everything above that line: cost-weighted scheduling order, cache
+resume and write-through, envelope validation, deterministic merge.
+The transport owns everything below it: where the worker runs and how
+the canonical spec JSON reaches it.
+
+Three transports ship (each in its own module):
+
+``inproc``
+    A thin wrapper over :func:`repro.util.parallel.parallel_map` —
+    the jobs fan out across a local process pool in weight-balanced
+    bins, exactly like an in-process sharded sweep.
+``subprocess``
+    A pool of ``python -m repro worker`` processes fed spec-JSON jobs
+    over stdin and read line-delimited ``Result`` envelopes back —
+    the single-machine fleet shape, and the one the chaos tests kill
+    mid-job.
+``spool``
+    A shared spool directory of ``<spec-hash>.json`` job files and
+    ``<spec-hash>.result.json`` answers, claimed by atomic rename —
+    suitable for many machines sharing a filesystem.
+
+Worker-pool transports (``subprocess``; ``spool`` re-implements the
+same policy over files) share :class:`QueueRunner`: a deque drained in
+the dispatcher's order, per-job wall-clock deadlines, and
+*retry-with-exclusion* — a job whose worker dies is re-queued with the
+dead worker's id excluded, so the retry lands elsewhere, and a job that
+outlives ``max_retries`` workers fails the whole dispatch loudly
+instead of spinning.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from ..api.result import Result
+from ..api.spec import CoverSpec
+from ..util.errors import ReproError
+
+__all__ = [
+    "DispatchError",
+    "EnvelopeError",
+    "Job",
+    "JobError",
+    "QueueRunner",
+    "QueueWorker",
+    "Transport",
+    "TransportOutcome",
+    "WorkerDeath",
+]
+
+
+class DispatchError(ReproError, RuntimeError):
+    """The dispatcher could not complete the batch."""
+
+
+class JobError(DispatchError):
+    """A job failed *deterministically* on a healthy worker (solver or
+    routing error) — retrying elsewhere cannot help, so the dispatch
+    fails fast instead of burning retries."""
+
+
+class EnvelopeError(DispatchError):
+    """A worker returned an envelope that fails validation (wrong spec,
+    non-covering blocks).  Raised by the dispatcher's result callback;
+    queue transports treat it like a worker death and retry the job on
+    a different worker."""
+
+
+class WorkerDeath(ReproError, RuntimeError):
+    """A worker stopped responding mid-job (crash, kill, or deadline).
+
+    Not a :class:`DispatchError`: death is *retryable* — the runner
+    re-queues the job with this worker excluded.
+    """
+
+    def __init__(self, message: str, *, timed_out: bool = False) -> None:
+        super().__init__(message)
+        self.timed_out = timed_out
+
+
+@dataclass
+class Job:
+    """One unit of dispatch: a spec, its cost weight, and its retry
+    history (the worker ids it must not run on again)."""
+
+    spec: CoverSpec
+    weight: float
+    index: int  # position among the batch's unique specs (FIFO order)
+    attempts: int = 0
+    excluded: tuple[str, ...] = ()
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash
+
+
+# on_result(job, result, elapsed_seconds, worker_id); raises
+# EnvelopeError when the envelope fails validation.
+OnResult = Callable[[Job, Result, float, str], None]
+# admit() -> False once the sweep budget is exhausted: jobs not yet
+# started are reported as skipped instead of run.
+Admit = Callable[[], bool]
+
+
+@dataclass
+class TransportOutcome:
+    """What a transport reports back beside the per-job callbacks."""
+
+    skipped: list[Job] = field(default_factory=list)
+    retries: int = 0
+    worker_deaths: int = 0
+    quarantined: int = 0  # corrupt spool results deleted and re-dispatched
+    resumed: int = 0  # valid spool results accepted without re-solving
+
+
+class Transport(ABC):
+    """Executes jobs somewhere and reports envelopes back."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        workers: int,
+        job_timeout: float | None,
+        max_retries: int,
+        on_result: OnResult,
+        admit: Admit | None = None,
+    ) -> TransportOutcome:
+        """Execute ``jobs`` (already in schedule order) on ``workers``
+        workers, calling ``on_result`` as each envelope arrives."""
+
+
+class QueueWorker(ABC):
+    """One executor usable by :class:`QueueRunner` — owns a single
+    remote worker and turns one spec into one envelope at a time."""
+
+    id: str
+
+    @abstractmethod
+    def solve(self, spec: CoverSpec, timeout: float | None) -> Result:
+        """Run one job.  Raises :class:`WorkerDeath` when the worker
+        stops responding (retryable) and :class:`JobError` when the job
+        itself fails deterministically (fatal)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the worker (reap the process)."""
+
+
+class QueueRunner:
+    """The shared scheduling core for worker-pool transports.
+
+    One thread per worker slot drains a shared deque (kept in the
+    dispatcher's schedule order).  A worker death re-queues the job at
+    the *front* (it was the heaviest eligible job) with the dead worker
+    excluded, replaces the worker, and keeps going; the job fails the
+    dispatch only after dying on ``max_retries + 1`` distinct workers.
+    A global death cap backstops crash-on-start loops.
+    """
+
+    def __init__(
+        self,
+        make_worker: Callable[[], QueueWorker],
+        jobs: Sequence[Job],
+        *,
+        workers: int,
+        job_timeout: float | None,
+        max_retries: int,
+        on_result: OnResult,
+        admit: Admit | None = None,
+    ) -> None:
+        self.make_worker = make_worker
+        self.pending: deque[Job] = deque(jobs)
+        self.workers = max(1, min(workers, max(1, len(jobs))))
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.on_result = on_result
+        self.admit = admit
+        self.outcome = TransportOutcome()
+        self.in_flight = 0
+        self.failure: Exception | None = None
+        self.cond = threading.Condition()
+        self.death_cap = max(4, 2 * len(jobs))
+
+    # -- driving ---------------------------------------------------------
+
+    def run(self) -> TransportOutcome:
+        threads = [
+            threading.Thread(target=self._drive, daemon=True, name=f"dispatch-{i}")
+            for i in range(self.workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if self.failure is not None:
+            raise self.failure
+        return self.outcome
+
+    def _drive(self) -> None:
+        worker: QueueWorker | None = None
+        try:
+            worker = self.make_worker()
+            while True:
+                job = self._claim(worker.id)
+                if job is None:
+                    return
+                t0 = perf_counter()
+                try:
+                    result = worker.solve(job.spec, self.job_timeout)
+                    self.on_result(job, result, perf_counter() - t0, worker.id)
+                except (WorkerDeath, EnvelopeError) as death:
+                    # Both mean "this worker cannot be trusted with this
+                    # job": retry elsewhere, replace the worker.
+                    self._close_quietly(worker)
+                    self._requeue(job, worker.id, death)
+                    worker = self.make_worker()
+                    continue
+                self._done()
+        except Exception as exc:  # JobError, spawn failure, callback bugs
+            self._fail(exc)
+        finally:
+            if worker is not None:
+                self._close_quietly(worker)
+
+    # -- queue bookkeeping (all under self.cond) -------------------------
+
+    def _claim(self, worker_id: str) -> Job | None:
+        with self.cond:
+            while True:
+                if self.failure is not None:
+                    return None
+                if self.admit is not None and self.pending and not self.admit():
+                    self.outcome.skipped.extend(self.pending)
+                    self.pending.clear()
+                    self.cond.notify_all()
+                for i, job in enumerate(self.pending):
+                    if worker_id not in job.excluded:
+                        del self.pending[i]
+                        self.in_flight += 1
+                        return job
+                if not self.pending and self.in_flight == 0:
+                    return None
+                # Pending jobs exist but all exclude this worker (only
+                # transiently possible) or retries may still arrive.
+                self.cond.wait(0.05)
+
+    def _requeue(self, job: Job, worker_id: str, death: Exception) -> None:
+        with self.cond:
+            self.in_flight -= 1
+            self.outcome.worker_deaths += 1
+            job.attempts += 1
+            job.excluded = job.excluded + (worker_id,)
+            if job.attempts > self.max_retries:
+                self.failure = DispatchError(
+                    f"job {job.spec_hash[:12]} (n={job.spec.n}) died on "
+                    f"{job.attempts} distinct workers; last: {death}"
+                )
+            elif self.outcome.worker_deaths > self.death_cap:
+                self.failure = DispatchError(
+                    f"{self.outcome.worker_deaths} worker deaths across the "
+                    f"batch — transport looks unhealthy; last: {death}"
+                )
+            else:
+                self.outcome.retries += 1
+                self.pending.appendleft(job)
+            self.cond.notify_all()
+
+    def _done(self) -> None:
+        with self.cond:
+            self.in_flight -= 1
+            self.cond.notify_all()
+
+    def _fail(self, exc: Exception) -> None:
+        with self.cond:
+            if self.failure is None:
+                self.failure = exc
+            self.cond.notify_all()
+
+    @staticmethod
+    def _close_quietly(worker: QueueWorker) -> None:
+        try:
+            worker.close()
+        except Exception:
+            pass

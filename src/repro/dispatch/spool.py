@@ -1,0 +1,338 @@
+"""File-queue transport: a spool directory shared by many machines.
+
+Layout (everything under one ``root`` on a shared filesystem)::
+
+    root/jobs/<seq>-<spec-hash>.json     job documents (spec + retry state)
+    root/claims/<spec-hash>.<wid>.json   a worker's in-progress claim
+    root/results/<spec-hash>.result.json finished Result envelopes
+    root/STOP                            shuts polling workers down
+
+The dispatcher writes every job document up front — the ``<seq>``
+filename prefix is its schedule position, so workers draining the
+directory in sorted order execute the dispatcher's LPT heaviest-first
+plan — optionally spawns local ``python -m repro worker --spool root``
+processes, and then polls ``results/``.  Workers claim jobs by atomic
+rename (``jobs/ → claims/``), so exactly one worker owns a job at a
+time, and write results atomically (temp + rename), so a result file
+that *exists* is complete — any unparsable result is therefore
+corruption (a worker crashed around the rename, a disk hiccup, a hand
+edit) and is quarantined: deleted, counted, and the job re-dispatched,
+mirroring the result cache's recovery contract.
+
+Retry-with-exclusion works through the job document itself: a
+re-dispatched job carries the failed worker's id in its ``excluded``
+list, and workers skip jobs that exclude them.  Worker death is
+detected three ways: a claim whose locally-spawned worker process has
+exited is reclaimed immediately, a claim older than the job deadline
+is reclaimed (remote workers cannot be killed, so a still-running
+straggler may yet write its — identical, atomic — envelope; that is
+benign), and spawned workers that keep dying *before* claiming
+anything trip a respawn cap instead of respawning forever.
+
+Each poll tick does O(jobs + procs) work: the results and claims
+directories are listed once and the dead-process set computed once,
+then every pending job is matched in memory — the metadata traffic a
+shared NFS spool actually cares about.
+
+Resume comes free: a valid ``results/`` entry present before dispatch
+(from a crashed earlier sweep, or from workers on other machines) is
+accepted without re-solving.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import tempfile
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..api.result import Result
+from .base import (
+    Admit,
+    DispatchError,
+    EnvelopeError,
+    Job,
+    JobError,
+    OnResult,
+    Transport,
+    TransportOutcome,
+)
+from .subproc import worker_command, worker_env
+from .worker import SPOOL_ERROR_FORMAT, SPOOL_JOB_FORMAT, _atomic_write
+
+__all__ = ["SpoolTransport"]
+
+# pending: spec_hash -> [job, dispatch_time, schedule_seq]
+_Pending = dict[str, list]
+
+
+class SpoolTransport(Transport):
+    name = "spool"
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        poll: float = 0.05,
+        spawn_workers: bool = True,
+        python: str | None = None,
+        extra_env: dict[str, str] | None = None,
+    ) -> None:
+        """``root=None`` spools into a fresh temp directory, created
+        lazily when :meth:`run` starts and removed when it finishes.
+        ``spawn_workers=False`` writes jobs and waits for *external*
+        workers (other machines) to drain them."""
+        self._owns_root = root is None
+        self.root: Path | None = Path(root) if root is not None else None
+        self.poll = poll
+        self.spawn_workers = spawn_workers
+        self.python = python
+        self.extra_env = extra_env
+
+    # -- paths -----------------------------------------------------------
+
+    def _job_path(self, job: Job, seq: int) -> Path:
+        # The sequence prefix is the schedule position: workers drain
+        # jobs/ in sorted order, so the LPT plan survives the filesystem.
+        assert self.root is not None
+        return self.root / "jobs" / f"{seq:06d}-{job.spec_hash}.json"
+
+    def _result_name(self, spec_hash: str) -> str:
+        return f"{spec_hash}.result.json"
+
+    def _result_path(self, spec_hash: str) -> Path:
+        assert self.root is not None
+        return self.root / "results" / self._result_name(spec_hash)
+
+    # -- job documents ---------------------------------------------------
+
+    def _write_job(self, job: Job, seq: int) -> None:
+        doc = {
+            "format": SPOOL_JOB_FORMAT,
+            "spec": job.spec.to_payload(),
+            "attempts": job.attempts,
+            "excluded": list(job.excluded),
+        }
+        _atomic_write(self._job_path(job, seq), json.dumps(doc, sort_keys=True))
+
+    def _read_result(self, spec_hash: str) -> Result:
+        """Parse a finished result file.  Raises :class:`JobError` for a
+        worker-reported deterministic failure and ``ValueError``-family
+        errors for corruption (the caller quarantines)."""
+        text = self._result_path(spec_hash).read_text(encoding="utf-8")
+        payload = json.loads(text)
+        if isinstance(payload, dict) and payload.get("format") == SPOOL_ERROR_FORMAT:
+            raise JobError(
+                f"job {spec_hash[:12]} failed on a spool worker: "
+                f"[{payload.get('kind', '?')}] {payload.get('error', '?')}"
+            )
+        return Result.from_payload(payload)
+
+    # -- the run loop ----------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        workers: int,
+        job_timeout: float | None,
+        max_retries: int,
+        on_result: OnResult,
+        admit: Admit | None = None,
+    ) -> TransportOutcome:
+        outcome = TransportOutcome()
+        if self.root is None:
+            self.root = Path(tempfile.mkdtemp(prefix="repro-spool-"))
+        for sub in ("jobs", "claims", "results"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+        stop = self.root / "STOP"
+        stop.unlink(missing_ok=True)
+
+        procs: list[subprocess.Popen] = []
+        try:
+            pending = self._enqueue(jobs, outcome, on_result, admit)
+            if pending and self.spawn_workers:
+                procs = [self._spawn_worker() for _ in range(max(1, workers))]
+            self._drain(pending, outcome, on_result, job_timeout, max_retries, procs)
+        finally:
+            _atomic_write(stop, "")
+            for proc in procs:
+                self._reap(proc)
+            if self._owns_root:
+                shutil.rmtree(self.root, ignore_errors=True)
+                self.root = None  # recreated lazily on the next run
+        return outcome
+
+    def _enqueue(
+        self,
+        jobs: Sequence[Job],
+        outcome: TransportOutcome,
+        on_result: OnResult,
+        admit: Admit | None,
+    ) -> _Pending:
+        """Write job files (resume semantics: an existing valid result is
+        accepted, an existing corrupt one quarantined).  Returns the
+        jobs still owed a result, keyed by hash, with dispatch times and
+        schedule positions."""
+        pending: _Pending = {}
+        for seq, job in enumerate(jobs):
+            if admit is not None and not admit():
+                outcome.skipped.extend(jobs[seq:])
+                break
+            if self._result_path(job.spec_hash).exists():
+                try:
+                    result = self._read_result(job.spec_hash)
+                    on_result(job, result, 0.0, "spool-resume")
+                    outcome.resumed += 1
+                    continue
+                except JobError:
+                    raise
+                except (EnvelopeError, ValueError, KeyError, TypeError, OSError):
+                    self._quarantine(job.spec_hash, outcome)
+            self._write_job(job, seq)
+            pending[job.spec_hash] = [job, time.monotonic(), seq]
+        return pending
+
+    def _drain(
+        self,
+        pending: _Pending,
+        outcome: TransportOutcome,
+        on_result: OnResult,
+        job_timeout: float | None,
+        max_retries: int,
+        procs: list[subprocess.Popen],
+    ) -> None:
+        assert self.root is not None
+        results_dir = self.root / "results"
+        claims_dir = self.root / "claims"
+        respawns = 0
+        respawn_cap = max(4, 2 * len(pending) + len(procs))
+        # Accumulated across the run: respawning replaces a dead proc in
+        # ``procs``, but its id must keep matching claims it left behind.
+        dead_ids: set[str] = set()
+        while pending:
+            progressed = False
+            # One directory listing per tick, not one stat per job.
+            finished = self._listdir(results_dir)
+            claims = self._claim_map(claims_dir)
+            dead_ids.update(
+                f"w{proc.pid}" for proc in procs if proc.poll() is not None
+            )
+            now = time.monotonic()
+            for spec_hash in list(pending):
+                job, since, seq = pending[spec_hash]
+                if self._result_name(spec_hash) in finished:
+                    progressed = True
+                    try:
+                        result = self._read_result(spec_hash)
+                        on_result(job, result, now - since, "spool")
+                        del pending[spec_hash]
+                    except JobError:
+                        raise
+                    except (EnvelopeError, ValueError, KeyError, TypeError, OSError):
+                        self._quarantine(spec_hash, outcome)
+                        self._retry(job, seq, pending, outcome, max_retries)
+                    continue
+                claimer = claims.get(spec_hash)
+                claim_dead = claimer is not None and claimer in dead_ids
+                timed_out = job_timeout is not None and now - since > job_timeout
+                if claim_dead or (timed_out and claimer is not None):
+                    (claims_dir / f"{spec_hash}.{claimer}.json").unlink(
+                        missing_ok=True
+                    )
+                    job.excluded = job.excluded + (claimer,)
+                    outcome.worker_deaths += 1
+                    self._retry(job, seq, pending, outcome, max_retries)
+                    progressed = True
+                elif timed_out:
+                    # Timed out but never claimed: nobody failed it —
+                    # reset the clock instead of burning a retry.
+                    pending[spec_hash][1] = now
+            if pending:
+                respawns += self._respawn_dead(procs)
+                if respawns > respawn_cap:
+                    raise DispatchError(
+                        f"spool workers died {respawns} times without "
+                        "claiming a job — the worker command looks broken"
+                    )
+                if not progressed:
+                    time.sleep(self.poll)
+
+    @staticmethod
+    def _listdir(directory: Path) -> set[str]:
+        try:
+            return {entry.name for entry in directory.iterdir()}
+        except OSError:
+            return set()
+
+    def _claim_map(self, claims_dir: Path) -> dict[str, str]:
+        """spec_hash -> worker id for every current claim (hashes are
+        hex, so the first dot splits hash from worker id)."""
+        claims: dict[str, str] = {}
+        for name in self._listdir(claims_dir):
+            if not name.endswith(".json"):
+                continue
+            stem = name[: -len(".json")]
+            spec_hash, _, wid = stem.partition(".")
+            if wid:
+                claims[spec_hash] = wid
+        return claims
+
+    # -- failure handling ------------------------------------------------
+
+    def _quarantine(self, spec_hash: str, outcome: TransportOutcome) -> None:
+        self._result_path(spec_hash).unlink(missing_ok=True)
+        outcome.quarantined += 1
+
+    def _retry(
+        self,
+        job: Job,
+        seq: int,
+        pending: _Pending,
+        outcome: TransportOutcome,
+        max_retries: int,
+    ) -> None:
+        job.attempts += 1
+        if job.attempts > max_retries:
+            raise DispatchError(
+                f"spool job {job.spec_hash[:12]} (n={job.spec.n}) failed "
+                f"{job.attempts} times — giving up"
+            )
+        outcome.retries += 1
+        self._write_job(job, seq)
+        pending[job.spec_hash] = [job, time.monotonic(), seq]
+
+    # -- local worker processes ------------------------------------------
+
+    def _spawn_worker(self) -> subprocess.Popen:
+        cmd = worker_command(self.python) + [
+            "--spool",
+            str(self.root),
+            "--poll",
+            str(self.poll),
+        ]
+        return subprocess.Popen(cmd, env=worker_env(self.extra_env))
+
+    def _respawn_dead(self, procs: list[subprocess.Popen]) -> int:
+        """Replace exited local workers; returns how many were replaced
+        so the drain loop can cap crash-on-start churn."""
+        replaced = 0
+        for i, proc in enumerate(procs):
+            if proc.poll() is not None:
+                procs[i] = self._spawn_worker()
+                replaced += 1
+        return replaced
+
+    @staticmethod
+    def _reap(proc: subprocess.Popen) -> None:
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()

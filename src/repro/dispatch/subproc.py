@@ -1,0 +1,189 @@
+"""Subprocess transport: a pool of ``python -m repro worker`` processes.
+
+Each worker slot owns one child process speaking the stdio line
+protocol (:mod:`repro.dispatch.worker`): the dispatcher writes one
+compact spec-JSON job line, the worker answers with one envelope line.
+Scheduling, per-job deadlines, and retry-with-exclusion come from the
+shared :class:`~repro.dispatch.base.QueueRunner`; this module only
+knows how to spawn a worker, feed it, and kill it.
+
+Death detection is the pipe itself: a worker that crashes (or is
+killed by the deadline timer) closes its stdout, the pending ``readline``
+returns empty, and the runner re-queues the job on a replacement
+worker with the dead one excluded.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import subprocess
+import sys
+import threading
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..api.result import Result
+from ..api.spec import CoverSpec
+from .base import (
+    Admit,
+    Job,
+    JobError,
+    OnResult,
+    QueueRunner,
+    QueueWorker,
+    Transport,
+    TransportOutcome,
+    WorkerDeath,
+)
+
+__all__ = ["SubprocessTransport", "worker_command", "worker_env"]
+
+
+def worker_command(python: str | None = None) -> list[str]:
+    return [python or sys.executable, "-m", "repro", "worker"]
+
+
+def worker_env(extra_env: dict[str, str] | None = None) -> dict[str, str]:
+    """The child's environment: the parent's, with this repro package's
+    root prepended to PYTHONPATH so ``-m repro`` resolves to the same
+    library even when the parent runs from a source tree."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    if extra_env:
+        env.update(extra_env)
+    return env
+
+
+class _SubprocessWorker(QueueWorker):
+    def __init__(
+        self,
+        worker_id: str,
+        *,
+        python: str | None = None,
+        extra_env: dict[str, str] | None = None,
+    ) -> None:
+        self.id = worker_id
+        self.proc = subprocess.Popen(
+            worker_command(python),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            text=True,
+            env=worker_env(extra_env),
+        )
+        self._deadline_fired = False
+
+    def solve(self, spec: CoverSpec, timeout: float | None) -> Result:
+        request = json.dumps(
+            {"spec": spec.to_payload()}, sort_keys=True, separators=(",", ":")
+        )
+        try:
+            assert self.proc.stdin is not None
+            self.proc.stdin.write(request + "\n")
+            self.proc.stdin.flush()
+        except (OSError, ValueError) as exc:
+            raise WorkerDeath(f"worker {self.id}: stdin pipe closed ({exc})") from exc
+        timer: threading.Timer | None = None
+        self._deadline_fired = False
+        if timeout is not None:
+            timer = threading.Timer(timeout, self._kill_on_deadline)
+            timer.daemon = True
+            timer.start()
+        try:
+            assert self.proc.stdout is not None
+            raw = self.proc.stdout.readline()
+        finally:
+            if timer is not None:
+                timer.cancel()
+        if not raw:
+            if self._deadline_fired:
+                raise WorkerDeath(
+                    f"worker {self.id} blew the {timeout}s job deadline "
+                    f"on {spec.spec_hash[:12]} and was killed",
+                    timed_out=True,
+                )
+            raise WorkerDeath(
+                f"worker {self.id} died mid-job (exit {self.proc.poll()})"
+            )
+        try:
+            reply = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise WorkerDeath(f"worker {self.id} emitted garbage: {exc}") from exc
+        if not reply.get("ok"):
+            raise JobError(
+                f"job {spec.spec_hash[:12]} failed on worker {self.id}: "
+                f"[{reply.get('kind', '?')}] {reply.get('error', 'unknown error')}"
+            )
+        try:
+            return Result.from_payload(reply.get("result"))
+        except Exception as exc:
+            # A malformed envelope from an otherwise-alive worker: treat
+            # as untrustworthy and retry the job elsewhere.
+            raise WorkerDeath(
+                f"worker {self.id} returned an unparsable envelope: {exc}"
+            ) from exc
+
+    def _kill_on_deadline(self) -> None:
+        self._deadline_fired = True
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        try:
+            if self.proc.stdin is not None:
+                self.proc.stdin.close()
+        except OSError:
+            pass
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=5)
+
+
+class SubprocessTransport(Transport):
+    name = "subprocess"
+
+    def __init__(
+        self,
+        *,
+        python: str | None = None,
+        extra_env: dict[str, str] | None = None,
+    ) -> None:
+        self.python = python
+        self.extra_env = extra_env
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        *,
+        workers: int,
+        job_timeout: float | None,
+        max_retries: int,
+        on_result: OnResult,
+        admit: Admit | None = None,
+    ) -> TransportOutcome:
+        counter = itertools.count(1)
+
+        def make_worker() -> _SubprocessWorker:
+            return _SubprocessWorker(
+                f"sub{next(counter)}", python=self.python, extra_env=self.extra_env
+            )
+
+        runner = QueueRunner(
+            make_worker,
+            jobs,
+            workers=workers,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            on_result=on_result,
+            admit=admit,
+        )
+        return runner.run()

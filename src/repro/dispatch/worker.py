@@ -1,0 +1,240 @@
+"""Worker-side loops behind ``python -m repro worker``.
+
+Two modes, one job shape (the canonical
+:class:`~repro.api.spec.CoverSpec` JSON payload), one answer shape (the
+deterministic :class:`~repro.api.result.Result` envelope):
+
+stdio mode (the ``subprocess`` transport)
+    One request per line on stdin — ``{"spec": {...}}`` — answered by
+    one line on stdout::
+
+        {"ok": true,  "spec_hash": H, "result": {...envelope...}}
+        {"ok": false, "spec_hash": H, "error": "...", "kind": "..."}
+
+    EOF on stdin ends the worker.  Nothing else is ever written to
+    stdout, so the dispatcher can treat a short read as worker death.
+
+spool mode (the ``spool`` transport; ``--spool DIR``)
+    Poll ``DIR/jobs/`` for ``<spec-hash>.json`` job documents, claim
+    one by atomically renaming it into ``DIR/claims/``, solve, write
+    ``DIR/results/<spec-hash>.result.json`` atomically (temp file +
+    rename — a reader never sees a partial envelope), delete the
+    claim.  A job document's ``excluded`` list names worker ids that
+    must not take it (retry-with-exclusion after a death); a ``STOP``
+    file in the spool root shuts every polling worker down.
+
+Jobs are solved through :func:`repro.api.solve` with **no cache**, so
+the envelope a worker emits is byte-identical to what an in-process
+solve of the same spec produces — the differential harness pins this.
+
+Chaos hooks (test-only, armed by environment variables naming a token
+file): ``REPRO_DISPATCH_CHAOS`` makes the first worker that wins the
+token (atomic unlink) die abruptly mid-job; ``REPRO_DISPATCH_STALL``
+makes it hang long enough to blow any job deadline.  Exactly one
+worker across the fleet triggers per token — the retry then runs on a
+worker that finds no token.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+from ..api.spec import CoverSpec, SpecError
+from ..util.errors import ReproError
+
+__all__ = [
+    "CHAOS_EXIT_ENV",
+    "CHAOS_STALL_ENV",
+    "SPOOL_ERROR_FORMAT",
+    "SPOOL_JOB_FORMAT",
+    "spool_worker_loop",
+    "stdio_worker_loop",
+]
+
+CHAOS_EXIT_ENV = "REPRO_DISPATCH_CHAOS"
+CHAOS_STALL_ENV = "REPRO_DISPATCH_STALL"
+_CHAOS_EXIT_CODE = 23
+_CHAOS_STALL_SECONDS = 300.0
+
+SPOOL_JOB_FORMAT = "repro-spool-job"
+SPOOL_ERROR_FORMAT = "repro-spool-error"
+
+
+def _chaos(env: str) -> bool:
+    """True when this process won the chaos token named by ``env`` —
+    the unlink is atomic, so exactly one worker per token triggers."""
+    token = os.environ.get(env)
+    if not token:
+        return False
+    try:
+        os.unlink(token)
+    except OSError:
+        return False
+    return True
+
+
+def _chaos_hooks() -> None:
+    if _chaos(CHAOS_EXIT_ENV):
+        os._exit(_CHAOS_EXIT_CODE)  # simulate a hard crash mid-job
+    if _chaos(CHAOS_STALL_ENV):
+        time.sleep(_CHAOS_STALL_SECONDS)  # simulate a hung worker
+
+
+def _solve_payload(payload: Any) -> "tuple[CoverSpec, Any]":
+    """Parse and solve one job payload (the spec dict).  Raises
+    SpecError/ReproError with the worker loops deciding how to report."""
+    from ..api.service import solve
+
+    spec = CoverSpec.from_payload(payload)
+    _chaos_hooks()
+    result = solve(spec, cache=None)
+    return spec, result.to_payload()
+
+
+# ---------------------------------------------------------------------------
+# stdio mode
+# ---------------------------------------------------------------------------
+
+
+def _stdio_reply(line: str) -> dict[str, Any]:
+    try:
+        request = json.loads(line)
+        raw_spec = request["spec"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        return {
+            "ok": False,
+            "spec_hash": None,
+            "error": f"malformed job line: {exc}",
+            "kind": type(exc).__name__,
+        }
+    try:
+        spec, payload = _solve_payload(raw_spec)
+    except SpecError as exc:
+        return {"ok": False, "spec_hash": None, "error": str(exc), "kind": "SpecError"}
+    except ReproError as exc:
+        return {
+            "ok": False,
+            "spec_hash": CoverSpec.from_payload(raw_spec).spec_hash,
+            "error": str(exc),
+            "kind": type(exc).__name__,
+        }
+    return {"ok": True, "spec_hash": spec.spec_hash, "result": payload}
+
+
+def stdio_worker_loop(stdin: TextIO | None = None, stdout: TextIO | None = None) -> int:
+    """Serve jobs line-by-line until EOF (the subprocess transport's
+    worker body)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        reply = _stdio_reply(line)
+        stdout.write(json.dumps(reply, sort_keys=True, separators=(",", ":")) + "\n")
+        stdout.flush()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# spool mode
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _claim_one(root: Path, worker_id: str) -> "tuple[str, dict, Path] | None":
+    """Claim the first eligible job via atomic rename; losers of the
+    rename race simply move on to the next file.  Job files are named
+    ``<seq>-<spec-hash>.json`` with ``<seq>`` the dispatcher's schedule
+    position, so sorted directory order *is* the LPT heaviest-first
+    plan."""
+    jobs_dir = root / "jobs"
+    try:
+        candidates = sorted(jobs_dir.glob("*.json"))
+    except OSError:
+        return None
+    for job_file in candidates:
+        try:
+            doc = json.loads(job_file.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue  # mid-write or already claimed — not ours to judge
+        if doc.get("format") != SPOOL_JOB_FORMAT:
+            continue
+        if worker_id in doc.get("excluded", ()):
+            continue
+        prefix, sep, rest = job_file.stem.partition("-")
+        spec_hash = rest if sep else prefix
+        claim = root / "claims" / f"{spec_hash}.{worker_id}.json"
+        try:
+            os.replace(job_file, claim)
+        except (OSError, ValueError):
+            continue  # another worker won the claim
+        return spec_hash, doc, claim
+    return None
+
+
+def _run_spool_job(root: Path, spec_hash: str, doc: dict) -> None:
+    result_file = root / "results" / f"{spec_hash}.result.json"
+    try:
+        spec, payload = _solve_payload(doc.get("spec"))
+        if spec.spec_hash != spec_hash:
+            raise SpecError(
+                f"job file named {spec_hash[:12]} holds a spec hashing to "
+                f"{spec.spec_hash[:12]}"
+            )
+        text = json.dumps(payload, indent=2, sort_keys=True)
+    except ReproError as exc:
+        text = json.dumps(
+            {
+                "format": SPOOL_ERROR_FORMAT,
+                "spec_hash": spec_hash,
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    _atomic_write(result_file, text)
+
+
+def spool_worker_loop(
+    root: Path | str,
+    *,
+    poll: float = 0.05,
+    exit_when_idle: bool = False,
+    max_jobs: int | None = None,
+    worker_id: str | None = None,
+) -> int:
+    """Poll a spool directory for jobs until STOP (or idleness, with
+    ``exit_when_idle``).  Safe to run many copies against one spool —
+    claims are atomic renames, results are atomic writes."""
+    root = Path(root)
+    wid = worker_id or f"w{os.getpid()}"
+    for sub in ("jobs", "claims", "results"):
+        (root / sub).mkdir(parents=True, exist_ok=True)
+    done = 0
+    while True:
+        if (root / "STOP").exists():
+            return 0
+        claimed = _claim_one(root, wid)
+        if claimed is None:
+            if exit_when_idle:
+                return 0
+            time.sleep(poll)
+            continue
+        spec_hash, doc, claim = claimed
+        _run_spool_job(root, spec_hash, doc)
+        claim.unlink(missing_ok=True)
+        done += 1
+        if max_jobs is not None and done >= max_jobs:
+            return 0

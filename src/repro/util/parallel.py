@@ -32,7 +32,7 @@ from typing import TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["parallel_map", "default_workers", "weighted_chunks"]
+__all__ = ["parallel_map", "default_workers", "weighted_chunks", "lpt_order"]
 
 MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
@@ -64,6 +64,18 @@ def resolve_workers(workers: int | None) -> int:
     return _apply_env_cap(max(1, workers))
 
 
+def lpt_order(weights: Sequence[float]) -> list[int]:
+    """Indices sorted heaviest-first (longest-processing-time order),
+    ties breaking toward the earlier item.
+
+    This is both the intake order of :func:`weighted_chunks` and the
+    drain order of the dispatch work queue
+    (:mod:`repro.dispatch`) — one definition so an in-process shard plan
+    and a distributed schedule agree on which jobs are "big".
+    """
+    return sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+
+
 def weighted_chunks(
     items: Sequence[T], weights: Sequence[float], bins: int
 ) -> list[list[T]]:
@@ -78,7 +90,7 @@ def weighted_chunks(
     if len(items) != len(weights):
         raise ValueError(f"{len(items)} items but {len(weights)} weights")
     bins = max(1, bins)
-    order = sorted(range(len(items)), key=lambda i: (-weights[i], i))
+    order = lpt_order(weights)
     loads = [0.0] * bins
     assignment: list[list[int]] = [[] for _ in range(bins)]
     for i in order:

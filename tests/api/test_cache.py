@@ -9,6 +9,7 @@ identical* envelope JSON, and a corrupt/tampered entry is quarantined
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -21,6 +22,25 @@ def cache(tmp_path):
 
 
 SPEC = CoverSpec.for_ring(6, backend="exact", use_hints=False)
+
+
+def _hammer_entry(args: tuple[str, int]) -> int:
+    """Worker body for the concurrent-writer race test: repeatedly
+    rewrite and reread ONE cache entry.  Returns how many reads came
+    back non-None — every one of which must have parsed as a full,
+    valid envelope (a torn write would raise inside ``get`` and be
+    quarantined, shrinking this count instead of crashing)."""
+    root, rounds = args
+    store = ResultCache(root)
+    result = solve(SPEC, cache=None)
+    seen = 0
+    for _ in range(rounds):
+        store.put(result)
+        hit = store.get(SPEC)
+        if hit is not None:
+            assert hit.to_json() == result.to_json()
+            seen += 1
+    return seen
 
 
 class TestHitMiss:
@@ -137,6 +157,28 @@ class TestCorruptStatsRecovery:
         assert cache.get(SPEC) is None
         assert not path.exists()
         assert not solve(SPEC, cache=cache).from_cache  # re-solved
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_never_interleave_partial_json(self, tmp_path):
+        """Two (here: four) workers completing the same spec hash must
+        not interleave partial JSON.  ``put`` writes a private temp file
+        and atomically renames it over the entry, so every concurrent
+        reader sees either a complete old envelope or a complete new one
+        — this hammers one entry from four processes and requires every
+        successful read to be byte-identical to the envelope written."""
+        root = str(tmp_path / "cache")
+        rounds = 25
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            seen = list(pool.map(_hammer_entry, [(root, rounds)] * 4))
+        # Atomic replace means no read can fail to parse: every get hits.
+        assert seen == [rounds] * 4
+        store = ResultCache(root)
+        final = store.get(SPEC)
+        assert final is not None
+        assert final.to_json() == solve(SPEC, cache=None).to_json()
+        # No abandoned temp files: every mkstemp was renamed or unlinked.
+        assert list((tmp_path / "cache").rglob("*.tmp")) == []
 
 
 class TestHitValidation:

@@ -1,11 +1,31 @@
-"""Shared fixtures for the repro test-suite."""
+"""Shared fixtures for the repro test-suite, plus hypothesis profiles.
+
+``HYPOTHESIS_PROFILE=ci`` selects the fixed-seed profile CI runs the
+differential suite under (``derandomize=True`` makes every run explore
+the same examples, so a CI failure reproduces locally byte-for-byte);
+``thorough`` is the long-haul profile for local bug hunts.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.construction import optimal_covering
 from repro.wdm.design import design_ring_network
+
+settings.register_profile(
+    "ci",
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+if os.environ.get("HYPOTHESIS_PROFILE"):
+    settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,105 @@
+"""Crash/chaos tests: the dispatcher must survive worker death.
+
+The chaos hooks live in the worker itself
+(:mod:`repro.dispatch.worker`): an environment variable names a token
+file, and the *first* worker to win the token (atomic unlink) dies
+abruptly mid-job — or stalls past any deadline.  Exactly one worker
+per token triggers, so the retry necessarily lands on a healthy
+worker: precisely the retry-with-exclusion path under test.
+
+The spool corruption test mirrors ``test_cache.py``'s pattern: a
+truncated ``.result.json`` must be quarantined (deleted) and the job
+re-dispatched, never parsed into a half-envelope.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CoverSpec, solve
+from repro.dispatch import (
+    CHAOS_EXIT_ENV,
+    CHAOS_STALL_ENV,
+    DispatchError,
+    JobError,
+    SpoolTransport,
+    SubprocessTransport,
+    dispatch_batch,
+)
+
+SPECS = [CoverSpec.for_ring(n, backend="exact", use_hints=False) for n in (4, 5, 6, 7)]
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return [solve(spec, cache=None).to_json() for spec in SPECS]
+
+
+class TestSubprocessChaos:
+    def test_worker_killed_mid_job_retries_with_exclusion(self, tmp_path, oracle):
+        token = tmp_path / "crash-token"
+        token.touch()
+        transport = SubprocessTransport(extra_env={CHAOS_EXIT_ENV: str(token)})
+        report = dispatch_batch(SPECS, transport=transport, workers=2)
+        assert not token.exists()  # the chaos actually fired
+        assert report.worker_deaths == 1
+        assert report.retries == 1
+        # the sweep still converged, byte-identically
+        assert [r.to_json() for r in report.results] == oracle
+
+    def test_stalled_worker_is_killed_by_the_job_deadline(self, tmp_path, oracle):
+        token = tmp_path / "stall-token"
+        token.touch()
+        transport = SubprocessTransport(extra_env={CHAOS_STALL_ENV: str(token)})
+        report = dispatch_batch(
+            SPECS, transport=transport, workers=2, job_timeout=10.0
+        )
+        assert not token.exists()
+        assert report.worker_deaths == 1
+        assert [r.to_json() for r in report.results] == oracle
+
+    def test_deterministic_job_failure_fails_fast_not_forever(self):
+        # n=13 exceeds every exact ceiling: the worker reports a routing
+        # error, and retrying elsewhere cannot help — the dispatch must
+        # raise immediately instead of burning workers.
+        bad = CoverSpec.for_ring(13, backend="exact")
+        with pytest.raises((JobError, DispatchError), match="exact"):
+            dispatch_batch([bad], transport="subprocess", workers=1)
+
+
+class TestSpoolChaos:
+    def test_truncated_result_is_quarantined_and_redispatched(self, tmp_path, oracle):
+        root = tmp_path / "spool"
+        (root / "results").mkdir(parents=True)
+        victim = root / "results" / f"{SPECS[2].spec_hash}.result.json"
+        victim.write_text(oracle[2][: len(oracle[2]) // 3])  # torn write
+        report = dispatch_batch(SPECS, transport=SpoolTransport(root), workers=2)
+        assert report.quarantined == 1
+        assert report.resumed == 0
+        assert [r.to_json() for r in report.results] == oracle
+        # the quarantined entry was replaced by a full, valid envelope
+        assert json.loads(victim.read_text())["spec_hash"] == SPECS[2].spec_hash
+
+    def test_crash_on_start_workers_trip_the_respawn_cap(self, tmp_path):
+        # Workers that die before claiming anything (broken interpreter
+        # environment) must fail the dispatch loudly, not respawn forever.
+        transport = SpoolTransport(
+            tmp_path / "spool", extra_env={"PYTHONHOME": "/nonexistent"}
+        )
+        with pytest.raises(DispatchError, match="without claiming"):
+            dispatch_batch(SPECS[:2], transport=transport, workers=2)
+
+    def test_spool_worker_crash_is_reclaimed_and_completed(self, tmp_path, oracle):
+        token = tmp_path / "crash-token"
+        token.touch()
+        transport = SpoolTransport(
+            tmp_path / "spool", extra_env={CHAOS_EXIT_ENV: str(token)}
+        )
+        report = dispatch_batch(
+            SPECS, transport=transport, workers=2, job_timeout=30.0
+        )
+        assert not token.exists()
+        assert report.worker_deaths >= 1
+        assert [r.to_json() for r in report.results] == oracle

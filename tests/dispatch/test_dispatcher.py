@@ -1,0 +1,133 @@
+"""Dispatcher policy: scheduling order, dedup, cache resume, merge.
+
+Transport execution is covered in ``test_transports.py`` and the
+failure paths in ``test_chaos.py``; everything here runs on the cheap
+in-process transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CoverSpec, ResultCache, solve, solve_batch
+from repro.core.engine import SolverStats
+from repro.dispatch import (
+    DispatchError,
+    InProcessTransport,
+    SpoolTransport,
+    SubprocessTransport,
+    cost_weight,
+    dispatch_batch,
+    make_transport,
+)
+from repro.util.parallel import lpt_order
+
+SPECS = [CoverSpec.for_ring(n, backend="exact", use_hints=False) for n in (4, 5, 6, 7)]
+
+
+class TestSchedulingPolicy:
+    def test_cost_weight_grows_with_n_and_lam(self):
+        assert cost_weight(CoverSpec.for_ring(9)) > cost_weight(CoverSpec.for_ring(8))
+        assert cost_weight(CoverSpec.for_ring(7, lam=3)) > cost_weight(
+            CoverSpec.for_ring(7, lam=2)
+        )
+
+    def test_lpt_order_is_heaviest_first(self):
+        weights = [cost_weight(s) for s in SPECS]
+        assert lpt_order(weights) == [3, 2, 1, 0]
+
+    def test_results_come_back_in_spec_order_despite_lpt(self):
+        report = dispatch_batch(SPECS, transport="inproc", workers=1, order="lpt")
+        assert [r.spec.n for r in report.results] == [4, 5, 6, 7]
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(DispatchError, match="order"):
+            dispatch_batch(SPECS, transport="inproc", order="random")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(DispatchError, match="unknown transport"):
+            dispatch_batch(SPECS, transport="carrier-pigeon")
+
+    def test_make_transport_passes_instances_through(self):
+        tr = InProcessTransport()
+        assert make_transport(tr) is tr
+        assert isinstance(make_transport("subprocess"), SubprocessTransport)
+        assert isinstance(make_transport("spool"), SpoolTransport)
+
+
+class TestDedupAndMerge:
+    def test_duplicate_specs_solve_once_and_share_bytes(self):
+        doubled = [SPECS[0], SPECS[1], SPECS[0]]
+        report = dispatch_batch(doubled, transport="inproc", workers=1)
+        assert len(report.results) == 3
+        assert report.results[0].to_json() == report.results[2].to_json()
+        # one unique job each for n=4 and n=5 → exactly two timings
+        assert len(report.seconds) == 2
+
+    def test_merged_stats_are_deterministic_shard_totals(self):
+        r1 = dispatch_batch(SPECS, transport="inproc", workers=1)
+        r2 = dispatch_batch(SPECS, transport="inproc", workers=1)
+        assert r1.merged_stats == r2.merged_stats
+        expected = SolverStats.merge(
+            [
+                res.stats
+                for res in sorted(r1.results, key=lambda r: r.spec_hash)
+            ]
+        )
+        assert r1.merged_stats.nodes == expected.nodes
+        assert r1.merged_stats.proven_optimal
+
+
+class TestCacheIntegration:
+    def test_write_through_then_full_resume(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = dispatch_batch(SPECS, transport="inproc", workers=1, cache=cache)
+        assert first.cached == 0 and len(cache) == len(SPECS)
+        again = dispatch_batch(SPECS, transport="inproc", workers=1, cache=cache)
+        assert again.cached == len(SPECS)
+        assert all(r.from_cache for r in again.results)
+        assert [r.to_json() for r in again.results] == [
+            r.to_json() for r in first.results
+        ]
+
+    def test_partial_resume_dispatches_only_the_missing_jobs(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        solve(SPECS[0], cache=cache)
+        solve(SPECS[2], cache=cache)
+        report = dispatch_batch(SPECS, transport="inproc", workers=1, cache=cache)
+        assert report.cached == 2
+        assert [r.from_cache for r in report.results] == [True, False, True, False]
+
+
+class TestBudget:
+    def test_exhausted_budget_skips_everything(self):
+        report = dispatch_batch(
+            SPECS, transport="inproc", workers=1, order="fifo", time_budget=0.0
+        )
+        assert report.results == []
+        assert [s.n for s in report.skipped] == [4, 5, 6, 7]
+
+    def test_cache_hits_survive_a_dead_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        solve(SPECS[1], cache=cache)
+        report = dispatch_batch(
+            SPECS,
+            transport="inproc",
+            workers=1,
+            order="fifo",
+            time_budget=0.0,
+            cache=cache,
+        )
+        assert [r.spec.n for r in report.results] == [5]
+        assert [s.n for s in report.skipped] == [4, 6, 7]
+
+
+class TestSolveBatchFrontDoor:
+    def test_default_is_the_serial_inline_path(self, tmp_path):
+        serial = solve_batch(SPECS, cache=tmp_path / "c")
+        assert [r.spec.n for r in serial] == [4, 5, 6, 7]
+
+    def test_transport_path_is_byte_identical_to_serial(self):
+        serial = [solve(s, cache=None).to_json() for s in SPECS]
+        dispatched = solve_batch(SPECS, transport="inproc", workers=1)
+        assert [r.to_json() for r in dispatched] == serial

@@ -1,0 +1,162 @@
+"""Cross-backend differential property suite — the dispatcher's oracle.
+
+The restricted-cover approximation literature (Manthey; Tang & Diao)
+is blunt that heuristic tiers in this regime must be checked
+*differentially* against exact solvers, not just on hand-certified
+cases.  This suite is that oracle: hypothesis-generated ``CoverSpec``s
+(small n, random restricted demands, λ ∈ {1, 2, 3}) asserting that
+
+* ``closed_form`` / ``exact`` / ``exact_sharded`` agree on the optimal
+  size wherever more than one of them applies;
+* ``heuristic`` never beats the exact optimum and always returns a
+  *verified* covering;
+* every envelope re-validates from its own JSON via the independent
+  :mod:`repro.core.verify` path (DRC routing re-exhibited, coverage
+  recounted).
+
+The transports are then tested against this same oracle in
+``tests/dispatch/``: each must return envelopes byte-identical to the
+in-process solves these properties vouch for.
+
+Ring-size / multiplicity bounds are calibrated so a single example
+stays well under a second (λ = 3 instances above n = 7 blow the
+instance solver's node budget — that ceiling is itself pinned here).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CoverSpec, Result, get_backend, solve
+from repro.core.verify import verify_covering
+from repro.util import circular
+
+# λ → largest ring size the exact instance solver certifies fast enough
+# for a property suite (calibrated; λ=1 routes to the K_n solver).
+_MAX_N = {1: 9, 2: 9, 3: 7}
+
+
+def _uniform_specs() -> st.SearchStrategy[CoverSpec]:
+    return st.sampled_from([1, 2, 3]).flatmap(
+        lambda lam: st.integers(4, _MAX_N[lam]).map(
+            lambda n: CoverSpec.for_ring(n, lam=lam)
+        )
+    )
+
+
+@st.composite
+def _restricted_specs(draw) -> CoverSpec:
+    """A random restricted (non-uniform) demand: a subset of chords of
+    C_n with multiplicities in {1, 2}."""
+    n = draw(st.integers(5, 9))
+    all_chords = sorted(
+        {circular.chord(a, b) for a in range(n) for b in range(n) if a != b}
+    )
+    chords = draw(
+        st.lists(st.sampled_from(all_chords), min_size=1, max_size=6, unique=True)
+    )
+    mults = draw(
+        st.lists(
+            st.integers(1, 2), min_size=len(chords), max_size=len(chords)
+        )
+    )
+    return CoverSpec(
+        n=n, demand=tuple((a, b, m) for (a, b), m in zip(chords, mults))
+    )
+
+
+def _exact(spec: CoverSpec) -> Result:
+    return solve(
+        CoverSpec.from_payload({**spec.to_payload(), "backend": "exact"}),
+        cache=None,
+    )
+
+
+def _assert_envelope_valid(result: Result) -> None:
+    """Every envelope must survive the independent verifier *and* a
+    JSON round-trip with verification enabled."""
+    spec = result.spec
+    report = verify_covering(result.covering, spec.instance())
+    assert report.valid, f"{result.backend} envelope failed verify: {report.problems}"
+    roundtrip = Result.from_json(result.to_json(), verify=True)
+    assert roundtrip == result
+    assert roundtrip.to_json() == result.to_json()
+
+
+class TestUniformBackendsAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=_uniform_specs())
+    def test_exact_matches_closed_form_and_is_verified(self, spec: CoverSpec):
+        exact = _exact(spec)
+        assert exact.status == "proven_optimal"
+        _assert_envelope_valid(exact)
+        closed = get_backend("closed_form")
+        if closed.supports(spec):
+            formula = closed.run(spec)
+            assert formula.num_blocks == exact.num_blocks, (
+                f"closed_form={formula.num_blocks} != exact={exact.num_blocks} "
+                f"for n={spec.n} λ={spec.lam}"
+            )
+            _assert_envelope_valid(formula)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(5, 9))
+    def test_exact_sharded_matches_exact(self, n: int):
+        spec = CoverSpec.for_ring(n, use_hints=False)
+        exact = _exact(spec)
+        sharded = solve(
+            CoverSpec.for_ring(n, backend="exact_sharded", use_hints=False, workers=2),
+            cache=None,
+        )
+        assert sharded.status == "proven_optimal"
+        assert sharded.num_blocks == exact.num_blocks
+        _assert_envelope_valid(sharded)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=_uniform_specs())
+    def test_heuristic_never_beats_exact(self, spec: CoverSpec):
+        exact = _exact(spec)
+        heur = solve(
+            CoverSpec.for_ring(spec.n, lam=spec.lam, require_optimal=False),
+            cache=None,
+        )
+        assert heur.status == "feasible"
+        assert heur.num_blocks >= exact.num_blocks, (
+            f"heuristic {heur.num_blocks} beat the certified optimum "
+            f"{exact.num_blocks} at n={spec.n} λ={spec.lam}"
+        )
+        _assert_envelope_valid(heur)
+
+
+class TestRestrictedDemand:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=_restricted_specs())
+    def test_exact_vs_heuristic_on_restricted_covers(self, spec: CoverSpec):
+        exact = _exact(spec)
+        assert exact.status == "proven_optimal"
+        _assert_envelope_valid(exact)
+        heur = solve(
+            CoverSpec.from_payload(
+                {**spec.to_payload(), "backend": "heuristic", "require_optimal": False}
+            ),
+            cache=None,
+        )
+        assert heur.num_blocks >= exact.num_blocks
+        _assert_envelope_valid(heur)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=_restricted_specs())
+    def test_lower_bound_certificate_holds(self, spec: CoverSpec):
+        exact = _exact(spec)
+        assert exact.lower_bound is not None
+        assert exact.lower_bound <= exact.num_blocks
+
+
+class TestEnvelopeDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(spec=_uniform_specs())
+    def test_same_spec_same_bytes(self, spec: CoverSpec):
+        first = solve(spec, cache=None)
+        second = solve(spec, cache=None)
+        assert first.to_json() == second.to_json()

@@ -1,16 +1,25 @@
 """Tests for :mod:`repro.util.parallel` — weight-balanced chunking and
-the worker-count environment override."""
+the worker-count environment override, including the hypothesis
+invariants the sharded solver and the dispatch scheduler both lean on
+(partition exactness, the LPT balance bound, determinism)."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.util.parallel import (
     MAX_WORKERS_ENV,
     default_workers,
+    lpt_order,
     parallel_map,
     resolve_workers,
     weighted_chunks,
+)
+
+_weight_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=40
 )
 
 
@@ -52,6 +61,58 @@ class TestWeightedChunks:
     def test_length_mismatch(self):
         with pytest.raises(ValueError, match="weights"):
             weighted_chunks([1, 2], [1.0], 2)
+
+
+class TestWeightedChunksInvariants:
+    """Hypothesis invariants — previously only exercised indirectly
+    through root-orbit sharding, now load-bearing for the dispatcher's
+    schedule too."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(weights=_weight_lists, bins=st.integers(1, 12))
+    def test_partition_exactness(self, weights, bins):
+        """Every item lands in exactly one bin, in its original relative
+        order within the bin, and no bin is empty."""
+        items = list(range(len(weights)))
+        chunks = weighted_chunks(items, weights, bins)
+        flat = [x for chunk in chunks for x in chunk]
+        assert sorted(flat) == items  # each item exactly once
+        for chunk in chunks:
+            assert chunk == sorted(chunk)  # original order preserved
+            assert chunk  # empties dropped
+        assert len(chunks) <= bins
+
+    @settings(max_examples=200, deadline=None)
+    @given(weights=_weight_lists, bins=st.integers(1, 12))
+    def test_lpt_balance_bound(self, weights, bins):
+        """The classic LPT-greedy guarantee: no bin exceeds the ideal
+        (total/bins) by more than one largest item."""
+        items = list(range(len(weights)))
+        chunks = weighted_chunks(items, weights, bins)
+        loads = [sum(weights[i] for i in chunk) for chunk in chunks]
+        ideal = sum(weights) / max(1, bins)
+        slack = ideal + max(weights)
+        assert max(loads) <= slack + 1e-6 * (1 + slack)
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=_weight_lists, bins=st.integers(1, 12))
+    def test_deterministic(self, weights, bins):
+        items = list(range(len(weights)))
+        assert weighted_chunks(items, weights, bins) == weighted_chunks(
+            items, weights, bins
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=_weight_lists)
+    def test_lpt_order_is_a_heaviest_first_permutation(self, weights):
+        order = lpt_order(weights)
+        assert sorted(order) == list(range(len(weights)))
+        ordered = [weights[i] for i in order]
+        assert ordered == sorted(ordered, reverse=True)
+        # ties break toward the earlier index, so the order is canonical
+        for a, b in zip(order, order[1:]):
+            if weights[a] == weights[b]:
+                assert a < b
 
 
 class TestWorkerResolution:
