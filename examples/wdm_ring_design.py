@@ -19,8 +19,9 @@ from __future__ import annotations
 import sys
 
 from repro.baselines.greedy import greedy_drc_covering
-from repro.baselines.ring_sizes import min_total_ring_size, total_ring_size
+from repro.core.bounds import total_size_lower_bound
 from repro.core.construction import fast_covering
+from repro.traffic.instances import all_to_all
 from repro.util.tables import Table
 from repro.wdm.adm import evaluate_cost
 from repro.wdm.design import design_ring_network
@@ -63,7 +64,8 @@ def main(n: int = 13) -> None:
     ]:
         cost = evaluate_cost(cov)
         table.add_row(
-            name, cov.num_blocks, total_ring_size(cov), min_total_ring_size(n),
+            name, cov.num_blocks, cov.total_slots,
+            total_size_lower_bound(all_to_all(n)).value,
             2 * cov.num_blocks, round(cost.total, 1),
         )
     print("\n" + table.render())

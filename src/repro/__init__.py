@@ -25,7 +25,7 @@ Package map
 ``repro.traffic``        logical instances (All-to-All, λK_n, custom)
 ``repro.wdm``            optical layer: wavelengths, ADMs, cost model
 ``repro.survivability``  failure simulation & automatic protection switching
-``repro.baselines``      non-DRC covers, greedy covering, ring-size-sum objective
+``repro.baselines``      non-DRC covers, greedy coverings (count and ADM flavours)
 ``repro.extensions``     the paper's future work: λK_n, trees of rings, grid, torus
 ``repro.analysis``       experiment harness regenerating every paper table
 """

@@ -4,13 +4,24 @@ Subcommands::
 
     python -m repro solve --n 11                  # one job, auto-routed
     python -m repro solve --n 10 --backend exact --no-hints --json
+    python -m repro solve --n 8 --objective min_total_size   # ADM-count optimum
+    python -m repro solve --n 7 --allowed-sizes 3 # restricted cover (C3 only)
     python -m repro sweep --ns 4..11 --json       # many jobs, shared cache
     python -m repro sweep --ns 4..11 --transport subprocess --workers 2
+    python -m repro sweep --ns 4..8 --objective min_total_size --json
+    python -m repro objectives                    # objective × backend matrix
     python -m repro worker                        # serve dispatcher jobs (stdio)
     python -m repro worker --spool DIR            # serve a shared spool dir
     python -m repro experiments E1 E10            # regenerate paper tables
     python -m repro experiments --list
     python -m repro rho 6..20                     # closed-form ρ(n) table
+
+``--objective`` selects a registered covering objective
+(``min_blocks`` — the paper's ρ — by default; ``min_total_size`` — the
+ring-size-sum / ADM-count objective of refs [3]/[4]); ``--allowed-sizes
+L1,L2,...`` restricts candidate cycle lengths (Manthey-style restricted
+cycle covers).  ``objectives`` prints the registry with each
+objective's certificate arguments and the backends that take it.
 
 ``sweep --transport {inproc,subprocess,spool}`` fans the jobs out
 through the distributed dispatcher (:mod:`repro.dispatch`): with
@@ -44,7 +55,7 @@ from collections.abc import Callable
 
 from .analysis import experiments as X
 
-_SUBCOMMANDS = ("solve", "sweep", "worker", "experiments", "rho")
+_SUBCOMMANDS = ("solve", "sweep", "objectives", "worker", "experiments", "rho")
 
 # E10's default range tracks the certified sweep (ρ(n) proven through
 # n = 11 — BENCH_solver.json); the time budget gates the tail so a
@@ -87,13 +98,30 @@ def _parse_range(spec: str) -> list[int]:
 # ---------------------------------------------------------------------------
 
 
+def _parse_sizes(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(s) for s in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"allowed sizes must be comma-separated integers, got {text!r}"
+        ) from None
+
+
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     from .api import available_backends
+    from .core.objective import available_objectives
 
     parser.add_argument("--lam", type=int, default=1, metavar="λ",
                         help="demand multiplicity (λK_n; default 1)")
     parser.add_argument("--max-size", type=int, default=4,
                         help="largest candidate cycle length (default 4)")
+    parser.add_argument("--objective", choices=available_objectives(),
+                        default="min_blocks",
+                        help="registered covering objective (default min_blocks; "
+                             "see `python -m repro objectives`)")
+    parser.add_argument("--allowed-sizes", type=_parse_sizes, metavar="L1,L2,...",
+                        help="restrict candidate cycle lengths (Manthey-style "
+                             "restricted covers), e.g. --allowed-sizes 3")
     parser.add_argument("--backend", choices=available_backends(),
                         help="pin a backend instead of routing")
     parser.add_argument("--no-optimal", action="store_true",
@@ -139,6 +167,8 @@ def _spec_from_args(args: argparse.Namespace, n: int):
         n,
         lam=args.lam,
         max_size=args.max_size,
+        objective=args.objective,
+        allowed_sizes=args.allowed_sizes,
         backend=args.backend,
         require_optimal=not args.no_optimal,
         use_hints=not args.no_hints,
@@ -216,12 +246,15 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
         print(json.dumps(out, indent=2, sort_keys=True))
         return 0
 
-    table = Table(
-        "DRC covering jobs (repro.api)",
-        ["n", "λ", "backend", "status", "blocks", "lower bnd", "nodes", "seconds", "origin"],
-    )
+    # Objective-axis jobs (anything beyond unrestricted min_blocks) get
+    # an extra value column; the legacy table shape stays untouched.
+    extended = any(result.objective_value is not None for result, _ in results)
+    headers = ["n", "λ", "backend", "status", "blocks", "lower bnd", "nodes", "seconds", "origin"]
+    if extended:
+        headers.insert(5, "value")
+    table = Table("DRC covering jobs (repro.api)", headers)
     for result, elapsed in results:
-        table.add_row(
+        row = [
             result.spec.n,
             result.spec.lam,
             result.backend,
@@ -231,7 +264,10 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
             result.stats.nodes,
             round(elapsed, 3),
             "cache" if result.from_cache else "solved",
-        )
+        ]
+        if extended:
+            row.insert(5, result.objective_value if result.objective_value is not None else "-")
+        table.add_row(*row)
     print(table.render())
     if single:
         result = results[0][0]
@@ -261,6 +297,49 @@ def _cmd_sweep(argv: list[str]) -> int:
     _add_dispatch_arguments(parser)
     args = parser.parse_args(argv)
     return _run_jobs(_parse_range(args.ns), args)
+
+
+def _cmd_objectives(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro objectives",
+        description=(
+            "List registered covering objectives: for each, the backends "
+            "that accept it (probed on uniform K_n jobs) and the arguments "
+            "of its lower-bound certificate."
+        ),
+    )
+    parser.parse_args(argv)
+    from .api import CoverSpec, available_backends, get_backend
+    from .core.objective import available_objectives, get_objective
+    from .util.tables import Table
+
+    table = Table(
+        "Covering objectives (repro.core.objective registry)",
+        ["objective", "backends", "certificate", "description"],
+    )
+    for name in available_objectives():
+        obj = get_objective(name)
+        # Probe odd and even uniform rings: a backend claims the
+        # objective when it takes either shape (closed_form is
+        # per-parity for some objectives).
+        probes = [
+            CoverSpec.for_ring(9, objective=name),
+            CoverSpec.for_ring(8, objective=name),
+        ]
+        supported = [
+            backend
+            for backend in available_backends()
+            if any(get_backend(backend).supports(spec) for spec in probes)
+        ]
+        cert_args = obj.instance_certificate(probes[1].instance()).arguments
+        table.add_row(
+            name,
+            ",".join(supported),
+            "+".join(arg.name for arg in cert_args),
+            obj.description,
+        )
+    print(table.render())
+    return 0
 
 
 def _cmd_worker(argv: list[str]) -> int:
@@ -391,6 +470,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_solve(rest)
         if command == "sweep":
             return _cmd_sweep(rest)
+        if command == "objectives":
+            return _cmd_objectives(rest)
         if command == "worker":
             return _cmd_worker(rest)
         if command == "experiments":

@@ -13,8 +13,7 @@ from dataclasses import dataclass
 
 from ..baselines.greedy import greedy_drc_covering
 from ..baselines.nondrc import greedy_triangle_cover
-from ..baselines.ring_sizes import min_total_ring_size, total_ring_size
-from ..core.bounds import lower_bound
+from ..core.bounds import lower_bound, total_size_lower_bound
 from ..core.construction import fast_covering, optimal_covering
 from ..core.covering import Covering
 from ..core.drc import brute_force_routing, paper_example_blocks
@@ -34,7 +33,7 @@ from ..extensions.topologies import (
     tree_of_rings,
 )
 from ..survivability.metrics import evaluate_survivability
-from ..traffic.instances import lambda_all_to_all
+from ..traffic.instances import all_to_all, lambda_all_to_all
 from ..util.tables import Table
 from ..wdm.design import design_ring_network
 
@@ -215,8 +214,8 @@ def experiment_cost_model(ns: tuple[int, ...] = (7, 9, 11, 13, 15, 17)) -> Exper
                 "n": n,
                 "method": name,
                 "cycles": cov.num_blocks,
-                "adms": total_ring_size(cov),
-                "adm_lb": min_total_ring_size(n),
+                "adms": cov.total_slots,
+                "adm_lb": total_size_lower_bound(all_to_all(n)).value,
                 "wavelengths": 2 * cov.num_blocks,
                 "total": cost.total,
                 "design_ok": design is not None,

@@ -38,6 +38,12 @@ and friends) remain as a deprecation façade over the same engine.
 
 from __future__ import annotations
 
+from ..core.objective import (
+    Objective,
+    available_objectives,
+    get_objective,
+    register_objective,
+)
 from .backends import (
     Backend,
     available_backends,
@@ -54,6 +60,7 @@ __all__ = [
     "Backend",
     "CACHE_DIR_ENV",
     "CoverSpec",
+    "Objective",
     "RESULT_FORMAT",
     "Result",
     "ResultCache",
@@ -62,9 +69,12 @@ __all__ = [
     "STATUSES",
     "SpecError",
     "available_backends",
+    "available_objectives",
     "default_cache_dir",
     "get_backend",
+    "get_objective",
     "register_backend",
+    "register_objective",
     "route",
     "route_backend",
     "solve",

@@ -22,10 +22,19 @@ A :class:`Backend` turns a :class:`~repro.api.spec.CoverSpec` into a
     :mod:`repro.core.improve` local search.  Status ``feasible`` —
     valid, never claimed optimal.
 
+Every backend is **objective-generic**: the spec's ``objective`` names
+a registered :class:`repro.core.objective.Objective`, which supplies
+the cost model, the engine's pruning bound, the per-tier lower-bound
+certificate, and the improver's move scoring.  ``closed_form`` claims
+only the objectives its constructions certify (the Theorem 1/2
+coverings are simultaneously ρ-optimal and ring-size-sum-optimal for
+every ``n`` except the ``n = 4`` ADM case); ``exact`` /
+``exact_sharded`` / ``heuristic`` take any registered objective, and
+Manthey-style restricted covers (``CoverSpec.allowed_sizes``) flow
+through the exact and heuristic tiers' filtered block tables.
+
 Custom backends register through :func:`register_backend`; the router
-and CLI discover them via :func:`available_backends` — restricted-cover
-variants (PAPERS.md: Manthey's restricted cycle covers) plug in here
-without touching callers.
+and CLI discover them via :func:`available_backends`.
 
 Warm-start hints flow *between* tiers at this layer: a uniform-``K_n``
 exact solve with ``use_hints=True`` first asks the closed-form tier
@@ -43,11 +52,12 @@ from __future__ import annotations
 import time
 from typing import Protocol, runtime_checkable
 
-from ..core.bounds import instance_lower_bound, lower_bound
 from ..core.construction import optimal_covering
 from ..core.covering import Covering
 from ..core.engine import DEFAULT_NODE_LIMIT, SolverEngine, SolverStats
-from ..core.formulas import rho
+from ..core.formulas import optimal_excess, rho
+from ..core.objective import Objective as CoverObjective
+from ..core.objective import get_objective
 from ..util.errors import SolverError
 from .result import Result
 from .spec import CoverSpec, SpecError
@@ -126,29 +136,25 @@ def _node_limit_of(spec: CoverSpec) -> int:
     return spec.node_limit if spec.node_limit is not None else DEFAULT_NODE_LIMIT
 
 
-def _kn_lower_bound(spec: CoverSpec):
-    """Formula-independent lower-bound certificate for uniform demand."""
-    if spec.lam == 1:
-        return lower_bound(spec.n)
-    from ..extensions.lambda_fold import lambda_lower_bound
-
-    return lambda_lower_bound(spec.n, spec.lam)
+def _objective_of(spec: CoverSpec) -> CoverObjective:
+    return get_objective(spec.objective)
 
 
 def warm_start_bound(spec: CoverSpec) -> int | None:
-    """An inclusive upper bound from the closed-form tier, or ``None``.
+    """An inclusive upper bound (in the spec's objective units) from
+    the closed-form tier, or ``None``.
 
-    Only the formula tier is consulted: its bound is exactly ρ-sized
-    where the certificate applies, and the exact engine paths already
-    seed their own greedy+improve incumbent internally, so re-running
-    the heuristic here would duplicate work for no tighter bound.
-    Never consulted when the spec disables hints.
+    Only the formula tier is consulted: its bound is exactly
+    optimum-sized where the certificate applies, and the exact engine
+    paths already seed their own greedy+improve incumbent internally,
+    so re-running the heuristic here would duplicate work for no
+    tighter bound.  Never consulted when the spec disables hints.
     """
     if not spec.use_hints:
         return None
     closed = get_backend("closed_form")
     if closed.supports(spec):
-        return closed.run(spec).num_blocks
+        return _objective_of(spec).covering_value(closed.run(spec).covering)
     return None
 
 
@@ -158,38 +164,63 @@ def warm_start_bound(spec: CoverSpec) -> int | None:
 
 
 class ClosedFormBackend:
-    """Theorem 1/2 constructions (λ-fold repetition for odd ``n``)."""
+    """Theorem 1/2 constructions (λ-fold repetition for odd ``n``).
+
+    Claims only the objectives its constructions *certify* — i.e. where
+    a formula-level argument proves the construction's value equals the
+    objective's lower bound:
+
+    ``min_blocks``
+        λ = 1 always; λ > 1 for odd ``n`` whenever the λ-repetition
+        bound meets ``λ·ρ(n)``.
+    ``min_total_size``
+        The same coverings are simultaneously ring-size-sum optimal
+        wherever their excess matches the end-parity bound: every odd
+        ``n`` (exact decompositions, any λ — degrees stay even), and
+        even ``n`` at λ = 1 whose theorem excess is exactly ``n/2``
+        (all even ``n ≥ 6``; the ``n = 4`` example covering is not ADM
+        optimal, so that job routes to the exact tier).
+    """
 
     name = "closed_form"
 
     def supports(self, spec: CoverSpec) -> bool:
-        if not spec.is_all_to_all or spec.objective != "min_blocks":
+        if not spec.is_all_to_all or spec.allowed_sizes is not None:
             return False
         # The theorems build C3/C4 coverings: the spec must admit
         # 4-cycles and must not restrict the pool below them.
         if spec.max_size != 4:
             return False
-        if spec.lam == 1:
-            return True
-        # λ-fold repetition is certified optimal exactly when the λ
-        # lower bound meets λ·ρ(n) — always for odd n, never useful for
-        # even n (the doubled-copy constructions beat it, so the exact
-        # tier must decide).
-        return spec.n % 2 == 1 and _kn_lower_bound(spec).value == spec.lam * rho(spec.n)
+        if spec.objective == "min_blocks":
+            if spec.lam == 1:
+                return True
+            # λ-fold repetition is certified optimal exactly when the λ
+            # lower bound meets λ·ρ(n) — always for odd n, never useful
+            # for even n (the doubled-copy constructions beat it, so
+            # the exact tier must decide).
+            cert = _objective_of(spec).certificate(spec, "closed_form")
+            return spec.n % 2 == 1 and cert.value == spec.lam * rho(spec.n)
+        if spec.objective == "min_total_size":
+            if spec.n % 2 == 1:
+                return True  # exact decompositions: λ·|E| slots meet the bound
+            return spec.lam == 1 and optimal_excess(spec.n) == spec.n // 2
+        return False
 
     def run(self, spec: CoverSpec) -> Result:
         if not self.supports(spec):
             raise SpecError("closed_form backend does not support this spec")
+        obj = _objective_of(spec)
         base = optimal_covering(spec.n)
         covering = base if spec.lam == 1 else Covering(spec.n, base.blocks * spec.lam)
-        cert = _kn_lower_bound(spec)
-        if covering.num_blocks != cert.value:
+        cert = obj.certificate(spec, "closed_form")
+        value = obj.covering_value(covering)
+        if value != cert.value:
             raise SolverError(
-                f"closed-form covering has {covering.num_blocks} blocks but the "
+                f"closed-form covering has {spec.objective} value {value} but the "
                 f"lower bound certifies {cert.value} — formula/construction mismatch"
             )
         theorem = "theorem1_odd" if spec.n % 2 == 1 else "theorem2_even"
-        stats = SolverStats(nodes=0, best_value=covering.num_blocks, proven_optimal=True)
+        stats = SolverStats(nodes=0, best_value=value, proven_optimal=True)
         return Result(
             spec=spec,
             covering=covering,
@@ -207,19 +238,22 @@ class ClosedFormBackend:
 
 
 class ExactBackend:
-    """Serial branch-and-bound certification (``K_n`` or instance)."""
+    """Serial branch-and-bound certification (``K_n`` or instance),
+    generic over every registered objective and over Manthey-style
+    size restrictions."""
 
     name = "exact"
 
     def supports(self, spec: CoverSpec) -> bool:
-        if spec.objective != "min_blocks":
-            return False
+        # Objective-generic: CoverSpec validation already guarantees the
+        # objective is registered, so only the size ceilings gate here.
         if spec.is_all_to_all and spec.lam == 1:
             return spec.n <= EXACT_KN_MAX_N
         return spec.n <= EXACT_INSTANCE_MAX_N
 
     def run(self, spec: CoverSpec) -> Result:
         engine = SolverEngine(spec.n, max_size=spec.max_size)
+        obj = _objective_of(spec)
         stats = SolverStats()
         deadline = _deadline_of(spec)
         node_limit = _node_limit_of(spec)
@@ -231,17 +265,23 @@ class ExactBackend:
                 branching=spec.branching,
                 use_memo=spec.use_memo,
                 deadline=deadline,
+                objective=obj,
+                allowed_sizes=spec.allowed_sizes,
             )
-            cert = lower_bound(spec.n)
         else:
             # The instance solver has no external-bound seam — it seeds
             # its own greedy incumbent — so use_hints cannot thread a
             # cross-tier bound into this path (see the module docstring).
             inst = spec.instance()
             covering = engine.min_covering_instance(
-                inst, node_limit=node_limit, stats=stats, deadline=deadline
+                inst,
+                node_limit=node_limit,
+                stats=stats,
+                deadline=deadline,
+                objective=obj,
+                allowed_sizes=spec.allowed_sizes,
             )
-            cert = instance_lower_bound(inst)
+        cert = obj.certificate(spec, "exact")
         return Result(
             spec=spec,
             covering=covering,
@@ -260,12 +300,9 @@ class ExactShardedBackend:
     name = "exact_sharded"
 
     def supports(self, spec: CoverSpec) -> bool:
-        return (
-            spec.objective == "min_blocks"
-            and spec.is_all_to_all
-            and spec.lam == 1
-            and spec.n <= EXACT_KN_MAX_N
-        )
+        # Objective-generic (any registered objective); the shard seam
+        # constrains the demand shape, not the objective.
+        return spec.is_all_to_all and spec.lam == 1 and spec.n <= EXACT_KN_MAX_N
 
     def run(self, spec: CoverSpec) -> Result:
         if not self.supports(spec):
@@ -274,6 +311,7 @@ class ExactShardedBackend:
                 "(the shard seam is the All-to-All root orbit)"
             )
         engine = SolverEngine(spec.n, max_size=spec.max_size)
+        obj = _objective_of(spec)
         stats = SolverStats()
         covering = engine.min_covering_sharded(
             workers=spec.workers,
@@ -282,8 +320,10 @@ class ExactShardedBackend:
             stats=stats,
             branching=spec.branching,
             deadline=_deadline_of(spec),
+            objective=obj,
+            allowed_sizes=spec.allowed_sizes,
         )
-        cert = lower_bound(spec.n)
+        cert = obj.certificate(spec, "exact")
         return Result(
             spec=spec,
             covering=covering,
@@ -302,18 +342,24 @@ class ExactShardedBackend:
 
 
 class HeuristicBackend:
-    """Greedy + local-search tier: always feasible, never certified."""
+    """Greedy + local-search tier: always feasible, never certified.
+    Objective-generic — the improver accepts moves under the spec
+    objective's scoring key, and size restrictions filter every pool
+    the greedy and the moves may draw from."""
 
     name = "heuristic"
 
     def supports(self, spec: CoverSpec) -> bool:
-        return spec.objective == "min_blocks"
+        # Objective-generic and size-unlimited: every validated spec
+        # (whose objective is registered by construction) is accepted.
+        return True
 
     def run(self, spec: CoverSpec) -> Result:
         from ..core.improve import ImproveStats, improve_covering
 
         inst = spec.instance()
         engine = SolverEngine(spec.n, max_size=spec.max_size)
+        obj = _objective_of(spec)
         covering = self._greedy(engine, inst, spec)
         if spec.improve:
             covering = improve_covering(
@@ -322,11 +368,13 @@ class HeuristicBackend:
                 pool=spec.pool,
                 max_size=spec.max_size,
                 stats=ImproveStats(),
+                objective=obj,
+                allowed_sizes=spec.allowed_sizes,
             )
         stats = SolverStats(
-            nodes=0, best_value=covering.num_blocks, proven_optimal=False
+            nodes=0, best_value=obj.covering_value(covering), proven_optimal=False
         )
-        cert = instance_lower_bound(inst)
+        cert = obj.certificate(spec, "heuristic")
         return Result(
             spec=spec,
             covering=covering,
@@ -346,10 +394,14 @@ class HeuristicBackend:
         pool that cannot reach some demand *raising*)."""
         if spec.pool == "auto":
             try:
-                return engine.greedy_cover(inst, pool="tight")
+                return engine.greedy_cover(
+                    inst, pool="tight", allowed_sizes=spec.allowed_sizes
+                )
             except SolverError:
-                return engine.greedy_cover(inst, pool="convex")
-        return engine.greedy_cover(inst, pool=spec.pool)
+                return engine.greedy_cover(
+                    inst, pool="convex", allowed_sizes=spec.allowed_sizes
+                )
+        return engine.greedy_cover(inst, pool=spec.pool, allowed_sizes=spec.allowed_sizes)
 
 
 register_backend(ClosedFormBackend())

@@ -29,9 +29,22 @@ __all__ = ["Result", "RESULT_FORMAT", "RESULT_SCHEMA_MAJOR", "STATUSES"]
 
 RESULT_FORMAT = "repro-result"
 RESULT_SCHEMA_MAJOR = 1
-_RESULT_SCHEMA_MINOR = 0
+# Minor 1 added the optional ``objective_value`` field.  Envelopes for
+# legacy-shaped jobs (objective ``min_blocks``, no size restriction)
+# keep the minor-0 spelling — no new key, byte-identical JSON — so
+# cached results and the BENCH goldens survive the bump; envelopes for
+# the new objective axis stamp minor 1 and carry their value.  Readers
+# accept both (minor revisions add optional fields only).
+_RESULT_SCHEMA_MINOR = 1
 
 STATUSES = ("proven_optimal", "closed_form", "feasible")
+
+
+def _extended_spec(spec: CoverSpec) -> bool:
+    """True when the spec exercises the objective axis (anything beyond
+    unrestricted ``min_blocks``) — the envelope then carries
+    ``objective_value`` and the minor-1 schema stamp."""
+    return spec.objective != "min_blocks" or spec.allowed_sizes is not None
 
 
 @dataclass(frozen=True)
@@ -50,6 +63,12 @@ class Result:
     stats: SolverStats
     lower_bound: int | None = None
     certificates: tuple[str, ...] = ()
+    # The covering's value under the spec's objective.  Normalised in
+    # __post_init__: recomputed for objective-axis specs (so cache
+    # round-trips and worker envelopes always agree), forced to None
+    # for legacy-shaped min_blocks jobs (whose envelopes must stay
+    # byte-identical to the pre-objective schema).
+    objective_value: int | None = None
     from_cache: bool = field(default=False, compare=False)
     # Stamped at first serialisation and round-tripped verbatim after
     # that, so a cache hit keeps the *producing* library's version (and
@@ -68,6 +87,18 @@ class Result:
             raise SpecError(
                 f"covering order {self.covering.n} ≠ spec order {self.spec.n}"
             )
+        if _extended_spec(self.spec):
+            from ..core.objective import get_objective
+
+            value = get_objective(self.spec.objective).covering_value(self.covering)
+            if self.objective_value is not None and self.objective_value != value:
+                raise SpecError(
+                    f"declared objective_value {self.objective_value} ≠ recomputed "
+                    f"{self.spec.objective} value {value}"
+                )
+            object.__setattr__(self, "objective_value", value)
+        else:
+            object.__setattr__(self, "objective_value", None)
 
     # -- convenience -----------------------------------------------------
 
@@ -86,9 +117,14 @@ class Result:
 
     def summary(self) -> str:
         origin = " [cache]" if self.from_cache else ""
+        value = (
+            f" {self.spec.objective}={self.objective_value}"
+            if self.objective_value is not None
+            else ""
+        )
         return (
             f"n={self.spec.n} λ={self.spec.lam} backend={self.backend} "
-            f"status={self.status} blocks={self.num_blocks} "
+            f"status={self.status} blocks={self.num_blocks}{value} "
             f"nodes={self.stats.nodes}{origin}"
         )
 
@@ -97,9 +133,10 @@ class Result:
     def to_payload(self) -> dict[str, Any]:
         from ..io import covering_to_payload, schema_version_field
 
-        return {
+        minor = _RESULT_SCHEMA_MINOR if _extended_spec(self.spec) else 0
+        payload = {
             "format": RESULT_FORMAT,
-            "version": schema_version_field(RESULT_SCHEMA_MAJOR, _RESULT_SCHEMA_MINOR),
+            "version": schema_version_field(RESULT_SCHEMA_MAJOR, minor),
             "spec": self.spec.to_payload(),
             "spec_hash": self.spec.spec_hash,
             "status": self.status,
@@ -117,6 +154,9 @@ class Result:
             if self.provenance is not None
             else self._provenance(),
         }
+        if _extended_spec(self.spec):
+            payload["objective_value"] = self.objective_value
+        return payload
 
     def _provenance(self) -> dict[str, Any]:
         from .. import __version__
@@ -172,6 +212,7 @@ class Result:
             stats=stats,
             lower_bound=payload.get("lower_bound"),
             certificates=tuple(certificates),
+            objective_value=payload.get("objective_value"),
             provenance=provenance,
         )
 

@@ -101,10 +101,21 @@ def solve_batch(
 
 
 def _validate(result: Result) -> None:
-    """Reject any backend output that fails the spec's demand (the
-    service-level invariant the Result envelope promises)."""
-    if not result.covering.covers(result.spec.instance()):
+    """Reject any backend output that fails the spec's demand or its
+    size restriction (the service-level invariant the Result envelope
+    promises — cache hits re-pass through here too)."""
+    spec = result.spec
+    if not result.covering.covers(spec.instance()):
         raise InvalidCoveringError(
             f"backend {result.backend!r} returned a non-covering for "
-            f"spec {result.spec.spec_hash[:12]}"
+            f"spec {spec.spec_hash[:12]}"
         )
+    if spec.allowed_sizes is not None:
+        allowed = set(spec.allowed_sizes)
+        bad = sorted({blk.size for blk in result.covering.blocks} - allowed)
+        if bad:
+            raise InvalidCoveringError(
+                f"backend {result.backend!r} used cycle length(s) {bad} outside "
+                f"the spec's allowed sizes {tuple(sorted(allowed))} "
+                f"(spec {spec.spec_hash[:12]})"
+            )

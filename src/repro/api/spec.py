@@ -25,6 +25,7 @@ from functools import cached_property
 from typing import Any
 
 from ..core.engine import BRANCHING_ORDERS
+from ..core.objective import available_objectives
 from ..traffic.instances import Instance, all_to_all, lambda_all_to_all
 from ..util import circular
 from ..util.errors import ReproError
@@ -33,9 +34,13 @@ __all__ = ["CoverSpec", "SpecError", "SPEC_FORMAT", "SPEC_SCHEMA_MAJOR"]
 
 SPEC_FORMAT = "repro-coverspec"
 SPEC_SCHEMA_MAJOR = 1
-_SPEC_SCHEMA_MINOR = 0
+# Minor 1 added the optional ``allowed_sizes`` field (restricted
+# covers).  Specs without a restriction serialise in the minor-0
+# spelling — no new key, same canonical JSON — so every pre-existing
+# spec hash (and with it every cache entry and envelope byte) is
+# untouched, while restricted specs self-describe as the newer minor.
+_SPEC_SCHEMA_MINOR = 1
 
-_OBJECTIVES = ("min_blocks",)
 _POOLS = ("auto", "convex", "tight")
 
 
@@ -53,10 +58,18 @@ class CoverSpec:
         headline case at ``lam=1``); otherwise ``demand`` is a tuple of
         ``(a, b, multiplicity)`` chords and ``lam`` must stay 1.
     Objective & guarantees
-        ``objective`` is the quantity minimised (only ``"min_blocks"``
-        today — the field exists so restricted-variant objectives can
-        register without a wire-format break).  ``require_optimal=False``
-        admits the heuristic tier (greedy + local search).
+        ``objective`` names a registered :class:`repro.core.objective.
+        Objective` — the quantity minimised.  ``min_blocks`` (the
+        paper's ρ) and ``min_total_size`` (ring-size sum / ADM count,
+        refs [3]/[4]) ship by default; out-of-tree objectives join via
+        :func:`repro.core.objective.register_objective` with no wire-
+        format break.  ``allowed_sizes`` restricts candidate cycle
+        lengths to a set ``L`` (Manthey-style restricted cycle covers);
+        ``None`` admits every length up to ``max_size``, and a
+        restriction naming all of ``3..max_size`` canonicalises back to
+        ``None`` so equivalent specs share a hash.
+        ``require_optimal=False`` admits the heuristic tier (greedy +
+        local search).
     Budgets
         ``node_limit`` caps branch-and-bound nodes; ``time_budget`` is
         wall-clock seconds for the exact tiers.  Both raise on overrun
@@ -90,6 +103,7 @@ class CoverSpec:
     backend: str | None = None
     branching: str = "lex"
     use_memo: bool = True
+    allowed_sizes: tuple[int, ...] | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -100,9 +114,12 @@ class CoverSpec:
             raise SpecError(f"multiplicity λ must be an int ≥ 1, got {self.lam!r}")
         if self.max_size < 3:
             raise SpecError(f"max block size must be ≥ 3, got {self.max_size}")
-        if self.objective not in _OBJECTIVES:
+        registered = available_objectives()
+        if self.objective not in registered:
             raise SpecError(
-                f"unknown objective {self.objective!r} (expected one of {_OBJECTIVES})"
+                f"unknown objective {self.objective!r} — registered objectives: "
+                f"{', '.join(registered)} (extend the set with "
+                "repro.core.objective.register_objective)"
             )
         if self.pool not in _POOLS:
             raise SpecError(f"unknown pool {self.pool!r} (expected one of {_POOLS})")
@@ -119,6 +136,10 @@ class CoverSpec:
             raise SpecError(f"workers must be ≥ 1, got {self.workers}")
         if self.shard_threshold is not None and self.shard_threshold < 3:
             raise SpecError(f"shard_threshold must be ≥ 3, got {self.shard_threshold}")
+        if self.allowed_sizes is not None:
+            object.__setattr__(
+                self, "allowed_sizes", self._normalise_allowed_sizes(self.allowed_sizes)
+            )
         if self.demand is not None:
             if self.lam != 1:
                 raise SpecError(
@@ -127,6 +148,29 @@ class CoverSpec:
                 )
             object.__setattr__(self, "demand", self._normalise_demand(self.demand))
             self._canonicalise_uniform()
+
+    def _normalise_allowed_sizes(self, raw) -> tuple[int, ...] | None:
+        """Sorted, deduplicated, range-checked size restriction; a
+        restriction naming every length in ``3..max_size`` is no
+        restriction at all and canonicalises to ``None`` (one hash per
+        equivalent job)."""
+        try:
+            entries = tuple(raw)
+        except TypeError as exc:
+            raise SpecError(f"allowed_sizes must be a sequence, got {raw!r}") from exc
+        if not entries:
+            raise SpecError("allowed_sizes must name at least one cycle length")
+        for s in entries:
+            if not isinstance(s, int) or isinstance(s, bool):
+                raise SpecError(f"allowed cycle length {s!r} is not an int")
+            if not 3 <= s <= self.max_size:
+                raise SpecError(
+                    f"allowed cycle length {s} is outside 3..max_size={self.max_size}"
+                )
+        sizes = tuple(sorted(set(entries)))
+        if sizes == tuple(range(3, self.max_size + 1)):
+            return None
+        return sizes
 
     def _normalise_demand(
         self, raw: tuple[tuple[int, int, int], ...]
@@ -197,13 +241,24 @@ class CoverSpec:
 
     def to_payload(self) -> dict[str, Any]:
         """The spec as a canonical JSON-ready dict (sorted demand, every
-        field explicit — the content-address preimage)."""
+        schema-0 field explicit — the content-address preimage).
+
+        Minor-1 fields (``allowed_sizes``) appear *only when set*, and
+        the ``version`` stamp is the lowest minor that captures the
+        content: an unrestricted spec keeps its historical minor-0
+        bytes, hash, and cache entry.
+        """
+        minor = _SPEC_SCHEMA_MINOR if self.allowed_sizes is not None else 0
         payload: dict[str, Any] = {
             "format": SPEC_FORMAT,
-            "version": f"{SPEC_SCHEMA_MAJOR}.{_SPEC_SCHEMA_MINOR}",
+            "version": f"{SPEC_SCHEMA_MAJOR}.{minor}",
         }
         for f in fields(self):
             value = getattr(self, f.name)
+            if f.name == "allowed_sizes":
+                if value is None:
+                    continue
+                value = list(value)
             if f.name == "demand" and value is not None:
                 value = [list(entry) for entry in value]
             payload[f.name] = value
@@ -230,6 +285,13 @@ class CoverSpec:
                 data["demand"] = tuple(tuple(entry) for entry in data["demand"])
             except TypeError as exc:
                 raise SpecError(f"malformed demand: {data['demand']!r}") from exc
+        if data.get("allowed_sizes") is not None:
+            try:
+                data["allowed_sizes"] = tuple(data["allowed_sizes"])
+            except TypeError as exc:
+                raise SpecError(
+                    f"malformed allowed_sizes: {data['allowed_sizes']!r}"
+                ) from exc
         try:
             return cls(**data)
         except TypeError as exc:

@@ -1,6 +1,15 @@
-"""Baselines: greedy DRC covering, non-DRC covers, ring-size objective."""
+"""Baselines: greedy DRC covering (block-count and ring-size-sum
+flavours) and non-DRC covers.
 
-from .greedy import greedy_drc_covering
+The ring-size-sum *objective* itself graduated into the core:
+``min_total_size`` is a registered :mod:`repro.core.objective` entry,
+its exact All-to-All bound lives in
+:func:`repro.core.bounds.total_size_lower_bound`, and a covering's
+value is just ``covering.total_slots``.  Only the [3]/[4]-style greedy
+baseline remains here (:func:`size_greedy_covering`).
+"""
+
+from .greedy import greedy_drc_covering, size_greedy_covering
 from .nondrc import (
     cycle_cover_lower_bound,
     greedy_cycle_cover,
@@ -8,16 +17,13 @@ from .nondrc import (
     triangle_cover_gap,
     triangle_covering_number,
 )
-from .ring_sizes import min_total_ring_size, size_greedy_covering, total_ring_size
 
 __all__ = [
     "cycle_cover_lower_bound",
     "greedy_cycle_cover",
     "greedy_drc_covering",
     "greedy_triangle_cover",
-    "min_total_ring_size",
     "size_greedy_covering",
-    "total_ring_size",
     "triangle_cover_gap",
     "triangle_covering_number",
 ]

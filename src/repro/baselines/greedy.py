@@ -1,4 +1,4 @@
-"""Greedy DRC-covering baseline.
+"""Greedy DRC-covering baselines.
 
 A natural heuristic a practitioner would try before the paper's
 constructions: repeatedly add the convex (DRC-routable) cycle that
@@ -11,15 +11,25 @@ The selection loop itself is the greedy kernel behind the
 branch-and-bound incumbents), pinned to the *tight* block pool with the
 local-search improver off; this module keeps the historical signature
 and error contract over an ``api.solve`` call.
+
+:func:`size_greedy_covering` is the [3]/[4]-flavoured sibling for the
+``min_total_size`` objective (ring-size sum / ADM count — now a
+first-class :mod:`repro.core.objective` entry with its exact
+certificate in :func:`repro.core.bounds.total_size_lower_bound`):
+greedy by newly-covered-per-vertex ratio, so triangles are preferred
+when equally useful.
 """
 
 from __future__ import annotations
 
+from ..core.blocks import CycleBlock
 from ..core.covering import Covering
+from ..core.engine import enumerate_tight_blocks
 from ..traffic.instances import Instance
+from ..util import circular
 from ..util.errors import ConstructionError, SolverError
 
-__all__ = ["greedy_drc_covering"]
+__all__ = ["greedy_drc_covering", "size_greedy_covering"]
 
 
 def greedy_drc_covering(
@@ -52,3 +62,31 @@ def greedy_drc_covering(
         return solve(spec).covering
     except SolverError as exc:
         raise ConstructionError(str(exc)) from exc
+
+
+def size_greedy_covering(n: int) -> Covering:
+    """A [3]/[4]-flavoured heuristic: greedily add the tight DRC cycle
+    with the best newly-covered-per-vertex ratio (so triangles are
+    preferred when equally useful), minimising ADM count rather than
+    ring count — the baseline for the ``min_total_size`` objective."""
+    if n < 3:
+        raise ConstructionError(f"n ≥ 3 required, got {n}")
+    uncovered: set[tuple[int, int]] = set(circular.all_chords(n))
+    pool = [(blk, blk.edges()) for blk in enumerate_tight_blocks(n)]
+    chosen: list[CycleBlock] = []
+    while uncovered:
+        best: tuple[float, int, CycleBlock] | None = None
+        for blk, edges in pool:
+            gain = sum(1 for e in edges if e in uncovered)
+            if gain == 0:
+                continue
+            ratio = gain / blk.size
+            key = (ratio, gain)
+            if best is None or key > (best[0], best[1]):
+                best = (ratio, gain, blk)
+        if best is None:
+            raise ConstructionError(f"size-greedy covering stuck at n={n}")
+        blk = best[2]
+        chosen.append(blk)
+        uncovered.difference_update(blk.edges())
+    return Covering(n, tuple(chosen))

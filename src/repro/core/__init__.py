@@ -1,7 +1,12 @@
 """The paper's contribution: DRC cycle coverings of ``K_n`` over ``C_n``."""
 
 from .blocks import CycleBlock, convex_block, quad, triangle
-from .bounds import LowerBoundCertificate, instance_lower_bound, lower_bound
+from .bounds import (
+    LowerBoundCertificate,
+    instance_lower_bound,
+    lower_bound,
+    total_size_lower_bound,
+)
 from .construction import fast_covering, optimal_covering, optimality_gap
 from .covering import Covering
 from .drc import brute_force_routing, is_drc_routable, paper_example_blocks, route_block
@@ -34,6 +39,12 @@ from .engine import (
 from .improve import ImproveStats, improve_covering, improved_greedy_covering
 from .ladder import ladder_decomposition
 from .ledger import CoverageLedger
+from .objective import (
+    Objective,
+    available_objectives,
+    get_objective,
+    register_objective,
+)
 from .pole import pole_decomposition
 from .transforms import (
     canonical_covering_key,
@@ -56,6 +67,11 @@ __all__ = [
     "Covering",
     "LowerBoundCertificate",
     "ImproveStats",
+    "Objective",
+    "available_objectives",
+    "get_objective",
+    "register_objective",
+    "total_size_lower_bound",
     "SolverEngine",
     "SolverStats",
     "dihedral_canonical",

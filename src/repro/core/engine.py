@@ -120,6 +120,7 @@ from ..util.parallel import parallel_map, resolve_workers, weighted_chunks
 from .blocks import CycleBlock
 from .covering import Covering
 from .ledger import CoverageLedger
+from .objective import Objective, resolve_objective
 
 __all__ = [
     "SolverEngine",
@@ -130,6 +131,7 @@ __all__ = [
     "enumerate_convex_blocks",
     "enumerate_tight_blocks",
     "exact_decomposition",
+    "restricted_block_table",
     "solve_many",
     "solve_min_covering",
     "solve_min_covering_instance",
@@ -421,6 +423,32 @@ def tight_block_table(n: int, max_size: int = 4) -> BlockTable:
     return _build_table(n, enumerate_tight_blocks(n, max_size), mass_sorted=False)
 
 
+@lru_cache(maxsize=64)
+def restricted_block_table(
+    n: int, max_size: int, allowed_sizes: tuple[int, ...], pool: str = "convex"
+) -> BlockTable:
+    """A candidate table admitting only cycle lengths in
+    ``allowed_sizes`` (Manthey-style restricted covers).
+
+    The table is rebuilt — not just filtered — so the per-chord bound
+    fragments (``chord_weights``/``weight_denom``) see the restricted
+    pool: chords whose full-mass candidates were excluded get heavier
+    fractional weights, which is exactly where the packing bound
+    strengthens on restricted instances.  Memoized like the full
+    tables; a chord no admitted block covers simply has an empty
+    candidate list (callers decide whether that is fatal).
+    """
+    sizes = frozenset(allowed_sizes)
+    if pool == "convex":
+        base = enumerate_convex_blocks(n, max_size)
+    elif pool == "tight":
+        base = enumerate_tight_blocks(n, max_size)
+    else:
+        raise SolverError(f"unknown candidate pool {pool!r}")
+    admitted = tuple(blk for blk in base if blk.size in sizes)
+    return _build_table(n, admitted, mass_sorted=pool == "convex")
+
+
 # ---------------------------------------------------------------------------
 # Dihedral symmetry
 # ---------------------------------------------------------------------------
@@ -484,16 +512,26 @@ def _is_dihedral_invariant(instance) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def dominated_candidates(masks, restrict_mask: int | None = None) -> set[int]:
+def dominated_candidates(
+    masks,
+    restrict_mask: int | None = None,
+    costs: "list[int] | tuple[int, ...] | None" = None,
+) -> set[int]:
     """Indices of candidates dominated within the demanded chord set.
 
     Candidate ``i`` is dominated when some other candidate ``j`` covers
-    a (weak) superset of ``i``'s demanded chords; of an exactly-equal
-    pair only the later index is dropped, so at least one optimal
-    covering always survives the filter (every covering maps
-    block-for-block onto dominators without growing).  Candidates with
-    no demanded coverage at all are dominated trivially.  Only sound
-    for *covering* problems — see :meth:`SolverEngine.decompose`.
+    a (weak) superset of ``i``'s demanded chords *at no greater cost*;
+    of an exactly-equal pair only the later index is dropped, so at
+    least one optimal covering always survives the filter (every
+    covering maps block-for-block onto dominators without its objective
+    value growing).  ``costs=None`` means unit costs — the historical
+    ``min_blocks`` behaviour, where any superset dominates.  Weighted
+    objectives **must** pass their block costs: a 4-cycle covering a
+    superset of a triangle's demanded chords does not dominate it under
+    the ring-size-sum objective (3 slots beat 4 — the cost-blind filter
+    provably loses optima there).  Candidates with no demanded coverage
+    at all are dominated trivially.  Only sound for *covering*
+    problems — see :meth:`SolverEngine.decompose`.
     """
     if restrict_mask is None:
         restricted = list(masks)
@@ -510,7 +548,15 @@ def dominated_candidates(masks, restrict_mask: int | None = None) -> set[int]:
             if j == i or j in dropped:
                 continue
             rj = restricted[j]
-            if ri & ~rj == 0 and (ri != rj or j < i):
+            if ri & ~rj != 0:
+                continue
+            if costs is None:
+                strictly_better = ri != rj
+            else:
+                if costs[j] > costs[i]:
+                    continue
+                strictly_better = ri != rj or costs[j] < costs[i]
+            if strictly_better or j < i:
                 dropped.add(i)
                 break
     return dropped
@@ -545,7 +591,13 @@ class SolverEngine:
     def tight_table(self) -> BlockTable:
         return tight_block_table(self.n, self.max_size)
 
-    def _table(self, pool: str) -> BlockTable:
+    def _table(
+        self, pool: str, allowed_sizes: tuple[int, ...] | None = None
+    ) -> BlockTable:
+        if allowed_sizes is not None:
+            return restricted_block_table(
+                self.n, self.max_size, tuple(allowed_sizes), pool
+            )
         if pool == "convex":
             return self.convex_table
         if pool == "tight":
@@ -555,15 +607,19 @@ class SolverEngine:
     # -- greedy kernel ---------------------------------------------------
 
     def greedy_cover_indices(
-        self, demand: dict[tuple[int, int], int], *, pool: str = "convex"
+        self,
+        demand: dict[tuple[int, int], int],
+        *,
+        pool: str = "convex",
+        allowed_sizes: tuple[int, ...] | None = None,
     ) -> tuple[list[int], int]:
         """Deterministic max-coverage greedy over the pool: repeatedly
         take the block covering the most residual requests, ties toward
         lower waste then enumeration order.  Returns the chosen block
         indices and the number of residual requests it failed to cover
         (0 whenever the pool can reach them, which it always can for
-        ``pool="convex"``)."""
-        table = self._table(pool)
+        ``pool="convex"`` without a size restriction)."""
+        table = self._table(pool, allowed_sizes)
         residual = {e: m for e, m in demand.items() if m > 0}
         chosen: list[int] = []
         while residual:
@@ -589,31 +645,52 @@ class SolverEngine:
                         residual[e] = m - 1
         return chosen, sum(residual.values())
 
-    def greedy_cover(self, instance=None, *, pool: str = "convex") -> Covering:
+    def greedy_cover(
+        self,
+        instance=None,
+        *,
+        pool: str = "convex",
+        allowed_sizes: tuple[int, ...] | None = None,
+    ) -> Covering:
         """Greedy covering as a ledger-backed :class:`Covering`; raises
-        :class:`SolverError` when the pool cannot reach some request."""
+        :class:`SolverError` when the (possibly size-restricted) pool
+        cannot reach some request."""
         from ..traffic.instances import all_to_all
 
         inst = instance if instance is not None else all_to_all(self.n)
         if inst.n != self.n:
             raise SolverError(f"instance order {inst.n} ≠ n = {self.n}")
-        chosen, leftover = self.greedy_cover_indices(dict(inst.demand), pool=pool)
+        chosen, leftover = self.greedy_cover_indices(
+            dict(inst.demand), pool=pool, allowed_sizes=allowed_sizes
+        )
         if leftover:
             raise SolverError(
                 f"greedy covering stuck with {leftover} requests left "
-                f"(n={self.n}, pool={pool!r}, max_size={self.max_size})"
+                f"(n={self.n}, pool={pool!r}, max_size={self.max_size}, "
+                f"allowed_sizes={allowed_sizes})"
             )
-        table = self._table(pool)
+        table = self._table(pool, allowed_sizes)
         return Covering(self.n, tuple(table.blocks[i] for i in chosen))
 
-    def _incumbent_blocks(self) -> list[CycleBlock] | None:
+    def _incumbent_blocks(
+        self,
+        objective: Objective,
+        allowed_sizes: tuple[int, ...] | None = None,
+    ) -> list[CycleBlock] | None:
         """Greedy All-to-All covering tightened by the local-search
-        improver — the incumbent every ``K_n`` search starts from."""
+        improver — the incumbent every ``K_n`` search starts from.
+        Honours the objective's move scoring and the size restriction
+        (a restricted search must never be seeded with an inadmissible
+        incumbent)."""
         from .improve import improved_greedy_covering
 
         try:
             improved = improved_greedy_covering(
-                self.n, max_size=self.max_size, max_rounds=2
+                self.n,
+                max_size=self.max_size,
+                max_rounds=2,
+                objective=objective,
+                allowed_sizes=allowed_sizes,
             )
         except SolverError:
             return None
@@ -630,15 +707,21 @@ class SolverEngine:
         branching: str = "lex",
         use_memo: bool = True,
         deadline: float | None = None,
+        objective: Objective | str | None = None,
+        allowed_sizes: tuple[int, ...] | None = None,
     ) -> Covering:
         """Certified minimum DRC-covering of ``K_n`` over ``C_n``.
 
-        ``upper_bound`` is *inclusive*: a covering using exactly
-        ``upper_bound`` blocks is still found and returned (internally
-        the branch-and-bound threshold is the exclusive
-        ``upper_bound + 1``).  Raises :class:`SolverError` when no
-        covering within the bound exists.
+        ``upper_bound`` is *inclusive* and expressed in the objective's
+        units: a covering of exactly that value is still found and
+        returned (internally the branch-and-bound threshold is the
+        exclusive ``upper_bound + 1``).  Raises :class:`SolverError`
+        when no covering within the bound exists.
 
+        ``objective`` selects the cost model (default ``min_blocks`` —
+        the historical behaviour, node-for-node); ``allowed_sizes``
+        restricts candidate cycle lengths (Manthey-style restricted
+        covers) and raises when some chord becomes uncoverable.
         ``branching`` and ``use_memo`` select the chord order and the
         canonical-mask transposition memo (see the module docstring);
         the defaults are the measured-fastest configuration and the
@@ -651,9 +734,10 @@ class SolverEngine:
         if n > 12:
             raise SolverError(f"exact covering solver is for small n (≤ 12), got {n}")
 
+        obj = resolve_objective(objective)
         st = stats if stats is not None else SolverStats()
         best_count, best_blocks, order, root_cands, _ = self._search_prologue(
-            upper_bound, branching
+            upper_bound, branching, obj, allowed_sizes
         )
         best_count, best_blocks = self._covering_search(
             root_cands=root_cands,
@@ -664,6 +748,8 @@ class SolverEngine:
             order=order,
             use_memo=use_memo,
             deadline=deadline,
+            objective=obj,
+            allowed_sizes=allowed_sizes,
         )
         if best_blocks is None:
             # The search ran to exhaustion (a node-limit overrun raises
@@ -677,22 +763,41 @@ class SolverEngine:
         return Covering(n, tuple(best_blocks))
 
     def _search_prologue(
-        self, upper_bound: int | None, branching: str
+        self,
+        upper_bound: int | None,
+        branching: str,
+        objective: Objective,
+        allowed_sizes: tuple[int, ...] | None = None,
     ) -> tuple[int, list[CycleBlock] | None, list[int], list[int], list[int]]:
         """Shared setup of the serial and sharded ``K_n`` certifications:
         the exclusive threshold (seeded by the greedy/improver
-        incumbent), the branch order, and the root orbit representatives
-        with their orbit weights.  Keeping one copy is what guarantees
-        both paths prove against the same incumbent convention."""
-        table = self.convex_table
+        incumbent, valued under the objective), the branch order, and
+        the root orbit representatives with their orbit weights.
+        Keeping one copy is what guarantees both paths prove against
+        the same incumbent convention."""
+        table = self._table("convex", allowed_sizes)
+        if allowed_sizes is not None:
+            for bit, cands in enumerate(table.per_edge):
+                if not cands:
+                    raise SolverError(
+                        f"no candidate block of size in {tuple(sorted(set(allowed_sizes)))} "
+                        f"covers chord {self.space.edges[bit]} of K_{self.n}"
+                    )
+        max_block_cost = max(
+            (objective.block_cost(blk) for blk in table.blocks), default=1
+        )
         best_count = (
-            len(self.space.edges) + 1 if upper_bound is None else upper_bound + 1
+            max_block_cost * len(self.space.edges) + 1
+            if upper_bound is None
+            else upper_bound + 1
         )
         best_blocks: list[CycleBlock] | None = None
-        incumbent = self._incumbent_blocks()
-        if incumbent is not None and len(incumbent) < best_count:
-            best_count = len(incumbent)
-            best_blocks = incumbent
+        incumbent = self._incumbent_blocks(objective, allowed_sizes)
+        if incumbent is not None:
+            incumbent_value = sum(objective.block_cost(blk) for blk in incumbent)
+            if incumbent_value < best_count:
+                best_count = incumbent_value
+                best_blocks = incumbent
         order = self._branch_order(table, branching)
         # All-to-All is dihedral-invariant, so the root branch needs one
         # block per orbit only.
@@ -725,19 +830,27 @@ class SolverEngine:
         order: list[int],
         use_memo: bool = True,
         deadline: float | None = None,
+        objective: Objective | None = None,
+        allowed_sizes: tuple[int, ...] | None = None,
     ) -> tuple[int, list[CycleBlock] | None]:
-        """Branch-and-bound over the convex pool for All-to-All demand.
+        """Branch-and-bound over the (possibly size-restricted) convex
+        pool for All-to-All demand, generic over the objective.
 
-        ``best_count`` is the exclusive threshold (only strictly better
-        coverings are accepted); ``root_cands`` restricts the first
-        branch — the sharded solver passes each worker its slice of the
-        root orbit representatives.  Returns the improved
-        ``(best_count, best_blocks)``; exhaustive unless the node limit
-        raises.
+        ``best_count`` is the exclusive threshold in objective units
+        (only strictly better coverings are accepted); ``root_cands``
+        restricts the first branch — the sharded solver passes each
+        worker its slice of the root orbit representatives.  The
+        accumulated objective cost is what enters the transposition
+        memo (for ``min_blocks`` that is the historical
+        blocks-used value, node-for-node); parity-tracking objectives
+        additionally get the residual odd-degree vertex count for their
+        bound.  Returns the improved ``(best_count, best_blocks)``;
+        exhaustive unless the node limit raises.
         """
         n = self.n
+        obj = resolve_objective(objective)
         space = self.space
-        table = self.convex_table
+        table = self._table("convex", allowed_sizes)
         dist = space.dist
         full_mask = space.full_mask
         masks = table.masks
@@ -746,15 +859,23 @@ class SolverEngine:
         bit_lists = table.bit_lists
         weights = table.chord_weights
         denom = table.weight_denom
-        max_cover = self.max_size
+        max_cover = min(self.max_size, max((blk.size for blk in blocks), default=1))
+        costs = tuple(obj.block_cost(blk) for blk in blocks)
+        min_cost = min(costs, default=1)
+        node_bound = obj.node_bound
+        track_parity = obj.track_parity
+        edges = space.edges
         perms = dihedral_bit_perms(n) if use_memo else ()
         memo: dict[int, int] = {}
         lex = order == list(range(len(space.edges)))
         W_root = sum(weights)
+        # Residual demand-degree parity per vertex: All-to-All leaves
+        # every vertex at degree n − 1.
+        odd_root = ((1 << n) - 1) if (track_parity and (n - 1) % 2) else 0
 
         best: list = [best_count, best_blocks]
 
-        def dfs(covered: int, used: int, W: int, chosen: list[CycleBlock]) -> None:
+        def dfs(covered: int, used: int, W: int, odd: int, chosen: list[CycleBlock]) -> None:
             st.nodes += 1
             if st.nodes > node_limit:
                 raise SolverError(f"solver exceeded node limit {node_limit} for n={n}")
@@ -765,13 +886,17 @@ class SolverEngine:
                     best[1] = list(chosen)
                 return
             unc = full_mask & ~covered
-            # Packing bound: max of the fractional (weighted) and
-            # cardinality relaxations, both from running totals.
-            bound = -(-W // denom)
-            card = -(-unc.bit_count() // max_cover)
-            if card > bound:
-                bound = card
-            if used + (bound if bound > 1 else 1) >= best[0]:
+            # Objective bound over the running residual totals (the
+            # fractional/cardinality packing maximum for min_blocks).
+            bound = node_bound(
+                frac_units=W,
+                frac_denom=denom,
+                residual_requests=unc.bit_count(),
+                max_cover=max_cover,
+                min_cost=min_cost,
+                odd_vertices=odd.bit_count(),
+            )
+            if used + (bound if bound > min_cost else min_cost) >= best[0]:
                 return
             if use_memo:
                 key = _canonical_mask(unc, perms)
@@ -789,12 +914,21 @@ class SolverEngine:
                 key=lambda i: -sum(dist[b] for b in bit_lists[i] if (unc >> b) & 1),
             )
             for i in scored:
-                dW = sum(weights[b] for b in bit_lists[i] if (unc >> b) & 1)
+                dW = 0
+                new_odd = odd
+                if track_parity:
+                    for b in bit_lists[i]:
+                        if (unc >> b) & 1:
+                            dW += weights[b]
+                            a, c = edges[b]
+                            new_odd ^= (1 << a) | (1 << c)
+                else:
+                    dW = sum(weights[b] for b in bit_lists[i] if (unc >> b) & 1)
                 chosen.append(blocks[i])
-                dfs(covered | masks[i], used + 1, W - dW, chosen)
+                dfs(covered | masks[i], used + costs[i], W - dW, new_odd, chosen)
                 chosen.pop()
 
-        dfs(0, 0, W_root, [])
+        dfs(0, 0, W_root, odd_root, [])
         return best[0], best[1]
 
     # -- sharded scale-out -----------------------------------------------
@@ -808,9 +942,12 @@ class SolverEngine:
         stats: SolverStats | None = None,
         branching: str = "lex",
         deadline: float | None = None,
+        objective: Objective | str | None = None,
+        allowed_sizes: tuple[int, ...] | None = None,
     ) -> Covering:
         """Certified minimum covering of ``K_n`` sharded across
-        processes by root-orbit partitioning.
+        processes by root-orbit partitioning (objective-generic — the
+        objective is shipped to the shard workers by registry name).
 
         The root orbit representatives are split into per-worker shards
         balanced by orbit weight; every worker searches its shard
@@ -823,6 +960,7 @@ class SolverEngine:
         n = self.n
         if n > 12:
             raise SolverError(f"exact covering solver is for small n (≤ 12), got {n}")
+        obj = resolve_objective(objective)
         nworkers = resolve_workers(workers)
         if nworkers == 1:
             return self.min_covering(
@@ -831,15 +969,27 @@ class SolverEngine:
                 stats=stats,
                 branching=branching,
                 deadline=deadline,
+                objective=obj,
+                allowed_sizes=allowed_sizes,
             )
 
         st = stats if stats is not None else SolverStats()
         best_count, best_blocks, _, root_cands, orbit_weights = self._search_prologue(
-            upper_bound, branching
+            upper_bound, branching, obj, allowed_sizes
         )
         shards = weighted_chunks(root_cands, orbit_weights, nworkers)
         payloads = [
-            (n, self.max_size, tuple(shard), best_count, node_limit, branching, deadline)
+            (
+                n,
+                self.max_size,
+                tuple(shard),
+                best_count,
+                node_limit,
+                branching,
+                deadline,
+                obj.name,
+                allowed_sizes,
+            )
             for shard in shards
         ]
         results = parallel_map(
@@ -874,18 +1024,23 @@ class SolverEngine:
         stats: SolverStats | None = None,
         dominance: bool = True,
         deadline: float | None = None,
+        objective: Objective | str | None = None,
+        allowed_sizes: tuple[int, ...] | None = None,
     ) -> Covering:
         """Certified minimum DRC-covering of an arbitrary instance on
-        ``C_n`` (multiplicities supported — e.g. ``λK_n``).
+        ``C_n`` (multiplicities supported — e.g. ``λK_n``), generic
+        over the objective.
 
-        Candidates dominated within the demanded chord set are dropped
-        up front (``dominance=False`` disables the filter — the knob
-        the soundness property tests exercise); the branch-and-bound
-        prunes with the fractional/cardinality packing bound over the
-        residual demand plus a residual-state transposition memo.
-        Exponential; intended for small instances (``n ≤ 10``, small
-        λ).  This is the certifier behind the λK_n experiment's exact
-        values.
+        Inadmissible candidates (cycle lengths outside
+        ``allowed_sizes``) are dropped alongside the dominance filter
+        (``dominance=False`` disables the latter — the knob the
+        soundness property tests exercise); the branch-and-bound prunes
+        with the objective's node bound over the residual demand (for
+        ``min_blocks`` the historical fractional/cardinality packing
+        maximum) plus a residual-state transposition memo keyed by
+        accumulated objective cost.  Exponential; intended for small
+        instances (``n ≤ 10``, small λ).  This is the certifier behind
+        the λK_n experiment's exact values.
         """
         from ..traffic.instances import Instance
 
@@ -897,6 +1052,7 @@ class SolverEngine:
         if n > 10:
             raise SolverError(f"instance solver is for small n (≤ 10), got {n}")
 
+        obj = resolve_objective(objective)
         space = self.space
         index = space.index
         dist_by_bit = space.dist
@@ -915,10 +1071,19 @@ class SolverEngine:
         demand_mask = 0
         for b in demand_bits:
             demand_mask |= 1 << b
-        keep = [i for i, m in enumerate(table.masks) if m & demand_mask]
+        keep = [
+            i
+            for i, m in enumerate(table.masks)
+            if m & demand_mask and obj.admits(table.blocks[i], allowed_sizes)
+        ]
         if dominance:
+            # Cost-aware dominance: under weighted objectives a superset
+            # cover only dominates at equal-or-lower block cost (unit
+            # costs reduce to the historical min_blocks filter).
             dropped = dominated_candidates(
-                [table.masks[i] for i in keep], demand_mask
+                [table.masks[i] for i in keep],
+                demand_mask,
+                costs=[obj.block_cost(table.blocks[i]) for i in keep],
             )
             keep = [i for k, i in enumerate(keep) if k not in dropped]
 
@@ -941,16 +1106,44 @@ class SolverEngine:
 
         blocks = table.blocks
         bit_lists = table.bit_lists
+        costs = {i: obj.block_cost(table.blocks[i]) for i in keep}
+        min_cost = min(costs.values(), default=1)
+        max_cost = max(costs.values(), default=1)
+        node_bound = obj.node_bound
+        track_parity = obj.track_parity
+        edges = space.edges
         total_requests = sum(residual_counts)
         W_root = sum(residual_counts[b] * weights[b] for b in demand_bits)
+        # Residual demand-degree parity per vertex, maintained alongside
+        # residual_counts when the objective's bound wants it.
+        odd_root = 0
+        if track_parity:
+            degree = [0] * n
+            for b in demand_bits:
+                a, c = edges[b]
+                degree[a] += residual_counts[b]
+                degree[c] += residual_counts[b]
+            for v, d in enumerate(degree):
+                if d % 2:
+                    odd_root |= 1 << v
 
         best_blocks: list[CycleBlock] | None = None
-        best_count = total_requests + 1  # exclusive threshold, as in min_covering
+        # Exclusive threshold: one admitted block per request always
+        # suffices, so this is a true upper limit (max_cost = 1 recovers
+        # min_covering's historical total_requests + 1).
+        best_count = max_cost * total_requests + 1
 
-        greedy_idx, leftover = self.greedy_cover_indices(dict(instance.demand))
-        if not leftover and len(greedy_idx) < best_count:
-            best_count = len(greedy_idx)
-            best_blocks = [table.blocks[i] for i in greedy_idx]
+        greedy_idx, leftover = self.greedy_cover_indices(
+            dict(instance.demand), allowed_sizes=allowed_sizes
+        )
+        if not leftover:
+            greedy_table = self._table("convex", allowed_sizes)
+            greedy_value = sum(
+                obj.block_cost(greedy_table.blocks[i]) for i in greedy_idx
+            )
+            if greedy_value < best_count:
+                best_count = greedy_value
+                best_blocks = [greedy_table.blocks[i] for i in greedy_idx]
 
         # Root symmetry breaking is sound only when the demand itself is
         # preserved by the ring's rotations and reflections.
@@ -963,7 +1156,7 @@ class SolverEngine:
         memo: dict[tuple[int, ...], int] = {}
         best: list = [best_count, best_blocks]
 
-        def dfs(used: int, remaining: int, W: int, chosen: list[CycleBlock]) -> None:
+        def dfs(used: int, remaining: int, W: int, odd: int, chosen: list[CycleBlock]) -> None:
             st.nodes += 1
             if st.nodes > node_limit:
                 raise SolverError(f"instance solver exceeded node limit {node_limit}")
@@ -973,11 +1166,15 @@ class SolverEngine:
                     best[0] = used
                     best[1] = list(chosen)
                 return
-            bound = -(-W // denom)
-            card = -(-remaining // max_cover)
-            if card > bound:
-                bound = card
-            if used + (bound if bound > 1 else 1) >= best[0]:
+            bound = node_bound(
+                frac_units=W,
+                frac_denom=denom,
+                residual_requests=remaining,
+                max_cover=max_cover,
+                min_cost=min_cost,
+                odd_vertices=odd.bit_count(),
+            )
+            if used + (bound if bound > min_cost else min_cost) >= best[0]:
                 return
             key = tuple(residual_counts)
             prev = memo.get(key)
@@ -1001,18 +1198,22 @@ class SolverEngine:
             for i in scored:
                 decremented: list[int] = []
                 dW = 0
+                new_odd = odd
                 for b in bit_lists[i]:
                     if residual_counts[b] > 0:
                         residual_counts[b] -= 1
                         decremented.append(b)
                         dW += weights[b]
+                        if track_parity:
+                            a, c = edges[b]
+                            new_odd ^= (1 << a) | (1 << c)
                 chosen.append(blocks[i])
-                dfs(used + 1, remaining - len(decremented), W - dW, chosen)
+                dfs(used + costs[i], remaining - len(decremented), W - dW, new_odd, chosen)
                 chosen.pop()
                 for b in decremented:
                     residual_counts[b] += 1
 
-        dfs(0, total_requests, W_root, [])
+        dfs(0, total_requests, W_root, odd_root, [])
         best_count, best_blocks = best
         if best_blocks is None:
             raise SolverError("no covering found (node limit too small?)")
@@ -1250,16 +1451,26 @@ def solve_min_covering_instance(
 
 
 def _sharded_root_worker(
-    payload: tuple[int, int, tuple[int, ...], int, int, str, float | None],
+    payload: tuple[
+        int, int, tuple[int, ...], int, int, str, float | None,
+        str, tuple[int, ...] | None,
+    ],
 ) -> tuple[int | None, list[tuple[int, ...]] | None, int]:
     """One shard of a root-orbit-partitioned certification: search the
     given root candidates only, starting from the broadcast incumbent
-    count (exclusive threshold).  Returns a strictly-better covering's
-    vertex lists or ``None``, plus the shard's node count."""
-    n, max_size, root_cands, best_count, node_limit, branching, deadline = payload
+    value (exclusive threshold, objective units).  The objective
+    crosses the process boundary by registry name.  Returns a
+    strictly-better covering's vertex lists or ``None``, plus the
+    shard's node count."""
+    (
+        n, max_size, root_cands, best_count, node_limit, branching, deadline,
+        objective_name, allowed_sizes,
+    ) = payload
     engine = SolverEngine(n, max_size=max_size)
     st = SolverStats()
-    order = engine._branch_order(engine.convex_table, branching)
+    obj = resolve_objective(objective_name)
+    table = engine._table("convex", allowed_sizes)
+    order = engine._branch_order(table, branching)
     count, blocks = engine._covering_search(
         root_cands=list(root_cands),
         best_count=best_count,
@@ -1268,6 +1479,8 @@ def _sharded_root_worker(
         st=st,
         order=order,
         deadline=deadline,
+        objective=obj,
+        allowed_sizes=allowed_sizes,
     )
     if blocks is None:
         return None, None, st.nodes

@@ -36,6 +36,7 @@ from ..traffic.instances import Instance, all_to_all
 from ..util.errors import SolverError
 from .covering import Covering
 from .engine import BlockTable, SolverEngine, edge_space
+from .objective import Objective, resolve_objective
 
 __all__ = ["ImproveStats", "improve_covering", "improved_greedy_covering"]
 
@@ -156,20 +157,27 @@ def _replace_pass(
 
 
 def _greedy_repair(
-    cov: Covering, inst: Instance, engine: SolverEngine, pool: str
+    cov: Covering,
+    inst: Instance,
+    engine: SolverEngine,
+    pool: str,
+    allowed_sizes: tuple[int, ...] | None = None,
 ) -> Covering | None:
     """Extend ``cov`` until it covers ``inst`` again, reusing the
     engine's shared max-coverage greedy kernel on the residual demand.
-    ``None`` if the pool cannot finish the repair."""
+    ``None`` if the (possibly size-restricted) pool cannot finish the
+    repair."""
     residual: dict[tuple[int, int], int] = {}
     for e, m in inst.demand.items():
         short = m - cov.multiplicity(e)
         if short > 0:
             residual[e] = short
-    chosen, leftover = engine.greedy_cover_indices(residual, pool=pool)
+    chosen, leftover = engine.greedy_cover_indices(
+        residual, pool=pool, allowed_sizes=allowed_sizes
+    )
     if leftover:
         return None
-    table = engine._table(pool)
+    table = engine._table(pool, allowed_sizes)
     return cov.with_blocks(table.blocks[i] for i in chosen)
 
 
@@ -182,13 +190,19 @@ def improve_covering(
     max_rounds: int = 4,
     ruin_width: int = 2,
     stats: ImproveStats | None = None,
+    objective: Objective | str | None = None,
+    allowed_sizes: tuple[int, ...] | None = None,
 ) -> Covering:
     """Tighten ``covering`` for ``instance`` (default All-to-All) by
-    deterministic local search; never returns a larger covering and
-    never breaks feasibility.
+    deterministic local search; never returns a worse covering (under
+    the objective's move-scoring key) and never breaks feasibility.
 
-    ``max_rounds`` bounds the outer ruin-&-recreate rounds (the cheap
-    eject/merge/replace moves always run to their fixpoint);
+    ``objective`` supplies the lexicographic acceptance key the search
+    minimises (default ``min_blocks``: fewer blocks first, then fewer
+    slots — the historical rule); ``allowed_sizes`` restricts every
+    candidate the moves may introduce, so a restricted covering stays
+    restricted.  ``max_rounds`` bounds the outer ruin-&-recreate rounds
+    (the cheap eject/merge/replace moves always run to their fixpoint);
     ``ruin_width`` is the number of consecutive blocks each ruin window
     removes.  Move counts are reported through ``stats``.
     """
@@ -197,11 +211,12 @@ def improve_covering(
         raise SolverError(f"instance order {inst.n} ≠ covering order {covering.n}")
     if not covering.covers(inst):
         raise SolverError("improve_covering needs a feasible covering to start from")
+    obj = resolve_objective(objective)
     st = stats if stats is not None else ImproveStats()
     st.start_blocks = covering.num_blocks
     pool_name = _resolve_pool(covering.n, pool)
     engine = SolverEngine(covering.n, max_size=max_size)
-    table = engine._table(pool_name)
+    table = engine._table(pool_name, allowed_sizes)
     space = edge_space(covering.n)
 
     def fixpoint(cov: Covering) -> Covering:
@@ -224,18 +239,15 @@ def improve_covering(
             ruined = best
             for _k in range(width):
                 ruined = ruined.without_block(start)
-            repaired = _greedy_repair(ruined, inst, engine, pool_name)
+            repaired = _greedy_repair(ruined, inst, engine, pool_name, allowed_sizes)
             if repaired is None:
                 continue
             repaired = fixpoint(repaired)
-            # Lexicographic acceptance: fewer blocks, or the same count
-            # with less excess — slot-shaving plateau walks are what
-            # later merges feed on, and the strict decrease still
-            # guarantees termination.
-            if (repaired.num_blocks, repaired.total_slots) < (
-                best.num_blocks,
-                best.total_slots,
-            ):
+            # Lexicographic acceptance under the objective's key (for
+            # min_blocks: fewer blocks, or the same count with less
+            # excess — slot-shaving plateau walks are what later merges
+            # feed on); the strict decrease guarantees termination.
+            if obj.improvement_key(repaired) < obj.improvement_key(best):
                 best = repaired
                 st.repairs_accepted += 1
                 improved = True
@@ -254,10 +266,14 @@ def improved_greedy_covering(
     max_size: int = 4,
     max_rounds: int = 4,
     stats: ImproveStats | None = None,
+    objective: Objective | str | None = None,
+    allowed_sizes: tuple[int, ...] | None = None,
 ) -> Covering:
     """Greedy covering tightened by :func:`improve_covering` — the
     large-n heuristic tier (greedy is within a few blocks of ρ(n) for
-    small n but drifts; local search claws most of that back)."""
+    small n but drifts; local search claws most of that back).
+    Objective-generic; a size restriction raises
+    :class:`SolverError` when no admitted pool reaches every request."""
     inst = instance if instance is not None else all_to_all(n)
     engine = SolverEngine(n, max_size=max_size)
     pool_name = _resolve_pool(n, pool)
@@ -266,10 +282,17 @@ def improved_greedy_covering(
     # the improver may still swap in non-tight pool blocks afterwards.
     # The convex pool is the fallback — it can reach any demand.
     try:
-        cov = engine.greedy_cover(inst, pool="tight")
+        cov = engine.greedy_cover(inst, pool="tight", allowed_sizes=allowed_sizes)
     except SolverError:
-        cov = engine.greedy_cover(inst, pool="convex")
+        cov = engine.greedy_cover(inst, pool="convex", allowed_sizes=allowed_sizes)
         pool_name = "convex"
     return improve_covering(
-        cov, inst, pool=pool_name, max_size=max_size, max_rounds=max_rounds, stats=stats
+        cov,
+        inst,
+        pool=pool_name,
+        max_size=max_size,
+        max_rounds=max_rounds,
+        stats=stats,
+        objective=objective,
+        allowed_sizes=allowed_sizes,
     )

@@ -51,46 +51,72 @@ __all__ = [
 ]
 
 
-def _warn(name: str, replacement: str) -> None:
-    warnings.warn(
+def _message(name: str, replacement: str) -> str:
+    return (
         f"repro.core.solver.{name} is deprecated; use {replacement} "
-        "(see repro.api)",
-        DeprecationWarning,
-        stacklevel=3,
+        "(see repro.api)"
     )
+
+
+# Each wrapper calls warnings.warn itself with stacklevel=2 — one frame
+# up from the wrapper is the *caller's own line*, which is what the
+# warning must point at (a shared helper would need a fragile
+# stacklevel=3 that breaks the moment anyone adds a frame).
 
 
 def exact_decomposition(*args, **kwargs):
     """Deprecated alias of :func:`repro.core.engine.exact_decomposition`."""
-    _warn("exact_decomposition", "repro.core.engine.exact_decomposition")
+    warnings.warn(
+        _message("exact_decomposition", "repro.core.engine.exact_decomposition"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _exact_decomposition(*args, **kwargs)
 
 
 def solve_min_covering(*args, **kwargs):
     """Deprecated; use ``api.solve(CoverSpec.for_ring(n, backend='exact'))``."""
-    _warn("solve_min_covering", "api.solve(CoverSpec.for_ring(n, backend='exact'))")
+    warnings.warn(
+        _message(
+            "solve_min_covering", "api.solve(CoverSpec.for_ring(n, backend='exact'))"
+        ),
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _solve_min_covering(*args, **kwargs)
 
 
 def solve_min_covering_sharded(*args, **kwargs):
     """Deprecated; use ``api.solve(CoverSpec.for_ring(n, backend='exact_sharded'))``."""
-    _warn(
-        "solve_min_covering_sharded",
-        "api.solve(CoverSpec.for_ring(n, backend='exact_sharded'))",
+    warnings.warn(
+        _message(
+            "solve_min_covering_sharded",
+            "api.solve(CoverSpec.for_ring(n, backend='exact_sharded'))",
+        ),
+        DeprecationWarning,
+        stacklevel=2,
     )
     return _solve_min_covering_sharded(*args, **kwargs)
 
 
 def solve_min_covering_instance(*args, **kwargs):
     """Deprecated; use ``api.solve(CoverSpec.from_instance(instance))``."""
-    _warn(
-        "solve_min_covering_instance",
-        "api.solve(CoverSpec.from_instance(instance, backend='exact'))",
+    warnings.warn(
+        _message(
+            "solve_min_covering_instance",
+            "api.solve(CoverSpec.from_instance(instance, backend='exact'))",
+        ),
+        DeprecationWarning,
+        stacklevel=2,
     )
     return _solve_min_covering_instance(*args, **kwargs)
 
 
 def solve_many(*args, **kwargs):
     """Deprecated; use ``api.solve_batch([CoverSpec.for_ring(n) for n in ns])``."""
-    _warn("solve_many", "api.solve_batch([CoverSpec.for_ring(n) for n in ns])")
+    warnings.warn(
+        _message("solve_many", "api.solve_batch([CoverSpec.for_ring(n) for n in ns])"),
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _solve_many(*args, **kwargs)

@@ -34,7 +34,14 @@ __all__ = ["VerificationReport", "verify_covering", "assert_valid_covering", "ro
 
 @dataclass
 class VerificationReport:
-    """Outcome of a covering verification: validity plus diagnostics."""
+    """Outcome of a covering verification: validity plus diagnostics.
+
+    ``objective``/``objective_value``/``objective_bound`` are filled
+    when the caller names an objective: the value is recomputed from
+    the covering and checked against that objective's own admissible
+    lower bound, so a claimed optimum below its certificate trips
+    ``valid=False`` for any registered objective, not just the paper's
+    block count."""
 
     n: int
     valid: bool
@@ -46,6 +53,9 @@ class VerificationReport:
     problems: list[str] = field(default_factory=list)
     optimal: bool | None = None
     lower_bound_value: int | None = None
+    objective: str | None = None
+    objective_value: int | None = None
+    objective_bound: int | None = None
 
     def summary(self) -> str:
         status = "VALID" if self.valid else "INVALID"
@@ -93,11 +103,31 @@ def verify_covering(
     expect_optimal: bool = False,
     expect_exact: bool = False,
     expect_theorem_mix: bool = False,
+    objective: str | None = None,
+    allowed_sizes: tuple[int, ...] | None = None,
 ) -> VerificationReport:
-    """Re-derive every property of ``covering`` from first principles."""
+    """Re-derive every property of ``covering`` from first principles.
+
+    ``objective`` names a registered objective to re-score the covering
+    under (value recomputed, compared against that objective's own
+    lower-bound certificate); ``allowed_sizes`` re-checks Manthey-style
+    admissibility — a block whose cycle length falls outside the set
+    invalidates the covering."""
     inst = instance if instance is not None else all_to_all(covering.n)
     n = covering.n
     problems: list[str] = []
+
+    # --- size restriction (restricted covers) --------------------------
+    restriction_ok = True
+    if allowed_sizes is not None:
+        allowed = set(allowed_sizes)
+        for idx, blk in enumerate(covering.blocks):
+            if blk.size not in allowed:
+                restriction_ok = False
+                problems.append(
+                    f"block #{idx} has size {blk.size}, outside the allowed "
+                    f"sizes {tuple(sorted(allowed))}"
+                )
 
     # --- DRC: exhibit an edge-disjoint routing per block ---------------
     drc_ok = True
@@ -123,7 +153,25 @@ def verify_covering(
         problems.append(f"uncovered requests: {shown}{more}")
 
     excess = covering.excess(inst)
-    valid = drc_ok and coverage_ok
+    valid = drc_ok and coverage_ok and restriction_ok
+
+    # --- objective re-scoring ------------------------------------------
+    objective_name: str | None = None
+    objective_value: int | None = None
+    objective_bound: int | None = None
+    if objective is not None:
+        from .objective import resolve_objective
+
+        obj = resolve_objective(objective)
+        objective_name = obj.name
+        objective_value = obj.covering_value(covering)
+        objective_bound = obj.instance_certificate(inst).value
+        if valid and objective_value < objective_bound:
+            valid = False
+            problems.append(
+                f"{obj.name} value {objective_value} is below the proven "
+                f"lower bound {objective_bound} — the covering cannot be valid"
+            )
 
     # --- optimality (All-to-All only) ------------------------------------
     optimal: bool | None = None
@@ -171,6 +219,9 @@ def verify_covering(
         problems=problems,
         optimal=optimal,
         lower_bound_value=lb_value,
+        objective=objective_name,
+        objective_value=objective_value,
+        objective_bound=objective_bound,
     )
 
 

@@ -23,8 +23,10 @@ coefficient dominates for any realistic price vector — the reproduction
 of the paper's claim that ring cost minimisation reduces to minimising
 the number of cycles.  The Eilam–Moran–Zaks-style objective (paper
 refs [3], [4]) of minimising the *sum of ring sizes* is exactly the
-ADM term alone; :mod:`repro.baselines.ring_sizes` targets it and the
-benchmarks compare both objectives under this model.
+ADM term alone; it is the registered ``min_total_size``
+:mod:`repro.core.objective` entry (exact bound:
+:func:`repro.core.bounds.total_size_lower_bound`) and the benchmarks
+compare both objectives under this model.
 """
 
 from __future__ import annotations

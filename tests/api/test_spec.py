@@ -176,3 +176,60 @@ class TestHashSensitivity:
         assert base.spec_hash != CoverSpec.for_ring(8, lam=2).spec_hash
         assert base.spec_hash != CoverSpec.for_ring(8, use_hints=False).spec_hash
         assert base.spec_hash != CoverSpec.for_ring(8, backend="exact").spec_hash
+
+
+class TestObjectiveAxis:
+    """The objective/restriction axis of the spec: registry-backed
+    validation, allowed_sizes canonicalisation, and — critically — the
+    legacy hash/byte stability of unrestricted specs."""
+
+    def test_unknown_objective_lists_registered(self):
+        with pytest.raises(SpecError, match="min_blocks, min_total_size"):
+            CoverSpec.for_ring(6, objective="max_profit")
+
+    def test_registered_objectives_accepted(self):
+        spec = CoverSpec.for_ring(6, objective="min_total_size")
+        assert spec.objective == "min_total_size"
+
+    def test_allowed_sizes_normalised(self):
+        spec = CoverSpec.for_ring(7, allowed_sizes=(3, 3))
+        assert spec.allowed_sizes == (3,)
+
+    def test_full_range_canonicalises_to_none(self):
+        spec = CoverSpec.for_ring(7, allowed_sizes=(4, 3))
+        assert spec.allowed_sizes is None
+        assert spec == CoverSpec.for_ring(7)
+        assert spec.spec_hash == CoverSpec.for_ring(7).spec_hash
+
+    @pytest.mark.parametrize(
+        "sizes", [(), (2,), (5,), ("3",), (True,)],
+    )
+    def test_malformed_allowed_sizes_raise(self, sizes):
+        with pytest.raises(SpecError):
+            CoverSpec.for_ring(7, allowed_sizes=sizes)
+
+    def test_max_size_widens_range(self):
+        spec = CoverSpec.for_ring(9, max_size=5, allowed_sizes=(5,))
+        assert spec.allowed_sizes == (5,)
+
+    def test_unrestricted_payload_keeps_minor_zero(self):
+        payload = CoverSpec.for_ring(7).to_payload()
+        assert payload["version"] == "1.0"
+        assert "allowed_sizes" not in payload
+
+    def test_restricted_payload_minor_one_round_trips(self):
+        spec = CoverSpec.for_ring(7, allowed_sizes=(3,))
+        payload = spec.to_payload()
+        assert payload["version"] == "1.1"
+        assert payload["allowed_sizes"] == [3]
+        assert CoverSpec.from_payload(json.loads(spec.to_json())) == spec
+
+    def test_restriction_enters_the_hash(self):
+        assert (
+            CoverSpec.for_ring(7, allowed_sizes=(3,)).spec_hash
+            != CoverSpec.for_ring(7).spec_hash
+        )
+        assert (
+            CoverSpec.for_ring(7, objective="min_total_size").spec_hash
+            != CoverSpec.for_ring(7).spec_hash
+        )

@@ -4,19 +4,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines.greedy import greedy_drc_covering
+from repro.baselines.greedy import greedy_drc_covering, size_greedy_covering
 from repro.baselines.nondrc import (
     greedy_cycle_cover,
     greedy_triangle_cover,
     triangle_cover_gap,
     triangle_covering_number,
 )
-from repro.baselines.ring_sizes import (
-    min_total_ring_size,
-    size_greedy_covering,
-    total_ring_size,
-)
+from repro.core.bounds import total_size_lower_bound
 from repro.core.construction import optimal_covering
+from repro.traffic.instances import all_to_all
 from repro.core.formulas import cycle_cover_lower_bound, rho
 from repro.traffic.instances import from_requests, lambda_all_to_all
 from repro.util import circular
@@ -80,19 +77,20 @@ class TestNonDrc:
 
 class TestRingSizes:
     def test_lower_bound_values(self):
-        assert min_total_ring_size(7) == 21
-        assert min_total_ring_size(8) == 28 + 4
+        assert total_size_lower_bound(all_to_all(7)).value == 21
+        assert total_size_lower_bound(all_to_all(8)).value == 28 + 4
 
     def test_theorem_coverings_attain_adm_optimum(self):
         """The ρ-optimal coverings are simultaneously ADM-optimal — the
-        bridge to the [3]/[4] objective checked by experiment E4."""
+        bridge to the [3]/[4] objective checked by experiment E4 (and
+        now certified end-to-end by the min_total_size objective)."""
         for n in (7, 9, 6, 8, 10, 12):
             cov = optimal_covering(n)
-            assert total_ring_size(cov) == min_total_ring_size(n)
+            assert cov.total_slots == total_size_lower_bound(all_to_all(n)).value
 
     @pytest.mark.parametrize("n", (6, 7, 9))
     def test_size_greedy_valid(self, n):
         cov = size_greedy_covering(n)
         assert cov.covers()
         assert cov.is_drc_feasible()
-        assert total_ring_size(cov) >= min_total_ring_size(n)
+        assert cov.total_slots >= total_size_lower_bound(all_to_all(n)).value

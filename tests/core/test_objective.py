@@ -1,0 +1,249 @@
+"""The Objective protocol, registry, and its threading through the
+engine, bounds, improver, and verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import CycleBlock
+from repro.core.bounds import total_size_lower_bound
+from repro.core.covering import Covering
+from repro.core.engine import (
+    SolverEngine,
+    SolverStats,
+    convex_block_table,
+    dominated_candidates,
+    restricted_block_table,
+)
+from repro.core.improve import improve_covering, improved_greedy_covering
+from repro.core.objective import (
+    MinBlocksObjective,
+    MinTotalSizeObjective,
+    Objective,
+    _REGISTRY,
+    available_objectives,
+    get_objective,
+    register_objective,
+    resolve_objective,
+)
+from repro.core.verify import verify_covering
+from repro.traffic.instances import Instance, all_to_all, lambda_all_to_all
+from repro.util import circular
+from repro.util.errors import SolverError
+
+# The certified min_total_size optima for All-to-All C_n (n = 4 is the
+# one case above the end-parity bound: two DRC quads cannot reach the
+# diagonals, so 8 slots are unattainable and 3 triangles' 9 win).
+MTS_OPTIMA = {4: 9, 5: 10, 6: 18, 7: 21, 8: 32}
+
+
+class TestRegistry:
+    def test_defaults_registered_in_order(self):
+        assert available_objectives() == ("min_blocks", "min_total_size")
+
+    def test_get_and_resolve(self):
+        assert isinstance(get_objective("min_blocks"), MinBlocksObjective)
+        assert isinstance(get_objective("min_total_size"), MinTotalSizeObjective)
+        assert resolve_objective(None).name == "min_blocks"
+        assert resolve_objective("min_total_size").name == "min_total_size"
+        obj = MinTotalSizeObjective()
+        assert resolve_objective(obj) is obj
+
+    def test_unknown_objective_names_registered(self):
+        with pytest.raises(SolverError, match="min_blocks, min_total_size"):
+            get_objective("max_profit")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(SolverError, match="already registered"):
+            register_objective(MinBlocksObjective())
+
+    def test_custom_objective_end_to_end(self):
+        """An out-of-tree objective registers and solves through the
+        declarative API with no other change — the redesign's contract."""
+
+        class SumSquaredSizes(Objective):
+            name = "sum_sq_sizes"
+            description = "sum of squared ring sizes (test-only)"
+
+            def block_cost(self, block: CycleBlock) -> int:
+                return block.size * block.size
+
+            def node_bound(self, *, frac_units, frac_denom, residual_requests,
+                           max_cover, min_cost, odd_vertices) -> int:
+                # Each slot of a size-s block costs s ≥ 3 per request.
+                return 3 * residual_requests
+
+            def instance_certificate(self, instance):
+                from repro.core.bounds import BoundArgument, LowerBoundCertificate
+
+                total = 3 * sum(instance.demand.values())
+                arg = BoundArgument("slot_cost", total, "3 per request")
+                return LowerBoundCertificate(
+                    n=instance.n, value=total, arguments=(arg,)
+                )
+
+        register_objective(SumSquaredSizes())
+        try:
+            from repro.api import CoverSpec, solve
+
+            result = solve(
+                CoverSpec.for_ring(5, objective="sum_sq_sizes", backend="exact"),
+                cache=None,
+            )
+            assert result.status == "proven_optimal"
+            value = sum(blk.size ** 2 for blk in result.covering.blocks)
+            assert result.objective_value == value
+            # n=5 admits an exact decomposition (10 slots); squaring
+            # favours triangles: 2·C3 + 1·C4 → 9 + 9 + 16 = 34.
+            assert result.objective_value == 34
+        finally:
+            del _REGISTRY["sum_sq_sizes"]
+
+
+class TestTotalSizeBound:
+    def test_all_to_all_values(self):
+        assert total_size_lower_bound(all_to_all(7)).value == 21
+        assert total_size_lower_bound(all_to_all(8)).value == 28 + 4
+
+    @pytest.mark.parametrize("n", range(4, 13))
+    def test_matches_literature_formula(self, n):
+        expected = circular.n_chords(n) + (n // 2 if n % 2 == 0 else 0)
+        assert total_size_lower_bound(all_to_all(n)).value == expected
+
+    def test_lambda_fold_parity(self):
+        # λ even keeps every degree even: no parity surplus.
+        assert total_size_lower_bound(lambda_all_to_all(6, 2)).value == 30
+        # λ odd on even n: degrees λ(n−1) odd → +n/2.
+        assert total_size_lower_bound(lambda_all_to_all(6, 3)).value == 45 + 3
+
+    def test_partial_demand_parity(self):
+        # One chord: both endpoints odd → one surplus slot.
+        inst = Instance(6, {(0, 2): 1}, name="t")
+        cert = total_size_lower_bound(inst)
+        assert cert.value == 2
+        assert [a.name for a in cert.arguments] == ["slot_counting", "end_parity"]
+
+
+class TestRestrictedTables:
+    def test_filtering(self):
+        full = convex_block_table(7, 4)
+        tri = restricted_block_table(7, 4, (3,), "convex")
+        assert {blk.size for blk in tri.blocks} == {3}
+        assert len(tri.blocks) < len(full.blocks)
+        assert tri is restricted_block_table(7, 4, (3,), "convex")  # memoized
+
+    def test_restricted_fragments_strengthen(self):
+        """Excluding the full-mass candidates makes chords' fractional
+        weights heavier — the packing bound sees the restricted pool."""
+        full = convex_block_table(8, 4)
+        tri = restricted_block_table(8, 4, (3,), "convex")
+        full_bound = -(-sum(full.chord_weights) // full.weight_denom)
+        tri_bound = -(-sum(tri.chord_weights) // tri.weight_denom)
+        assert tri_bound >= full_bound
+
+    def test_cost_aware_dominance(self):
+        # Unit costs: the superset {0,1,2} dominates {0,1}.
+        masks = [0b011, 0b111]
+        assert dominated_candidates(masks) == {0}
+        # Weighted: the superset is more expensive — nothing dominated.
+        assert dominated_candidates(masks, costs=[3, 4]) == set()
+        # Equal masks, equal costs: the later index drops.
+        assert dominated_candidates([0b11, 0b11], costs=[3, 3]) == {1}
+
+
+class TestEngineObjective:
+    @pytest.mark.parametrize("n", sorted(MTS_OPTIMA))
+    def test_mts_certified_optima(self, n):
+        st = SolverStats()
+        cov = SolverEngine(n).min_covering(objective="min_total_size", stats=st)
+        assert cov.total_slots == MTS_OPTIMA[n]
+        assert st.best_value == MTS_OPTIMA[n]
+        assert st.proven_optimal
+
+    def test_mts_memo_keys_accumulate_cost(self):
+        """Without the memo the proof still lands on the same value —
+        the memo stores accumulated objective cost, not block count."""
+        with_memo = SolverEngine(6).min_covering(objective="min_total_size")
+        without = SolverEngine(6).min_covering(
+            objective="min_total_size", use_memo=False
+        )
+        assert with_memo.total_slots == without.total_slots == 18
+
+    @pytest.mark.parametrize("n", (5, 6, 7))
+    def test_triangles_only_covers(self, n):
+        cov = SolverEngine(n).min_covering(allowed_sizes=(3,))
+        assert {blk.size for blk in cov.blocks} == {3}
+        assert cov.covers()
+
+    def test_infeasible_restriction_raises(self):
+        with pytest.raises(SolverError, match="no candidate block of size"):
+            SolverEngine(4).min_covering(allowed_sizes=(4,))
+
+    def test_restricted_never_cheaper(self):
+        free = SolverEngine(7).min_covering()
+        tri = SolverEngine(7).min_covering(allowed_sizes=(3,))
+        assert tri.num_blocks >= free.num_blocks
+
+    def test_sharded_matches_serial_mts(self):
+        serial = SolverEngine(8).min_covering(objective="min_total_size")
+        sharded = SolverEngine(8).min_covering_sharded(
+            workers=2, objective="min_total_size"
+        )
+        assert sharded.total_slots == serial.total_slots == 32
+
+    def test_instance_solver_mts(self):
+        inst = Instance(5, {(0, 1): 1, (0, 3): 2, (2, 3): 1}, name="t")
+        cov = SolverEngine(5).min_covering_instance(inst, objective="min_total_size")
+        assert cov.total_slots == 6  # two triangles; dominance must not eat them
+        assert cov.covers(inst)
+
+    def test_instance_solver_restricted(self):
+        inst = Instance(6, {(0, 3): 1, (1, 4): 1}, name="diams")
+        cov = SolverEngine(6).min_covering_instance(inst, allowed_sizes=(4,))
+        assert {blk.size for blk in cov.blocks} == {4}
+        assert cov.covers(inst)
+
+
+class TestImproverObjective:
+    def test_mts_key_accepts_slot_reductions(self):
+        cov = improved_greedy_covering(8, objective="min_total_size")
+        assert cov.covers()
+        assert cov.total_slots >= MTS_OPTIMA[8]
+
+    def test_restricted_improver_stays_admissible(self):
+        cov = improved_greedy_covering(7, allowed_sizes=(3,))
+        assert {blk.size for blk in cov.blocks} == {3}
+        assert cov.covers()
+
+    def test_improve_never_worsens_objective(self):
+        start = SolverEngine(8).greedy_cover()
+        obj = get_objective("min_total_size")
+        out = improve_covering(start, objective="min_total_size")
+        assert obj.covering_value(out) <= obj.covering_value(start)
+        assert out.covers()
+
+
+class TestVerifyObjective:
+    def test_allowed_sizes_violation_detected(self):
+        cov = SolverEngine(6).min_covering()
+        assert any(blk.size == 4 for blk in cov.blocks)
+        report = verify_covering(cov, allowed_sizes=(3,))
+        assert not report.valid
+        assert any("outside the allowed" in p for p in report.problems)
+
+    def test_objective_value_reported(self):
+        cov = SolverEngine(7).min_covering(objective="min_total_size")
+        report = verify_covering(cov, objective="min_total_size")
+        assert report.valid
+        assert report.objective == "min_total_size"
+        assert report.objective_value == 21
+        assert report.objective_bound == 21
+
+    def test_value_below_bound_rejected(self):
+        """A fabricated under-covering is caught by the objective's own
+        certificate (coverage fails too — both problems are named)."""
+        cov = Covering(6, (CycleBlock((0, 1, 2)),))
+        report = verify_covering(cov, objective="min_total_size")
+        assert not report.valid
+        assert report.objective_value == 3
+        assert report.objective_value < report.objective_bound

@@ -1,0 +1,64 @@
+"""The :mod:`repro.core.solver` deprecation façade.
+
+The façade's contract is not just *that* it warns but *where* the
+warning points: ``stacklevel=2`` from inside each wrapper, so the
+reported filename/line is the caller's own call site (this test file),
+never the façade's internals.  A regression here silently turns every
+deprecation notice into noise pointing at repro's own code.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import solver
+from repro.core.engine import SolverStats
+from repro.traffic.instances import Instance
+
+
+def _single_warning(record: pytest.WarningsChecker) -> warnings.WarningMessage:
+    deprecations = [w for w in record.list if w.category is DeprecationWarning]
+    assert len(deprecations) == 1, [str(w.message) for w in record.list]
+    return deprecations[0]
+
+
+class TestFacadeWarns:
+    def test_solve_min_covering_warns_at_caller(self):
+        with pytest.warns(DeprecationWarning, match="solve_min_covering") as record:
+            cov = solver.solve_min_covering(5)
+        assert cov.num_blocks == 3
+        w = _single_warning(record)
+        # stacklevel=2: the warning is attributed to *this* file, at the
+        # line of the call above — not to repro/core/solver.py.
+        assert w.filename == __file__
+        assert "repro.api" in str(w.message)
+
+    def test_solve_min_covering_instance_warns_at_caller(self):
+        inst = Instance(6, {(0, 2): 1, (1, 4): 1}, name="t")
+        with pytest.warns(DeprecationWarning, match="solve_min_covering_instance") as record:
+            cov = solver.solve_min_covering_instance(inst)
+        assert cov.covers(inst)
+        assert _single_warning(record).filename == __file__
+
+    def test_exact_decomposition_warns_at_caller(self):
+        stats = SolverStats()
+        # Edges of the tight C5 triangle (0, 1, 3): gaps 1+2+2 = 5.
+        edges = frozenset({(0, 1), (1, 3), (0, 3)})
+        with pytest.warns(DeprecationWarning, match="exact_decomposition") as record:
+            blocks = solver.exact_decomposition(5, edges, stats=stats)
+        assert blocks is not None and len(blocks) == 1
+        assert _single_warning(record).filename == __file__
+
+    def test_solve_many_warns_at_caller(self):
+        with pytest.warns(DeprecationWarning, match="solve_many") as record:
+            results = solver.solve_many((5,))
+        assert results[0][0].num_blocks == 3
+        assert _single_warning(record).filename == __file__
+
+    def test_silent_reexports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = solver.SolverEngine(5)
+            assert engine.min_covering().num_blocks == 3

@@ -18,13 +18,18 @@ from repro.api import CoverSpec, solve
 from repro.dispatch import SpoolTransport, dispatch_batch, stdio_worker_loop
 
 # A spread of job shapes: K_n certification, a closed-form route, λ-fold
-# demand, and an explicitly restricted instance.
+# demand, an explicitly restricted instance, and the objective axis
+# (min_total_size + Manthey-restricted covers — the minor-1 envelope
+# spelling must cross every worker wire unchanged).
 SPECS = (
     [CoverSpec.for_ring(n, backend="exact", use_hints=False) for n in (4, 5, 6, 7)]
     + [
         CoverSpec.for_ring(9),  # router picks closed_form
         CoverSpec.for_ring(5, lam=2),
         CoverSpec(n=6, demand=((0, 2, 1), (1, 4, 2))),
+        CoverSpec.for_ring(7, objective="min_total_size"),  # closed_form ADM
+        CoverSpec.for_ring(4, objective="min_total_size", backend="exact"),
+        CoverSpec.for_ring(6, allowed_sizes=(3,)),  # restricted cover
     ]
 )
 

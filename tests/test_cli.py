@@ -108,3 +108,46 @@ class TestApiSubcommands:
     def test_experiments_list_subcommand(self, capsys):
         assert main(["experiments", "--list"]) == 0
         assert "E10" in capsys.readouterr().out
+
+
+class TestObjectiveCli:
+    def test_objectives_listing(self, capsys):
+        assert main(["objectives"]) == 0
+        out = capsys.readouterr().out
+        assert "min_blocks" in out and "min_total_size" in out
+        assert "slot_counting+end_parity" in out
+        assert "closed_form" in out and "heuristic" in out
+
+    def test_solve_min_total_size_json(self, capsys):
+        assert main([
+            "solve", "--n", "7", "--objective", "min_total_size",
+            "--no-cache", "--json",
+        ]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["version"] == "1.1"
+        assert payload["spec"]["objective"] == "min_total_size"
+        assert payload["objective_value"] == 21
+        assert payload["lower_bound"] == 21
+
+    def test_solve_allowed_sizes_table(self, capsys):
+        assert main([
+            "solve", "--n", "6", "--allowed-sizes", "3", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "proven_optimal" in out
+        assert "value" in out  # the objective-axis column appears
+
+    def test_bad_allowed_sizes_is_friendly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", "--n", "6", "--allowed-sizes", "three"])
+        err = capsys.readouterr().err
+        assert "comma-separated integers" in err
+
+    def test_min_blocks_table_shape_unchanged(self, capsys):
+        assert main(["solve", "--n", "7", "--no-cache"]) == 0
+        header = [
+            line for line in capsys.readouterr().out.splitlines() if "backend" in line
+        ][0]
+        assert "value" not in header

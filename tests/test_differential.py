@@ -25,12 +25,18 @@ instance solver's node budget — that ceiling is itself pinned here).
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api import CoverSpec, Result, get_backend, solve
 from repro.core.verify import verify_covering
 from repro.util import circular
+
+_GOLDEN_DIR = Path(__file__).parent / "goldens"
 
 # λ → largest ring size the exact instance solver certifies fast enough
 # for a property suite (calibrated; λ=1 routes to the K_n solver).
@@ -74,11 +80,22 @@ def _exact(spec: CoverSpec) -> Result:
 
 
 def _assert_envelope_valid(result: Result) -> None:
-    """Every envelope must survive the independent verifier *and* a
-    JSON round-trip with verification enabled."""
+    """Every envelope must survive the independent verifier — *under
+    its own objective and size restriction* — and a JSON round-trip
+    with verification enabled."""
     spec = result.spec
-    report = verify_covering(result.covering, spec.instance())
+    report = verify_covering(
+        result.covering,
+        spec.instance(),
+        objective=spec.objective,
+        allowed_sizes=spec.allowed_sizes,
+    )
     assert report.valid, f"{result.backend} envelope failed verify: {report.problems}"
+    assert report.objective == spec.objective
+    if result.objective_value is not None:
+        assert report.objective_value == result.objective_value
+    if result.lower_bound is not None and result.objective_value is not None:
+        assert result.lower_bound <= result.objective_value
     roundtrip = Result.from_json(result.to_json(), verify=True)
     assert roundtrip == result
     assert roundtrip.to_json() == result.to_json()
@@ -160,3 +177,160 @@ class TestEnvelopeDeterminism:
         first = solve(spec, cache=None)
         second = solve(spec, cache=None)
         assert first.to_json() == second.to_json()
+
+
+class TestCrossObjective:
+    """The objective axis, checked differentially: for every objective
+    the heuristic value dominates the exact optimum, every envelope
+    re-verifies under its own objective, and the two objectives relate
+    the way the theory says they must."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(4, 8))
+    def test_mts_heuristic_never_beats_exact(self, n: int):
+        exact = solve(
+            CoverSpec.for_ring(n, objective="min_total_size", backend="exact"),
+            cache=None,
+        )
+        assert exact.status == "proven_optimal"
+        _assert_envelope_valid(exact)
+        heur = solve(
+            CoverSpec.for_ring(
+                n, objective="min_total_size", require_optimal=False
+            ),
+            cache=None,
+        )
+        assert heur.status == "feasible"
+        assert heur.objective_value >= exact.objective_value
+        _assert_envelope_valid(heur)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(5, 8))
+    def test_mts_closed_form_matches_exact(self, n: int):
+        spec = CoverSpec.for_ring(n, objective="min_total_size")
+        closed = get_backend("closed_form")
+        assert closed.supports(spec), "closed_form certifies ADM optima for n ≥ 5"
+        formula = closed.run(spec)
+        exact = solve(
+            CoverSpec.for_ring(
+                n, objective="min_total_size", backend="exact", use_hints=False
+            ),
+            cache=None,
+        )
+        assert formula.objective_value == exact.objective_value
+        assert formula.objective_value == formula.lower_bound
+        _assert_envelope_valid(formula)
+        _assert_envelope_valid(exact)
+
+    def test_mts_n4_exceeds_parity_bound(self):
+        """The one All-to-All case where the end-parity bound is not
+        attained: 8 slots would need two DRC quads, which cannot reach
+        the diagonals of C4, so the certified optimum is 9."""
+        result = solve(
+            CoverSpec.for_ring(4, objective="min_total_size"), cache=None
+        )
+        assert result.backend == "exact"
+        assert result.status == "proven_optimal"
+        assert result.objective_value == 9
+        assert result.lower_bound == 8
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=_restricted_specs())
+    def test_mts_on_restricted_demand(self, spec: CoverSpec):
+        mts = CoverSpec.from_payload(
+            {**spec.to_payload(), "objective": "min_total_size", "backend": "exact"}
+        )
+        exact = solve(mts, cache=None)
+        assert exact.status == "proven_optimal"
+        _assert_envelope_valid(exact)
+        heur = solve(
+            CoverSpec.from_payload(
+                {
+                    **spec.to_payload(),
+                    "objective": "min_total_size",
+                    "backend": "heuristic",
+                    "require_optimal": False,
+                }
+            ),
+            cache=None,
+        )
+        assert heur.objective_value >= exact.objective_value
+        _assert_envelope_valid(heur)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(5, 8))
+    def test_restricted_cover_triangles_only(self, n: int):
+        """min_blocks under allowed_sizes = {3}: certified, admissible,
+        and never cheaper than the unrestricted optimum."""
+        restricted = solve(
+            CoverSpec.for_ring(n, allowed_sizes=(3,)), cache=None
+        )
+        assert restricted.status == "proven_optimal"
+        assert all(blk.size == 3 for blk in restricted.covering.blocks)
+        _assert_envelope_valid(restricted)
+        free = solve(CoverSpec.for_ring(n, use_hints=False, backend="exact"), cache=None)
+        assert restricted.num_blocks >= free.num_blocks
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(5, 8))
+    def test_sharded_matches_serial_across_objectives(self, n: int):
+        serial = solve(
+            CoverSpec.for_ring(
+                n, objective="min_total_size", backend="exact", use_hints=False
+            ),
+            cache=None,
+        )
+        sharded = solve(
+            CoverSpec.for_ring(
+                n,
+                objective="min_total_size",
+                backend="exact_sharded",
+                use_hints=False,
+                workers=2,
+            ),
+            cache=None,
+        )
+        assert sharded.status == "proven_optimal"
+        assert sharded.objective_value == serial.objective_value
+        _assert_envelope_valid(sharded)
+
+
+class TestMinBlocksGoldens:
+    """The no-regression anchor of the objective redesign: every
+    pre-objective ``min_blocks`` envelope (certification runs, routed
+    closed forms, heuristic, λ-fold, restricted demand) must come back
+    byte-identical — same spec hashes, same statuses, same node counts,
+    same JSON.  BENCH_solver.json's statuses/node counts ride on the
+    exact-certification entries."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self) -> dict:
+        with open(_GOLDEN_DIR / "min_blocks_envelopes.json", encoding="utf-8") as f:
+            return json.load(f)
+
+    def test_envelopes_byte_identical(self, goldens):
+        for spec_hash, doc in sorted(goldens.items(), key=lambda kv: kv[1]["label"]):
+            payload = json.loads(doc["json"])
+            spec = CoverSpec.from_payload(payload["spec"])
+            assert spec.spec_hash == spec_hash, f"{doc['label']}: spec hash drifted"
+            result = solve(spec, cache=None)
+            assert result.to_json() == doc["json"], (
+                f"{doc['label']}: envelope bytes drifted from the pre-objective golden"
+            )
+
+    def test_bench_solver_node_counts_reproduced(self, goldens):
+        with open(Path(__file__).parent.parent / "BENCH_solver.json", encoding="utf-8") as f:
+            bench = json.load(f)
+        by_n = {row["n"]: row for row in bench["rows"]}
+        for doc in goldens.values():
+            payload = json.loads(doc["json"])
+            if payload["backend"] != "exact" or payload["spec"]["use_hints"]:
+                continue
+            n = payload["spec"]["n"]
+            if n not in by_n:
+                continue
+            assert payload["stats"]["nodes"] == by_n[n]["nodes"], (
+                f"n={n}: golden node count diverged from BENCH_solver.json"
+            )
+            assert payload["status"] == "proven_optimal"
+            assert by_n[n]["proven"]
