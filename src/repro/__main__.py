@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro solve --n 11                  # one job, auto-routed
     python -m repro solve --n 10 --backend exact --no-hints --json
+    python -m repro solve --n 8 --backend exact --no-hints \
+        --checkpoint-dir ckpts --resume --preempt-after 800n  # resumable
     python -m repro solve --n 8 --objective min_total_size   # ADM-count optimum
     python -m repro solve --n 7 --allowed-sizes 3 # restricted cover (C3 only)
     python -m repro sweep --ns 4..11 --json       # many jobs, shared cache
@@ -31,6 +33,14 @@ serial run's), ``--job-timeout`` adds a per-job deadline with
 retry-with-exclusion, and ``--spool DIR`` names the shared spool
 directory external ``python -m repro worker --spool DIR`` workers are
 watching.  ``worker`` is the remote end of both worker protocols.
+
+``solve --checkpoint-dir DIR`` makes a long proof *resumable*: a run
+preempted by ``--preempt-after`` (``'800n'`` nodes or seconds) or by a
+``--time-budget`` deadline exits with status 3 leaving a checkpoint in
+DIR, and ``--resume`` picks the proof up where it stopped.  The final
+envelope is byte-identical however many preempt/resume cycles produced
+it.  ``worker --preempt-after / --checkpoint-every`` give spool workers
+the same powers (checkpoint, bow out, let any worker resume).
 
 ``solve`` and ``sweep`` go through ``api.solve`` — spec construction,
 backend routing, the content-addressed result cache (default
@@ -141,6 +151,21 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-dir", metavar="DIR",
+                        help="persist resumable search checkpoints under DIR; "
+                             "a preempted or killed solve leaves its state there")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from an existing checkpoint in "
+                             "--checkpoint-dir instead of starting fresh")
+    parser.add_argument("--preempt-after", metavar="X",
+                        help="preempt the solve after X ('800n' = 800 search "
+                             "nodes, '2.5' = seconds), flush a checkpoint, and "
+                             "exit with status 3")
+    parser.add_argument("--checkpoint-every", type=int, metavar="NODES",
+                        help="also flush a checkpoint every NODES search nodes")
+
+
 def _add_dispatch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--transport", choices=("inproc", "subprocess", "spool"),
@@ -189,6 +214,37 @@ def _cache_from_args(args: argparse.Namespace):
     return ResultCache(default_cache_dir())
 
 
+def _solve_resumable(spec, cache, ckpt_store, budget, args: argparse.Namespace):
+    """One checkpointed `solve` call: honour --resume (or clear stale
+    state without it), and turn a --preempt-after budget into a preempt
+    callback whose node counts continue from the resumed checkpoint —
+    so repeated --resume runs each advance the proof by the full budget."""
+    from .api import solve
+
+    prior = None
+    if ckpt_store is not None:
+        if getattr(args, "resume", False):
+            prior = ckpt_store.load(spec.spec_hash)
+        else:
+            ckpt_store.delete(spec.spec_hash)
+    preempt = None
+    if budget is not None:
+        unit, amount = budget
+        if unit == "nodes":
+            ceiling = (prior.nodes if prior is not None else 0) + int(amount)
+            preempt = lambda st: st.nodes >= ceiling  # noqa: E731
+        else:
+            deadline = time.monotonic() + amount
+            preempt = lambda st: time.monotonic() >= deadline  # noqa: E731
+    return solve(
+        spec,
+        cache=cache,
+        checkpoints=ckpt_store,
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        preempt=preempt,
+    )
+
+
 def _note_cache(result) -> None:
     if result.from_cache:
         print(
@@ -226,11 +282,39 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
             results.append((result, report.seconds.get(result.spec_hash, 0.0)))
         print(f"[dispatch] {report.summary()}", file=sys.stderr)
     else:
+        from .util.errors import SolverPreempted
+
+        ckpt_store = None
+        if getattr(args, "checkpoint_dir", None):
+            from .api import CheckpointStore
+
+            ckpt_store = CheckpointStore(args.checkpoint_dir)
+        budget = None
+        if getattr(args, "preempt_after", None):
+            from .dispatch.worker import parse_preempt_after
+
+            try:
+                budget = parse_preempt_after(args.preempt_after)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        checkpointing = ckpt_store is not None or budget is not None
         for n in ns:
             t0 = time.perf_counter()
             try:
                 spec = _spec_from_args(args, n)
-                result = solve(spec, cache=cache)
+                if checkpointing:
+                    result = _solve_resumable(spec, cache, ckpt_store, budget, args)
+                else:
+                    result = solve(spec, cache=cache)
+            except SolverPreempted:
+                nodes = ckpt_store.load(spec.spec_hash).nodes if ckpt_store else "?"
+                print(
+                    f"[preempted] n={n} checkpointed at {nodes} nodes; "
+                    f"re-run with --resume to continue",
+                    file=sys.stderr,
+                )
+                return 3
             except ReproError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
@@ -282,6 +366,7 @@ def _cmd_solve(argv: list[str]) -> int:
     )
     parser.add_argument("--n", type=int, required=True, help="ring order")
     _add_spec_arguments(parser)
+    _add_checkpoint_arguments(parser)
     args = parser.parse_args(argv)
     return _run_jobs([args.n], args, single=True)
 
@@ -363,8 +448,16 @@ def _cmd_worker(argv: list[str]) -> int:
                         help="exit when the spool has no eligible jobs")
     parser.add_argument("--worker-id", metavar="ID",
                         help="spool worker id (default: w<pid>)")
+    parser.add_argument("--checkpoint-every", type=int, metavar="NODES",
+                        help="flush a resumable checkpoint every NODES search "
+                             "nodes (spool default: 2048)")
+    parser.add_argument("--preempt-after", metavar="X",
+                        help="spool mode: bow out of a proof after X ('800n' "
+                             "nodes or seconds), checkpoint it, and hand the "
+                             "job back for any worker to resume")
     args = parser.parse_args(argv)
     from .dispatch import spool_worker_loop, stdio_worker_loop
+    from .dispatch.worker import SPOOL_CHECKPOINT_EVERY_DEFAULT
 
     if args.spool:
         return spool_worker_loop(
@@ -373,8 +466,14 @@ def _cmd_worker(argv: list[str]) -> int:
             exit_when_idle=args.exit_when_idle,
             max_jobs=args.max_jobs,
             worker_id=args.worker_id,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else SPOOL_CHECKPOINT_EVERY_DEFAULT
+            ),
+            preempt_after=args.preempt_after,
         )
-    return stdio_worker_loop()
+    return stdio_worker_loop(checkpoint_every=args.checkpoint_every)
 
 
 # ---------------------------------------------------------------------------

@@ -30,6 +30,8 @@ Layers (each its own module):
   (status, stats, bound certificates, provenance, deterministic JSON);
 * :mod:`~repro.api.cache` — the content-addressed on-disk
   :class:`ResultCache` keyed by canonical spec hash;
+* :mod:`~repro.api.checkpoints` — the :class:`CheckpointStore` of
+  resumable search checkpoints living next to the cache;
 * :mod:`~repro.api.service` — :func:`solve` / :func:`solve_batch`.
 
 The legacy free functions (``repro.core.solver.solve_min_covering``
@@ -51,6 +53,7 @@ from .backends import (
     register_backend,
 )
 from .cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from .checkpoints import CheckpointStore, MemoryCheckpointStore
 from .result import RESULT_FORMAT, Result, STATUSES
 from .router import RoutingError, route, route_backend
 from .service import solve, solve_batch
@@ -59,7 +62,9 @@ from .spec import SPEC_FORMAT, CoverSpec, SpecError
 __all__ = [
     "Backend",
     "CACHE_DIR_ENV",
+    "CheckpointStore",
     "CoverSpec",
+    "MemoryCheckpointStore",
     "Objective",
     "RESULT_FORMAT",
     "Result",

@@ -59,6 +59,7 @@ from ..core.formulas import optimal_excess, rho
 from ..core.objective import Objective as CoverObjective
 from ..core.objective import get_objective
 from ..util.errors import SolverError
+from .checkpoints import CheckpointStore
 from .result import Result
 from .spec import CoverSpec, SpecError
 
@@ -89,8 +90,28 @@ class Backend(Protocol):
         (formula-level work only) — the router calls it while choosing."""
         ...
 
-    def run(self, spec: CoverSpec) -> Result:
-        """Solve the job.  Only called when :meth:`supports` is true."""
+    def run(
+        self,
+        spec: CoverSpec,
+        *,
+        checkpoints=None,
+        checkpoint_every: int | None = None,
+        preempt=None,
+    ) -> Result:
+        """Solve the job.  Only called when :meth:`supports` is true.
+
+        ``checkpoints`` is an optional
+        :class:`~repro.api.checkpoints.CheckpointStore`: resumable
+        backends load the spec's checkpoint from it before searching,
+        flush snapshots into it every ``checkpoint_every`` nodes (and
+        on preemption), and delete the entry on success.  ``preempt``
+        is polled with the live engine stats; returning truthy raises
+        :class:`~repro.util.errors.SolverPreempted` with the flushed
+        checkpoint.  Backends without resumable state accept and
+        ignore the keywords.  The service only passes them when the
+        caller opted in, so ``run(spec)`` remains a valid minimal
+        implementation for custom backends.
+        """
         ...
 
 
@@ -206,7 +227,15 @@ class ClosedFormBackend:
             return spec.lam == 1 and optimal_excess(spec.n) == spec.n // 2
         return False
 
-    def run(self, spec: CoverSpec) -> Result:
+    def run(
+        self,
+        spec: CoverSpec,
+        *,
+        checkpoints=None,
+        checkpoint_every: int | None = None,
+        preempt=None,
+    ) -> Result:
+        # No search state to checkpoint: the construction is O(n²).
         if not self.supports(spec):
             raise SpecError("closed_form backend does not support this spec")
         obj = _objective_of(spec)
@@ -251,38 +280,67 @@ class ExactBackend:
             return spec.n <= EXACT_KN_MAX_N
         return spec.n <= EXACT_INSTANCE_MAX_N
 
-    def run(self, spec: CoverSpec) -> Result:
+    def run(
+        self,
+        spec: CoverSpec,
+        *,
+        checkpoints=None,
+        checkpoint_every: int | None = None,
+        preempt=None,
+    ) -> Result:
         engine = SolverEngine(spec.n, max_size=spec.max_size)
         obj = _objective_of(spec)
         stats = SolverStats()
         deadline = _deadline_of(spec)
         node_limit = _node_limit_of(spec)
-        if spec.is_all_to_all and spec.lam == 1:
-            covering = engine.min_covering(
-                upper_bound=warm_start_bound(spec),
-                node_limit=node_limit,
-                stats=stats,
-                branching=spec.branching,
-                use_memo=spec.use_memo,
-                deadline=deadline,
-                objective=obj,
-                allowed_sizes=spec.allowed_sizes,
-            )
-        else:
-            # The instance solver has no external-bound seam — it seeds
-            # its own greedy incumbent — so use_hints cannot thread a
-            # cross-tier bound into this path (see the module docstring).
-            inst = spec.instance()
-            covering = engine.min_covering_instance(
-                inst,
-                node_limit=node_limit,
-                stats=stats,
-                deadline=deadline,
-                objective=obj,
-                allowed_sizes=spec.allowed_sizes,
-            )
+        store = CheckpointStore.open(checkpoints)
+        resume = store.load(spec.spec_hash) if store is not None else None
+        on_checkpoint = None
+        if store is not None:
+            on_checkpoint = lambda ckpt: store.save(spec.spec_hash, ckpt)  # noqa: E731
+        try:
+            if spec.is_all_to_all and spec.lam == 1:
+                covering = engine.min_covering(
+                    upper_bound=warm_start_bound(spec),
+                    node_limit=node_limit,
+                    stats=stats,
+                    branching=spec.branching,
+                    use_memo=spec.use_memo,
+                    deadline=deadline,
+                    objective=obj,
+                    allowed_sizes=spec.allowed_sizes,
+                    checkpoint=resume,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                    preempt=preempt,
+                )
+            else:
+                # The instance solver has no external-bound seam — it seeds
+                # its own greedy incumbent — so use_hints cannot thread a
+                # cross-tier bound into this path (see the module docstring).
+                inst = spec.instance()
+                covering = engine.min_covering_instance(
+                    inst,
+                    node_limit=node_limit,
+                    stats=stats,
+                    deadline=deadline,
+                    objective=obj,
+                    allowed_sizes=spec.allowed_sizes,
+                    checkpoint=resume,
+                    checkpoint_every=checkpoint_every,
+                    on_checkpoint=on_checkpoint,
+                    preempt=preempt,
+                )
+        except SolverError as exc:
+            # Budget overruns and preemptions flush their resumable
+            # state before propagating, so the next run picks up here.
+            if store is not None and exc.checkpoint is not None:
+                store.save(spec.spec_hash, exc.checkpoint)
+            raise
+        if store is not None:
+            store.delete(spec.spec_hash)
         cert = obj.certificate(spec, "exact")
-        return Result(
+        result = Result(
             spec=spec,
             covering=covering,
             status="proven_optimal",
@@ -292,6 +350,17 @@ class ExactBackend:
             certificates=("branch_and_bound_exhaustive",)
             + tuple(a.name for a in cert.arguments),
         )
+        if resume is not None:
+            # Runtime-only resume lineage: visible to callers, stripped
+            # from the serialized envelope (byte-identity guarantee).
+            result = result.annotate_resume(
+                {
+                    "resumed": True,
+                    "resumes": resume.resumes + 1,
+                    "checkpoint_nodes": resume.nodes,
+                }
+            )
+        return result
 
 
 class ExactShardedBackend:
@@ -304,7 +373,19 @@ class ExactShardedBackend:
         # constrains the demand shape, not the objective.
         return spec.is_all_to_all and spec.lam == 1 and spec.n <= EXACT_KN_MAX_N
 
-    def run(self, spec: CoverSpec) -> Result:
+    def run(
+        self,
+        spec: CoverSpec,
+        *,
+        checkpoints=None,
+        checkpoint_every: int | None = None,
+        preempt=None,
+    ) -> Result:
+        # Checkpoint keywords are accepted and ignored: shard workers
+        # run in separate processes and their interleaved frontiers have
+        # no single serializable stack — resumable sharded certification
+        # would need per-shard checkpoints (future work; the serial
+        # `exact` backend is the resumable path).
         if not self.supports(spec):
             raise SpecError(
                 "exact_sharded certifies uniform K_n demand only "
@@ -354,7 +435,15 @@ class HeuristicBackend:
         # (whose objective is registered by construction) is accepted.
         return True
 
-    def run(self, spec: CoverSpec) -> Result:
+    def run(
+        self,
+        spec: CoverSpec,
+        *,
+        checkpoints=None,
+        checkpoint_every: int | None = None,
+        preempt=None,
+    ) -> Result:
+        # No search tree to checkpoint: greedy + improver is polynomial.
         from ..core.improve import ImproveStats, improve_covering
 
         inst = spec.instance()

@@ -17,7 +17,7 @@ is the standard :mod:`repro.io` document, version checks included.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..core.covering import Covering
@@ -25,9 +25,20 @@ from ..core.engine import SolverStats
 from ..util.errors import InvalidCoveringError
 from .spec import CoverSpec, SpecError
 
-__all__ = ["Result", "RESULT_FORMAT", "RESULT_SCHEMA_MAJOR", "STATUSES"]
+__all__ = [
+    "Result",
+    "RESULT_FORMAT",
+    "RESULT_SCHEMA_MAJOR",
+    "RESUME_PROVENANCE_KEY",
+    "STATUSES",
+]
 
 RESULT_FORMAT = "repro-result"
+
+# Runtime-only provenance key carrying resume lineage; stripped from
+# every serialized envelope so checkpoint/resume history can never
+# change result bytes.
+RESUME_PROVENANCE_KEY = "resume"
 RESULT_SCHEMA_MAJOR = 1
 # Minor 1 added the optional ``objective_value`` field.  Envelopes for
 # legacy-shaped jobs (objective ``min_blocks``, no size restriction)
@@ -150,9 +161,7 @@ class Result:
             },
             "lower_bound": self.lower_bound,
             "certificates": list(self.certificates),
-            "provenance": dict(self.provenance)
-            if self.provenance is not None
-            else self._provenance(),
+            "provenance": self._serialized_provenance(),
         }
         if _extended_spec(self.spec):
             payload["objective_value"] = self.objective_value
@@ -162,6 +171,33 @@ class Result:
         from .. import __version__
 
         return {"library": "repro", "library_version": __version__}
+
+    def _serialized_provenance(self) -> dict[str, Any]:
+        """The provenance dict that enters the envelope: the stamped
+        (or round-tripped) metadata *minus* the runtime-only resume
+        lineage — envelopes must stay byte-identical regardless of how
+        many preempt/resume cycles produced them."""
+        prov = (
+            dict(self.provenance)
+            if self.provenance is not None
+            else self._provenance()
+        )
+        prov.pop(RESUME_PROVENANCE_KEY, None)
+        return prov
+
+    def annotate_resume(self, lineage: dict[str, Any]) -> "Result":
+        """A copy carrying runtime-only resume lineage under
+        ``provenance["resume"]`` (how many cycles, the checkpoint's
+        node floor).  Callers can inspect it in-process; serialization
+        strips it so the envelope is byte-identical to an uninterrupted
+        run's."""
+        base = (
+            dict(self.provenance)
+            if self.provenance is not None
+            else self._provenance()
+        )
+        base[RESUME_PROVENANCE_KEY] = dict(lineage)
+        return replace(self, provenance=base)
 
     @classmethod
     def from_payload(cls, payload: Any, *, verify: bool = False) -> "Result":

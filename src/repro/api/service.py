@@ -29,7 +29,12 @@ __all__ = ["solve", "solve_batch"]
 
 
 def solve(
-    spec: CoverSpec, *, cache: ResultCache | str | None = None
+    spec: CoverSpec,
+    *,
+    cache: ResultCache | str | None = None,
+    checkpoints: "CheckpointStore | str | None" = None,
+    checkpoint_every: int | None = None,
+    preempt=None,
 ) -> Result:
     """Solve one covering job.
 
@@ -37,7 +42,20 @@ def solve(
     directory path (opened as one), or ``None`` (no caching).  Cache
     hits come back with ``from_cache=True`` and byte-identical
     :meth:`~repro.api.result.Result.to_json` output.
+
+    ``checkpoints`` (a :class:`~repro.api.checkpoints.CheckpointStore`
+    or a directory path) makes the solve *resumable*: an existing
+    checkpoint for this spec hash is resumed, a snapshot is flushed
+    every ``checkpoint_every`` nodes, and a preempted/overrun run
+    leaves its state in the store before raising
+    :class:`~repro.util.errors.SolverPreempted` (node-limit overruns
+    leave one too).  ``preempt`` is a callable polled with the live
+    engine stats; returning truthy triggers exactly that preemption.
+    Resume history never changes the envelope: the final result is
+    byte-identical to an uninterrupted solve.
     """
+    from .checkpoints import CheckpointStore
+
     store = ResultCache.open(cache)
     if store is not None:
         hit = store.get(spec)
@@ -54,7 +72,18 @@ def solve(
                 return replace(hit, from_cache=True)
 
     backend = get_backend(route_backend(spec))
-    result = backend.run(spec)
+    ckpt_store = CheckpointStore.open(checkpoints)
+    if ckpt_store is None and checkpoint_every is None and preempt is None:
+        # Keep the historical single-argument call shape so minimal
+        # custom backends (``run(self, spec)``) stay compatible.
+        result = backend.run(spec)
+    else:
+        result = backend.run(
+            spec,
+            checkpoints=ckpt_store,
+            checkpoint_every=checkpoint_every,
+            preempt=preempt,
+        )
     _validate(result)
     if store is not None:
         store.put(result)

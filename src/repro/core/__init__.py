@@ -23,6 +23,7 @@ from .formulas import (
 # The engine exports (not the repro.core.solver façade): the top-level
 # surface stays warning-free; DeprecationWarnings fire only for callers
 # importing through repro.core.solver itself.
+from .checkpoint import CappedMemo, SearchCheckpoint
 from .engine import (
     SolverEngine,
     SolverStats,
@@ -62,9 +63,11 @@ __all__ = [
     "reflect_covering",
     "rotate_covering",
     "solve_min_covering_instance",
+    "CappedMemo",
     "CoverageLedger",
     "CycleBlock",
     "Covering",
+    "SearchCheckpoint",
     "LowerBoundCertificate",
     "ImproveStats",
     "Objective",

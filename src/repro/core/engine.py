@@ -115,9 +115,10 @@ from math import lcm
 from typing import NamedTuple
 
 from ..util import circular
-from ..util.errors import SolverError
+from ..util.errors import SolverError, SolverPreempted
 from ..util.parallel import parallel_map, resolve_workers, weighted_chunks
 from .blocks import CycleBlock
+from .checkpoint import KIND_INSTANCE, KIND_KN, CappedMemo, SearchCheckpoint, memo_cap
 from .covering import Covering
 from .ledger import CoverageLedger
 from .objective import Objective, resolve_objective
@@ -147,14 +148,6 @@ BRANCHING_ORDERS = ("lex", "scarcest")
 # cheap enough to leave on, frequent enough for sub-second budgets.
 DEADLINE_POLL_MASK = 0xFF
 
-
-def _check_deadline(deadline: float | None, nodes: int, n: int) -> None:
-    if (
-        deadline is not None
-        and nodes & DEADLINE_POLL_MASK == 0
-        and time.time() > deadline
-    ):
-        raise SolverError(f"solver exceeded its time budget for n={n}")
 
 # The acceptance bar of the PR-2 perf work, shared by the regression
 # tests, the solver benchmark, and CI: the seed solver explored 85,650
@@ -709,6 +702,10 @@ class SolverEngine:
         deadline: float | None = None,
         objective: Objective | str | None = None,
         allowed_sizes: tuple[int, ...] | None = None,
+        checkpoint: SearchCheckpoint | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        preempt=None,
     ) -> Covering:
         """Certified minimum DRC-covering of ``K_n`` over ``C_n``.
 
@@ -729,6 +726,18 @@ class SolverEngine:
         ``time.time()`` wall-clock cutoff (the :mod:`repro.api` layer
         derives it from a spec's time budget); overrunning it raises,
         exactly like the node limit.
+
+        Checkpointing: pass ``checkpoint`` (a
+        :class:`~repro.core.checkpoint.SearchCheckpoint` from a prior
+        run) to resume exactly where that run stopped — the final
+        covering and node count are identical to an uninterrupted
+        search.  ``on_checkpoint`` is called with a fresh snapshot
+        every ``checkpoint_every`` nodes; ``preempt`` is polled with
+        the live :class:`SolverStats` at the deadline cadence and a
+        truthy return raises :class:`SolverPreempted` carrying the
+        resumable checkpoint (deadline overruns raise the same way;
+        a node-limit overrun raises :class:`SolverError` with the
+        checkpoint attached).
         """
         n = self.n
         if n > 12:
@@ -750,6 +759,11 @@ class SolverEngine:
             deadline=deadline,
             objective=obj,
             allowed_sizes=allowed_sizes,
+            branching=branching,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            preempt=preempt,
         )
         if best_blocks is None:
             # The search ran to exhaustion (a node-limit overrun raises
@@ -832,6 +846,11 @@ class SolverEngine:
         deadline: float | None = None,
         objective: Objective | None = None,
         allowed_sizes: tuple[int, ...] | None = None,
+        branching: str = "lex",
+        checkpoint: SearchCheckpoint | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        preempt=None,
     ) -> tuple[int, list[CycleBlock] | None]:
         """Branch-and-bound over the (possibly size-restricted) convex
         pool for All-to-All demand, generic over the objective.
@@ -846,6 +865,16 @@ class SolverEngine:
         additionally get the residual odd-degree vertex count for their
         bound.  Returns the improved ``(best_count, best_blocks)``;
         exhaustive unless the node limit raises.
+
+        The search runs as an explicit-stack loop over frames
+        ``[covered, used, W, odd, scored, cursor]`` so its entire
+        state — incumbent, per-frame candidate cursor, transposition
+        memo, and the unexplored root frontier — can be captured in a
+        :class:`SearchCheckpoint` at any loop boundary and resumed
+        later with an identical node sequence.  The chosen-block path
+        is implicit: frame ``k``'s active child is
+        ``scored[cursor − 1]``, an invariant that holds for every
+        non-top frame at the loop top.
         """
         n = self.n
         obj = resolve_objective(objective)
@@ -866,7 +895,7 @@ class SolverEngine:
         track_parity = obj.track_parity
         edges = space.edges
         perms = dihedral_bit_perms(n) if use_memo else ()
-        memo: dict[int, int] = {}
+        memo = CappedMemo(memo_cap())
         lex = order == list(range(len(space.edges)))
         W_root = sum(weights)
         # Residual demand-degree parity per vertex: All-to-All leaves
@@ -874,17 +903,20 @@ class SolverEngine:
         odd_root = ((1 << n) - 1) if (track_parity and (n - 1) % 2) else 0
 
         best: list = [best_count, best_blocks]
+        chosen: list[CycleBlock] = []
+        # Frame layout: [covered, used, W, odd, scored, cursor].
+        frames: list[list] = []
 
-        def dfs(covered: int, used: int, W: int, odd: int, chosen: list[CycleBlock]) -> None:
+        def visit(covered: int, used: int, W: int, odd: int):
+            """Process one search node (count, completion, bound, memo,
+            branching target) and return the scored candidate list to
+            expand — or ``None`` when the node is a leaf or pruned."""
             st.nodes += 1
-            if st.nodes > node_limit:
-                raise SolverError(f"solver exceeded node limit {node_limit} for n={n}")
-            _check_deadline(deadline, st.nodes, n)
             if covered == full_mask:
                 if used < best[0]:
                     best[0] = used
                     best[1] = list(chosen)
-                return
+                return None
             unc = full_mask & ~covered
             # Objective bound over the running residual totals (the
             # fractional/cardinality packing maximum for min_blocks).
@@ -897,38 +929,151 @@ class SolverEngine:
                 odd_vertices=odd.bit_count(),
             )
             if used + (bound if bound > min_cost else min_cost) >= best[0]:
-                return
+                return None
             if use_memo:
                 key = _canonical_mask(unc, perms)
                 prev = memo.get(key)
                 if prev is not None and prev <= used:
-                    return
-                memo[key] = used
+                    return None
+                memo.store(key, used)
             if lex:
                 target = (unc & -unc).bit_length() - 1
             else:
                 target = next(e for e in order if (unc >> e) & 1)
             cands = root_cands if covered == 0 else per_edge[target]
-            scored = sorted(
+            return sorted(
                 cands,
                 key=lambda i: -sum(dist[b] for b in bit_lists[i] if (unc >> b) & 1),
             )
-            for i in scored:
-                dW = 0
-                new_odd = odd
-                if track_parity:
-                    for b in bit_lists[i]:
-                        if (unc >> b) & 1:
-                            dW += weights[b]
-                            a, c = edges[b]
-                            new_odd ^= (1 << a) | (1 << c)
-                else:
-                    dW = sum(weights[b] for b in bit_lists[i] if (unc >> b) & 1)
-                chosen.append(blocks[i])
-                dfs(covered | masks[i], used + costs[i], W - dW, new_odd, chosen)
-                chosen.pop()
 
-        dfs(0, 0, W_root, odd_root, [])
+        def capture() -> SearchCheckpoint:
+            return SearchCheckpoint(
+                kind=KIND_KN,
+                n=n,
+                max_size=self.max_size,
+                objective=obj.name,
+                branching=branching,
+                use_memo=use_memo,
+                allowed_sizes=(
+                    tuple(allowed_sizes) if allowed_sizes is not None else None
+                ),
+                nodes=st.nodes,
+                best_value=best[0],
+                best_blocks=(
+                    tuple(blk.vertices for blk in best[1])
+                    if best[1] is not None
+                    else None
+                ),
+                frames=[[fr[0], fr[1], fr[2], fr[3], list(fr[4]), fr[5]] for fr in frames],
+                memo=list(memo.items()),
+                resumes=(checkpoint.resumes + 1) if checkpoint is not None else 0,
+            )
+
+        if checkpoint is not None:
+            checkpoint.check_compatible(
+                kind=KIND_KN,
+                n=n,
+                max_size=self.max_size,
+                objective=obj.name,
+                branching=branching,
+                use_memo=use_memo,
+                allowed_sizes=(
+                    tuple(allowed_sizes) if allowed_sizes is not None else None
+                ),
+            )
+            st.nodes = checkpoint.nodes
+            best[0] = checkpoint.best_value
+            best[1] = (
+                [CycleBlock(tuple(vs)) for vs in checkpoint.best_blocks]
+                if checkpoint.best_blocks is not None
+                else None
+            )
+            for key, value in checkpoint.memo:
+                memo.store(key, value)
+            frames = [
+                [covered, used, W, odd, list(scored), cursor]
+                for covered, used, W, odd, scored, cursor in checkpoint.frames
+            ]
+            for k in range(len(frames) - 1):
+                fr = frames[k]
+                chosen.append(blocks[fr[4][fr[5] - 1]])
+        else:
+            scored0 = visit(0, 0, W_root, odd_root)
+            if scored0 is not None:
+                frames.append([0, 0, W_root, odd_root, scored0, 0])
+
+        # A budget check at the loop top fires on the node count the
+        # just-resumed checkpoint restored; gating polls on progress
+        # past this floor guarantees every resume cycle advances at
+        # least one poll window before it can be preempted again.
+        poll_floor = st.nodes
+        next_flush = (
+            st.nodes + checkpoint_every
+            if checkpoint_every and on_checkpoint is not None
+            else None
+        )
+
+        while frames:
+            if st.nodes > node_limit:
+                raise SolverError(
+                    f"solver exceeded node limit {node_limit} for n={n}",
+                    checkpoint=capture(),
+                    best_blocks=list(best[1]) if best[1] is not None else None,
+                    best_value=best[0],
+                    stats=st,
+                )
+            if st.nodes & DEADLINE_POLL_MASK == 0 and st.nodes > poll_floor:
+                if deadline is not None and time.time() > deadline:
+                    raise SolverPreempted(
+                        f"solver exceeded its time budget for n={n}",
+                        checkpoint=capture(),
+                        best_blocks=list(best[1]) if best[1] is not None else None,
+                        best_value=best[0],
+                        stats=st,
+                    )
+                if preempt is not None and preempt(st):
+                    raise SolverPreempted(
+                        f"solver preempted at {st.nodes} nodes for n={n}",
+                        checkpoint=capture(),
+                        best_blocks=list(best[1]) if best[1] is not None else None,
+                        best_value=best[0],
+                        stats=st,
+                    )
+            if next_flush is not None and st.nodes >= next_flush:
+                on_checkpoint(capture())
+                next_flush = st.nodes + checkpoint_every
+            fr = frames[-1]
+            scored = fr[4]
+            cursor = fr[5]
+            if cursor >= len(scored):
+                frames.pop()
+                if frames:
+                    chosen.pop()
+                continue
+            fr[5] = cursor + 1
+            i = scored[cursor]
+            covered, used, W, odd = fr[0], fr[1], fr[2], fr[3]
+            unc = full_mask & ~covered
+            dW = 0
+            new_odd = odd
+            if track_parity:
+                for b in bit_lists[i]:
+                    if (unc >> b) & 1:
+                        dW += weights[b]
+                        a, c = edges[b]
+                        new_odd ^= (1 << a) | (1 << c)
+            else:
+                dW = sum(weights[b] for b in bit_lists[i] if (unc >> b) & 1)
+            chosen.append(blocks[i])
+            child_covered = covered | masks[i]
+            child_used = used + costs[i]
+            child_scored = visit(child_covered, child_used, W - dW, new_odd)
+            if child_scored is None:
+                chosen.pop()
+            else:
+                frames.append(
+                    [child_covered, child_used, W - dW, new_odd, child_scored, 0]
+                )
         return best[0], best[1]
 
     # -- sharded scale-out -----------------------------------------------
@@ -1026,6 +1171,10 @@ class SolverEngine:
         deadline: float | None = None,
         objective: Objective | str | None = None,
         allowed_sizes: tuple[int, ...] | None = None,
+        checkpoint: SearchCheckpoint | None = None,
+        checkpoint_every: int | None = None,
+        on_checkpoint=None,
+        preempt=None,
     ) -> Covering:
         """Certified minimum DRC-covering of an arbitrary instance on
         ``C_n`` (multiplicities supported — e.g. ``λK_n``), generic
@@ -1041,6 +1190,12 @@ class SolverEngine:
         accumulated objective cost.  Exponential; intended for small
         instances (``n ≤ 10``, small λ).  This is the certifier behind
         the λK_n experiment's exact values.
+
+        ``checkpoint``/``checkpoint_every``/``on_checkpoint``/``preempt``
+        follow :meth:`min_covering`'s resumable-search contract; the
+        instance frames additionally carry the per-chord residual
+        decrements so the mutable ``residual_counts`` vector restores
+        exactly, and resume validates a demand fingerprint.
         """
         from ..traffic.instances import Instance
 
@@ -1153,19 +1308,28 @@ class SolverEngine:
         if symmetric:
             root_cands, _ = _orbit_representatives(n, blocks, per_bit[root_bit])
 
-        memo: dict[tuple[int, ...], int] = {}
+        memo = CappedMemo(memo_cap())
         best: list = [best_count, best_blocks]
+        chosen: list[CycleBlock] = []
+        # Frame layout: [used, remaining, W, odd, scored, cursor,
+        # decremented] — ``decremented`` records the chord bits whose
+        # residual count was reduced on *entering* this frame's node,
+        # replayed backwards when the frame pops (and serialized, so a
+        # resumed search restores ``residual_counts`` exactly).
+        frames: list[list] = []
+        demand_fingerprint = sorted(
+            [a, b, m] for (a, b), m in instance.demand.items() if m > 0
+        )
 
-        def dfs(used: int, remaining: int, W: int, odd: int, chosen: list[CycleBlock]) -> None:
+        def visit(used: int, remaining: int, W: int, odd: int):
+            """Process one search node and return the scored candidate
+            list to expand, or ``None`` when it is a leaf or pruned."""
             st.nodes += 1
-            if st.nodes > node_limit:
-                raise SolverError(f"instance solver exceeded node limit {node_limit}")
-            _check_deadline(deadline, st.nodes, n)
             if remaining == 0:
                 if used < best[0]:
                     best[0] = used
                     best[1] = list(chosen)
-                return
+                return None
             bound = node_bound(
                 frac_units=W,
                 frac_denom=denom,
@@ -1175,12 +1339,12 @@ class SolverEngine:
                 odd_vertices=odd.bit_count(),
             )
             if used + (bound if bound > min_cost else min_cost) >= best[0]:
-                return
+                return None
             key = tuple(residual_counts)
             prev = memo.get(key)
             if prev is not None and prev <= used:
-                return
-            memo[key] = used
+                return None
+            memo.store(key, used)
             target = -1
             for b in demand_bits:
                 if residual_counts[b]:
@@ -1189,31 +1353,148 @@ class SolverEngine:
             cands = per_bit[target]
             if used == 0 and root_cands is not None and target == root_bit:
                 cands = root_cands
-            scored = sorted(
+            return sorted(
                 cands,
                 key=lambda i: -sum(
                     dist_by_bit[b] for b in bit_lists[i] if residual_counts[b] > 0
                 ),
             )
-            for i in scored:
-                decremented: list[int] = []
-                dW = 0
-                new_odd = odd
-                for b in bit_lists[i]:
-                    if residual_counts[b] > 0:
-                        residual_counts[b] -= 1
-                        decremented.append(b)
-                        dW += weights[b]
-                        if track_parity:
-                            a, c = edges[b]
-                            new_odd ^= (1 << a) | (1 << c)
-                chosen.append(blocks[i])
-                dfs(used + costs[i], remaining - len(decremented), W - dW, new_odd, chosen)
+
+        def capture() -> SearchCheckpoint:
+            return SearchCheckpoint(
+                kind=KIND_INSTANCE,
+                n=n,
+                max_size=self.max_size,
+                objective=obj.name,
+                dominance=dominance,
+                allowed_sizes=(
+                    tuple(allowed_sizes) if allowed_sizes is not None else None
+                ),
+                nodes=st.nodes,
+                best_value=best[0],
+                best_blocks=(
+                    tuple(blk.vertices for blk in best[1])
+                    if best[1] is not None
+                    else None
+                ),
+                frames=[
+                    [fr[0], fr[1], fr[2], fr[3], list(fr[4]), fr[5], list(fr[6])]
+                    for fr in frames
+                ],
+                memo=list(memo.items()),
+                residual_counts=list(residual_counts),
+                demand=demand_fingerprint,
+                resumes=(checkpoint.resumes + 1) if checkpoint is not None else 0,
+            )
+
+        if checkpoint is not None:
+            checkpoint.check_compatible(
+                kind=KIND_INSTANCE,
+                n=n,
+                max_size=self.max_size,
+                objective=obj.name,
+                dominance=dominance,
+                allowed_sizes=(
+                    tuple(allowed_sizes) if allowed_sizes is not None else None
+                ),
+                demand=demand_fingerprint,
+            )
+            st.nodes = checkpoint.nodes
+            best[0] = checkpoint.best_value
+            best[1] = (
+                [CycleBlock(tuple(vs)) for vs in checkpoint.best_blocks]
+                if checkpoint.best_blocks is not None
+                else None
+            )
+            for key, value in checkpoint.memo:
+                memo.store(key, value)
+            if checkpoint.residual_counts is not None:
+                residual_counts[:] = checkpoint.residual_counts
+            frames = [
+                [used, remaining, W, odd, list(scored), cursor, list(dec)]
+                for used, remaining, W, odd, scored, cursor, dec in checkpoint.frames
+            ]
+            for k in range(len(frames) - 1):
+                fr = frames[k]
+                chosen.append(blocks[fr[4][fr[5] - 1]])
+        else:
+            scored0 = visit(0, total_requests, W_root, odd_root)
+            if scored0 is not None:
+                frames.append([0, total_requests, W_root, odd_root, scored0, 0, []])
+
+        poll_floor = st.nodes
+        next_flush = (
+            st.nodes + checkpoint_every
+            if checkpoint_every and on_checkpoint is not None
+            else None
+        )
+
+        while frames:
+            if st.nodes > node_limit:
+                raise SolverError(
+                    f"instance solver exceeded node limit {node_limit}",
+                    checkpoint=capture(),
+                    best_blocks=list(best[1]) if best[1] is not None else None,
+                    best_value=best[0],
+                    stats=st,
+                )
+            if st.nodes & DEADLINE_POLL_MASK == 0 and st.nodes > poll_floor:
+                if deadline is not None and time.time() > deadline:
+                    raise SolverPreempted(
+                        f"solver exceeded its time budget for n={n}",
+                        checkpoint=capture(),
+                        best_blocks=list(best[1]) if best[1] is not None else None,
+                        best_value=best[0],
+                        stats=st,
+                    )
+                if preempt is not None and preempt(st):
+                    raise SolverPreempted(
+                        f"solver preempted at {st.nodes} nodes for n={n}",
+                        checkpoint=capture(),
+                        best_blocks=list(best[1]) if best[1] is not None else None,
+                        best_value=best[0],
+                        stats=st,
+                    )
+            if next_flush is not None and st.nodes >= next_flush:
+                on_checkpoint(capture())
+                next_flush = st.nodes + checkpoint_every
+            fr = frames[-1]
+            scored = fr[4]
+            cursor = fr[5]
+            if cursor >= len(scored):
+                frames.pop()
+                for b in fr[6]:
+                    residual_counts[b] += 1
+                if frames:
+                    chosen.pop()
+                continue
+            fr[5] = cursor + 1
+            i = scored[cursor]
+            decremented: list[int] = []
+            dW = 0
+            new_odd = fr[3]
+            for b in bit_lists[i]:
+                if residual_counts[b] > 0:
+                    residual_counts[b] -= 1
+                    decremented.append(b)
+                    dW += weights[b]
+                    if track_parity:
+                        a, c = edges[b]
+                        new_odd ^= (1 << a) | (1 << c)
+            chosen.append(blocks[i])
+            child_used = fr[0] + costs[i]
+            child_remaining = fr[1] - len(decremented)
+            child_W = fr[2] - dW
+            child_scored = visit(child_used, child_remaining, child_W, new_odd)
+            if child_scored is None:
                 chosen.pop()
                 for b in decremented:
                     residual_counts[b] += 1
-
-        dfs(0, total_requests, W_root, odd_root, [])
+            else:
+                frames.append(
+                    [child_used, child_remaining, child_W, new_odd,
+                     child_scored, 0, decremented]
+                )
         best_count, best_blocks = best
         if best_blocks is None:
             raise SolverError("no covering found (node limit too small?)")

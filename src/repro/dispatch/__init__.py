@@ -42,6 +42,7 @@ from .base import (
     Transport,
     TransportOutcome,
     WorkerDeath,
+    WorkerPreempted,
 )
 from .dispatcher import (
     TRANSPORTS,
@@ -55,13 +56,16 @@ from .spool import SpoolTransport
 from .subproc import SubprocessTransport
 from .worker import (
     CHAOS_EXIT_ENV,
+    CHAOS_EXIT_NODES_ENV,
     CHAOS_STALL_ENV,
+    parse_preempt_after,
     spool_worker_loop,
     stdio_worker_loop,
 )
 
 __all__ = [
     "CHAOS_EXIT_ENV",
+    "CHAOS_EXIT_NODES_ENV",
     "CHAOS_STALL_ENV",
     "DispatchError",
     "DispatchReport",
@@ -75,9 +79,11 @@ __all__ = [
     "Transport",
     "TransportOutcome",
     "WorkerDeath",
+    "WorkerPreempted",
     "cost_weight",
     "dispatch_batch",
     "make_transport",
+    "parse_preempt_after",
     "spool_worker_loop",
     "stdio_worker_loop",
 ]

@@ -57,6 +57,7 @@ __all__ = [
     "Transport",
     "TransportOutcome",
     "WorkerDeath",
+    "WorkerPreempted",
 ]
 
 
@@ -89,6 +90,27 @@ class WorkerDeath(ReproError, RuntimeError):
         self.timed_out = timed_out
 
 
+class WorkerPreempted(ReproError, RuntimeError):
+    """A worker hit its preemption deadline mid-proof and flushed a
+    resumable checkpoint before exiting.
+
+    Neither a death nor a failure: the runner re-queues the job at the
+    front *with its checkpoint attached* and no exclusion or retry
+    charge — the next worker resumes the proof where this one left off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        spec_hash: str | None = None,
+        checkpoint: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.spec_hash = spec_hash
+        self.checkpoint = checkpoint
+
+
 @dataclass
 class Job:
     """One unit of dispatch: a spec, its cost weight, and its retry
@@ -99,6 +121,10 @@ class Job:
     index: int  # position among the batch's unique specs (FIFO order)
     attempts: int = 0
     excluded: tuple[str, ...] = ()
+    # Serialized SearchCheckpoint payload carried from a preempted
+    # worker to whichever worker resumes the job.
+    checkpoint: dict | None = None
+    preempts: int = 0
 
     @property
     def spec_hash(self) -> str:
@@ -122,6 +148,7 @@ class TransportOutcome:
     worker_deaths: int = 0
     quarantined: int = 0  # corrupt spool results deleted and re-dispatched
     resumed: int = 0  # valid spool results accepted without re-solving
+    preempts: int = 0  # checkpointed preempt/resume handoffs
 
 
 class Transport(ABC):
@@ -151,10 +178,18 @@ class QueueWorker(ABC):
     id: str
 
     @abstractmethod
-    def solve(self, spec: CoverSpec, timeout: float | None) -> Result:
-        """Run one job.  Raises :class:`WorkerDeath` when the worker
-        stops responding (retryable) and :class:`JobError` when the job
-        itself fails deterministically (fatal)."""
+    def solve(
+        self,
+        spec: CoverSpec,
+        timeout: float | None,
+        checkpoint: dict | None = None,
+    ) -> Result:
+        """Run one job, optionally resuming from a serialized search
+        ``checkpoint``.  Raises :class:`WorkerDeath` when the worker
+        stops responding (retryable), :class:`WorkerPreempted` when it
+        flushed a checkpoint and bowed out (resumable), and
+        :class:`JobError` when the job itself fails deterministically
+        (fatal)."""
 
     @abstractmethod
     def close(self) -> None:
@@ -195,6 +230,7 @@ class QueueRunner:
         self.failure: Exception | None = None
         self.cond = threading.Condition()
         self.death_cap = max(4, 2 * len(jobs))
+        self.preempt_cap = 100  # per job; engine guarantees progress per cycle
 
     # -- driving ---------------------------------------------------------
 
@@ -221,8 +257,21 @@ class QueueRunner:
                     return
                 t0 = perf_counter()
                 try:
-                    result = worker.solve(job.spec, self.job_timeout)
+                    if job.checkpoint is not None:
+                        result = worker.solve(
+                            job.spec, self.job_timeout, checkpoint=job.checkpoint
+                        )
+                    else:
+                        result = worker.solve(job.spec, self.job_timeout)
                     self.on_result(job, result, perf_counter() - t0, worker.id)
+                except WorkerPreempted as pre:
+                    # Not a death: the worker flushed a resumable
+                    # checkpoint and exited cleanly.  Hand the proof to
+                    # a fresh worker — no exclusion, no retry charge.
+                    self._close_quietly(worker)
+                    self._repreempt(job, pre)
+                    worker = self.make_worker()
+                    continue
                 except (WorkerDeath, EnvelopeError) as death:
                     # Both mean "this worker cannot be trusted with this
                     # job": retry elsewhere, replace the worker.
@@ -258,6 +307,26 @@ class QueueRunner:
                 # Pending jobs exist but all exclude this worker (only
                 # transiently possible) or retries may still arrive.
                 self.cond.wait(0.05)
+
+    def _repreempt(self, job: Job, pre: WorkerPreempted) -> None:
+        with self.cond:
+            self.in_flight -= 1
+            self.outcome.preempts += 1
+            job.preempts += 1
+            if pre.checkpoint is not None:
+                job.checkpoint = pre.checkpoint
+            if job.preempts > self.preempt_cap:
+                # The engine guarantees forward progress per resume
+                # cycle, so this only trips on a misconfigured
+                # (absurdly short) preemption deadline.
+                self.failure = DispatchError(
+                    f"job {job.spec_hash[:12]} (n={job.spec.n}) preempted "
+                    f"{job.preempts} times without completing — preemption "
+                    f"deadline too short to make progress"
+                )
+            else:
+                self.pending.appendleft(job)
+            self.cond.notify_all()
 
     def _requeue(self, job: Job, worker_id: str, death: Exception) -> None:
         with self.cond:

@@ -101,6 +101,7 @@ class DispatchReport:
     worker_deaths: int
     quarantined: int
     skipped: list[CoverSpec] = field(default_factory=list)  # budget ran out
+    preempts: int = 0  # checkpointed preempt/resume handoffs
 
     def summary(self) -> str:
         parts = [
@@ -116,6 +117,8 @@ class DispatchReport:
             parts.append(f"deaths={self.worker_deaths}")
         if self.quarantined:
             parts.append(f"quarantined={self.quarantined}")
+        if self.preempts:
+            parts.append(f"preempts={self.preempts}")
         if self.skipped:
             parts.append(f"skipped={len(self.skipped)}")
         return " ".join(parts)
@@ -240,5 +243,6 @@ def dispatch_batch(
         retries=outcome.retries,
         worker_deaths=outcome.worker_deaths,
         quarantined=outcome.quarantined,
+        preempts=outcome.preempts,
         skipped=[job.spec for job in skipped_jobs],
     )

@@ -5,6 +5,7 @@ Layout (everything under one ``root`` on a shared filesystem)::
     root/jobs/<seq>-<spec-hash>.json     job documents (spec + retry state)
     root/claims/<spec-hash>.<wid>.json   a worker's in-progress claim
     root/results/<spec-hash>.result.json finished Result envelopes
+    root/checkpoints/<spec-hash>.ckpt.json  resumable mid-proof state
     root/STOP                            shuts polling workers down
 
 The dispatcher writes every job document up front — the ``<seq>``
@@ -36,7 +37,12 @@ shared NFS spool actually cares about.
 
 Resume comes free: a valid ``results/`` entry present before dispatch
 (from a crashed earlier sweep, or from workers on other machines) is
-accepted without re-solving.
+accepted without re-solving.  Mid-proof resume comes almost as free:
+workers checkpoint their search into ``checkpoints/`` as they go, so
+when a stale claim is reclaimed after a worker death the retry *resumes
+the proof from the dead worker's last flush* instead of restarting —
+the reclaim machinery itself is unchanged, because the replacement
+worker finds the checkpoint under the same spec hash.
 """
 
 from __future__ import annotations
@@ -80,17 +86,21 @@ class SpoolTransport(Transport):
         spawn_workers: bool = True,
         python: str | None = None,
         extra_env: dict[str, str] | None = None,
+        extra_args: Sequence[str] = (),
     ) -> None:
         """``root=None`` spools into a fresh temp directory, created
         lazily when :meth:`run` starts and removed when it finishes.
         ``spawn_workers=False`` writes jobs and waits for *external*
-        workers (other machines) to drain them."""
+        workers (other machines) to drain them.  ``extra_args`` rides
+        along on every spawned worker command line (e.g.
+        ``--checkpoint-every 512`` or ``--preempt-after 5``)."""
         self._owns_root = root is None
         self.root: Path | None = Path(root) if root is not None else None
         self.poll = poll
         self.spawn_workers = spawn_workers
         self.python = python
         self.extra_env = extra_env
+        self.extra_args = tuple(extra_args)
 
     # -- paths -----------------------------------------------------------
 
@@ -115,6 +125,9 @@ class SpoolTransport(Transport):
             "spec": job.spec.to_payload(),
             "attempts": job.attempts,
             "excluded": list(job.excluded),
+            # A self-preempting worker restores the job file itself and
+            # needs the schedule position to reconstruct the filename.
+            "seq": seq,
         }
         _atomic_write(self._job_path(job, seq), json.dumps(doc, sort_keys=True))
 
@@ -146,7 +159,7 @@ class SpoolTransport(Transport):
         outcome = TransportOutcome()
         if self.root is None:
             self.root = Path(tempfile.mkdtemp(prefix="repro-spool-"))
-        for sub in ("jobs", "claims", "results"):
+        for sub in ("jobs", "claims", "results", "checkpoints"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
         stop = self.root / "STOP"
         stop.unlink(missing_ok=True)
@@ -313,6 +326,7 @@ class SpoolTransport(Transport):
             str(self.root),
             "--poll",
             str(self.poll),
+            *self.extra_args,
         ]
         return subprocess.Popen(cmd, env=worker_env(self.extra_env))
 

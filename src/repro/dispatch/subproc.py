@@ -11,6 +11,13 @@ Death detection is the pipe itself: a worker that crashes (or is
 killed by the deadline timer) closes its stdout, the pending ``readline``
 returns empty, and the runner re-queues the job on a replacement
 worker with the dead one excluded.
+
+The job deadline is preempt-then-kill: at ``job_timeout`` the worker is
+first *asked* to stop (a ``{"preempt": true}`` control line); a healthy
+worker flushes a search checkpoint, answers with it, and exits, and the
+runner resumes the proof on a replacement worker — work migration, not
+retry-from-scratch.  Only a worker that ignores the request for
+``preempt_grace`` more seconds (hung, stalled) is killed the old way.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from .base import (
     Transport,
     TransportOutcome,
     WorkerDeath,
+    WorkerPreempted,
 )
 
 __all__ = ["SubprocessTransport", "worker_command", "worker_env"]
@@ -67,10 +75,13 @@ class _SubprocessWorker(QueueWorker):
         *,
         python: str | None = None,
         extra_env: dict[str, str] | None = None,
+        extra_args: Sequence[str] = (),
+        preempt_grace: float = 5.0,
     ) -> None:
         self.id = worker_id
+        self.preempt_grace = preempt_grace
         self.proc = subprocess.Popen(
-            worker_command(python),
+            worker_command(python) + list(extra_args),
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             text=True,
@@ -78,27 +89,40 @@ class _SubprocessWorker(QueueWorker):
         )
         self._deadline_fired = False
 
-    def solve(self, spec: CoverSpec, timeout: float | None) -> Result:
-        request = json.dumps(
-            {"spec": spec.to_payload()}, sort_keys=True, separators=(",", ":")
-        )
+    def solve(
+        self,
+        spec: CoverSpec,
+        timeout: float | None,
+        checkpoint: dict | None = None,
+    ) -> Result:
+        job: dict = {"spec": spec.to_payload()}
+        if checkpoint is not None:
+            job["checkpoint"] = checkpoint
+        request = json.dumps(job, sort_keys=True, separators=(",", ":"))
         try:
             assert self.proc.stdin is not None
             self.proc.stdin.write(request + "\n")
             self.proc.stdin.flush()
         except (OSError, ValueError) as exc:
             raise WorkerDeath(f"worker {self.id}: stdin pipe closed ({exc})") from exc
-        timer: threading.Timer | None = None
+        timers: list[threading.Timer] = []
         self._deadline_fired = False
         if timeout is not None:
-            timer = threading.Timer(timeout, self._kill_on_deadline)
-            timer.daemon = True
-            timer.start()
+            # Ask first, kill later: the preempt request lets a healthy
+            # worker checkpoint and bow out; the grace timer reaps one
+            # that cannot answer (hung, stalled, dead).
+            timers = [
+                threading.Timer(timeout, self._request_preempt),
+                threading.Timer(timeout + self.preempt_grace, self._kill_on_deadline),
+            ]
+            for timer in timers:
+                timer.daemon = True
+                timer.start()
         try:
             assert self.proc.stdout is not None
             raw = self.proc.stdout.readline()
         finally:
-            if timer is not None:
+            for timer in timers:
                 timer.cancel()
         if not raw:
             if self._deadline_fired:
@@ -115,6 +139,13 @@ class _SubprocessWorker(QueueWorker):
         except json.JSONDecodeError as exc:
             raise WorkerDeath(f"worker {self.id} emitted garbage: {exc}") from exc
         if not reply.get("ok"):
+            if reply.get("kind") == "Preempted":
+                raise WorkerPreempted(
+                    f"worker {self.id} preempted on {spec.spec_hash[:12]} "
+                    f"at the {timeout}s deadline",
+                    spec_hash=reply.get("spec_hash"),
+                    checkpoint=reply.get("checkpoint"),
+                )
             raise JobError(
                 f"job {spec.spec_hash[:12]} failed on worker {self.id}: "
                 f"[{reply.get('kind', '?')}] {reply.get('error', 'unknown error')}"
@@ -127,6 +158,14 @@ class _SubprocessWorker(QueueWorker):
             raise WorkerDeath(
                 f"worker {self.id} returned an unparsable envelope: {exc}"
             ) from exc
+
+    def _request_preempt(self) -> None:
+        try:
+            assert self.proc.stdin is not None
+            self.proc.stdin.write('{"preempt": true}\n')
+            self.proc.stdin.flush()
+        except (OSError, ValueError, AssertionError):
+            pass  # already dead; the grace timer handles the rest
 
     def _kill_on_deadline(self) -> None:
         self._deadline_fired = True
@@ -156,9 +195,17 @@ class SubprocessTransport(Transport):
         *,
         python: str | None = None,
         extra_env: dict[str, str] | None = None,
+        extra_args: Sequence[str] = (),
+        preempt_grace: float = 5.0,
     ) -> None:
+        """``extra_args`` rides along on every worker command line
+        (e.g. ``--checkpoint-every 512``); ``preempt_grace`` is how long
+        a worker gets to answer a deadline preempt request before it is
+        killed outright."""
         self.python = python
         self.extra_env = extra_env
+        self.extra_args = tuple(extra_args)
+        self.preempt_grace = preempt_grace
 
     def run(
         self,
@@ -174,7 +221,11 @@ class SubprocessTransport(Transport):
 
         def make_worker() -> _SubprocessWorker:
             return _SubprocessWorker(
-                f"sub{next(counter)}", python=self.python, extra_env=self.extra_env
+                f"sub{next(counter)}",
+                python=self.python,
+                extra_env=self.extra_env,
+                extra_args=self.extra_args,
+                preempt_grace=self.preempt_grace,
             )
 
         runner = QueueRunner(

@@ -5,32 +5,52 @@ Two modes, one job shape (the canonical
 deterministic :class:`~repro.api.result.Result` envelope):
 
 stdio mode (the ``subprocess`` transport)
-    One request per line on stdin — ``{"spec": {...}}`` — answered by
+    One request per line on stdin — ``{"spec": {...}}``, optionally
+    carrying a ``"checkpoint"`` payload to resume from — answered by
     one line on stdout::
 
         {"ok": true,  "spec_hash": H, "result": {...envelope...}}
         {"ok": false, "spec_hash": H, "error": "...", "kind": "..."}
+        {"ok": false, "spec_hash": H, "kind": "Preempted",
+         "checkpoint": {...resumable search state...}, "error": "..."}
 
-    EOF on stdin ends the worker.  Nothing else is ever written to
-    stdout, so the dispatcher can treat a short read as worker death.
+    A ``{"preempt": true}`` control line arriving *mid-job* makes the
+    solver flush its state and answer with the ``Preempted`` reply,
+    after which the worker exits — the transport hands the checkpoint
+    to a replacement worker, which resumes the proof instead of
+    restarting it.  EOF on stdin ends the worker.  Nothing else is ever
+    written to stdout, so the dispatcher can treat a short read as
+    worker death.
 
 spool mode (the ``spool`` transport; ``--spool DIR``)
     Poll ``DIR/jobs/`` for ``<spec-hash>.json`` job documents, claim
     one by atomically renaming it into ``DIR/claims/``, solve, write
     ``DIR/results/<spec-hash>.result.json`` atomically (temp file +
     rename — a reader never sees a partial envelope), delete the
-    claim.  A job document's ``excluded`` list names worker ids that
-    must not take it (retry-with-exclusion after a death); a ``STOP``
-    file in the spool root shuts every polling worker down.
+    claim.  While solving, a checkpoint is flushed to
+    ``DIR/checkpoints/<spec-hash>.ckpt.json`` every
+    ``checkpoint_every`` nodes, so a worker killed mid-proof strands at
+    most one flush interval of work: whoever claims the reclaimed job
+    next resumes from the checkpoint.  ``preempt_after`` makes the
+    worker bow out of long proofs voluntarily (flush, restore the job
+    file, keep polling).  A job document's ``excluded`` list names
+    worker ids that must not take it (retry-with-exclusion after a
+    death); a ``STOP`` file in the spool root shuts every polling
+    worker down.
 
 Jobs are solved through :func:`repro.api.solve` with **no cache**, so
 the envelope a worker emits is byte-identical to what an in-process
-solve of the same spec produces — the differential harness pins this.
+solve of the same spec produces — the differential harness pins this,
+and checkpoint/resume history never changes envelope bytes.
 
 Chaos hooks (test-only, armed by environment variables naming a token
 file): ``REPRO_DISPATCH_CHAOS`` makes the first worker that wins the
 token (atomic unlink) die abruptly mid-job; ``REPRO_DISPATCH_STALL``
-makes it hang long enough to blow any job deadline.  Exactly one
+makes it hang long enough to blow any job deadline;
+``REPRO_DISPATCH_CHAOS_NODES`` (``<token>:<nodes>``) makes it die
+abruptly once the search passes ``<nodes>`` nodes — *after* any
+checkpoint flushes below that mark, which is the point: it kills a
+worker mid-proof with resumable state already on disk.  Exactly one
 worker across the fleet triggers per token — the retry then runs on a
 worker that finds no token.
 """
@@ -39,30 +59,65 @@ from __future__ import annotations
 
 import json
 import os
+import queue
 import sys
+import threading
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any, TextIO
 
+from ..api.checkpoints import CheckpointStore, MemoryCheckpointStore
 from ..api.spec import CoverSpec, SpecError
-from ..util.errors import ReproError
+from ..core.checkpoint import SearchCheckpoint
+from ..util.errors import ReproError, SolverPreempted
 
 __all__ = [
     "CHAOS_EXIT_ENV",
+    "CHAOS_EXIT_NODES_ENV",
     "CHAOS_STALL_ENV",
+    "SPOOL_CHECKPOINT_EVERY_DEFAULT",
     "SPOOL_ERROR_FORMAT",
     "SPOOL_JOB_FORMAT",
+    "parse_preempt_after",
     "spool_worker_loop",
     "stdio_worker_loop",
 ]
 
 CHAOS_EXIT_ENV = "REPRO_DISPATCH_CHAOS"
 CHAOS_STALL_ENV = "REPRO_DISPATCH_STALL"
+CHAOS_EXIT_NODES_ENV = "REPRO_DISPATCH_CHAOS_NODES"
 _CHAOS_EXIT_CODE = 23
 _CHAOS_STALL_SECONDS = 300.0
 
 SPOOL_JOB_FORMAT = "repro-spool-job"
 SPOOL_ERROR_FORMAT = "repro-spool-error"
+# Spool workers flush search state every this-many nodes by default, so
+# a worker killed mid-proof strands at most one interval of work.
+SPOOL_CHECKPOINT_EVERY_DEFAULT = 2048
+
+
+def parse_preempt_after(text: str) -> "tuple[str, float]":
+    """Parse a ``--preempt-after`` budget: ``"800n"`` means 800 search
+    nodes (deterministic — what the CI smoke uses), a bare number means
+    that many wall-clock seconds.  Returns ``("nodes", 800.0)`` or
+    ``("seconds", 2.5)``."""
+    raw = str(text).strip().lower()
+    try:
+        if raw.endswith("n"):
+            nodes = int(raw[:-1])
+            if nodes <= 0:
+                raise ValueError(raw)
+            return ("nodes", float(nodes))
+        seconds = float(raw)
+        if seconds <= 0:
+            raise ValueError(raw)
+        return ("seconds", seconds)
+    except ValueError:
+        raise SpecError(
+            f"bad preempt-after value {text!r} "
+            "(expected a node count like '800n' or seconds like '2.5')"
+        ) from None
 
 
 def _chaos(env: str) -> bool:
@@ -85,14 +140,58 @@ def _chaos_hooks() -> None:
         time.sleep(_CHAOS_STALL_SECONDS)  # simulate a hung worker
 
 
-def _solve_payload(payload: Any) -> "tuple[CoverSpec, Any]":
+def _chaos_nodes() -> int | None:
+    """The node threshold for the mid-proof chaos kill when this
+    process wins the ``<token>:<nodes>`` token, else ``None``."""
+    raw = os.environ.get(CHAOS_EXIT_NODES_ENV)
+    if not raw:
+        return None
+    token, sep, nodes = raw.rpartition(":")
+    if not sep or not token:
+        return None
+    try:
+        threshold = int(nodes)
+    except ValueError:
+        return None
+    try:
+        os.unlink(token)
+    except OSError:
+        return None
+    return threshold
+
+
+def _solve_payload(
+    payload: Any,
+    *,
+    checkpoints: CheckpointStore | None = None,
+    checkpoint_every: int | None = None,
+    preempt=None,
+) -> "tuple[CoverSpec, Any]":
     """Parse and solve one job payload (the spec dict).  Raises
     SpecError/ReproError with the worker loops deciding how to report."""
     from ..api.service import solve
 
     spec = CoverSpec.from_payload(payload)
     _chaos_hooks()
-    result = solve(spec, cache=None)
+    chaos_nodes = _chaos_nodes()
+    if chaos_nodes is not None:
+        wrapped = preempt
+
+        def preempt(st, _base=wrapped, _cap=chaos_nodes):
+            if st.nodes >= _cap:
+                os._exit(_CHAOS_EXIT_CODE)  # hard crash mid-proof
+            return _base(st) if _base is not None else False
+
+    if checkpoints is None and checkpoint_every is None and preempt is None:
+        result = solve(spec, cache=None)
+    else:
+        result = solve(
+            spec,
+            cache=None,
+            checkpoints=checkpoints,
+            checkpoint_every=checkpoint_every,
+            preempt=preempt,
+        )
     return spec, result.to_payload()
 
 
@@ -101,7 +200,22 @@ def _solve_payload(payload: Any) -> "tuple[CoverSpec, Any]":
 # ---------------------------------------------------------------------------
 
 
-def _stdio_reply(line: str) -> dict[str, Any]:
+def _is_preempt_control(line: str) -> bool:
+    if '"preempt"' not in line:
+        return False
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(doc, dict) and bool(doc.get("preempt")) and "spec" not in doc
+
+
+def _stdio_reply(
+    line: str,
+    *,
+    preempt=None,
+    checkpoint_every: int | None = None,
+) -> dict[str, Any]:
     try:
         request = json.loads(line)
         raw_spec = request["spec"]
@@ -112,8 +226,33 @@ def _stdio_reply(line: str) -> dict[str, Any]:
             "error": f"malformed job line: {exc}",
             "kind": type(exc).__name__,
         }
+    store: MemoryCheckpointStore | None = None
+    if preempt is not None or request.get("checkpoint") is not None:
+        store = MemoryCheckpointStore()
+        raw_ckpt = request.get("checkpoint")
+        if raw_ckpt is not None:
+            try:
+                ckpt = SearchCheckpoint.from_payload(raw_ckpt)
+                store.save(CoverSpec.from_payload(raw_spec).spec_hash, ckpt)
+            except ReproError:
+                pass  # corrupt wire checkpoint: degrade to solving fresh
     try:
-        spec, payload = _solve_payload(raw_spec)
+        spec, payload = _solve_payload(
+            raw_spec,
+            checkpoints=store,
+            checkpoint_every=checkpoint_every,
+            preempt=preempt,
+        )
+    except SolverPreempted as exc:
+        spec_hash = CoverSpec.from_payload(raw_spec).spec_hash
+        ckpt = store.load(spec_hash) if store is not None else exc.checkpoint
+        return {
+            "ok": False,
+            "spec_hash": spec_hash,
+            "error": str(exc),
+            "kind": "Preempted",
+            "checkpoint": ckpt.to_payload() if ckpt is not None else None,
+        }
     except SpecError as exc:
         return {"ok": False, "spec_hash": None, "error": str(exc), "kind": "SpecError"}
     except ReproError as exc:
@@ -126,19 +265,87 @@ def _stdio_reply(line: str) -> dict[str, Any]:
     return {"ok": True, "spec_hash": spec.spec_hash, "result": payload}
 
 
-def stdio_worker_loop(stdin: TextIO | None = None, stdout: TextIO | None = None) -> int:
+def stdio_worker_loop(
+    stdin: TextIO | None = None,
+    stdout: TextIO | None = None,
+    *,
+    checkpoint_every: int | None = None,
+) -> int:
     """Serve jobs line-by-line until EOF (the subprocess transport's
-    worker body)."""
+    worker body).
+
+    A reader thread pumps stdin into a queue so the solver can notice a
+    ``{"preempt": true}`` control line *mid-proof* (the engine polls a
+    preempt callback between nodes).  On preemption the worker answers
+    with the checkpoint payload and exits; the transport's replacement
+    worker resumes from it.
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    for line in stdin:
-        line = line.strip()
-        if not line:
-            continue
-        reply = _stdio_reply(line)
-        stdout.write(json.dumps(reply, sort_keys=True, separators=(",", ":")) + "\n")
-        stdout.flush()
-    return 0
+    lines: "queue.Queue[str]" = queue.Queue()
+    eof = threading.Event()
+
+    def _pump() -> None:
+        try:
+            for raw in stdin:
+                lines.put(raw)
+        finally:
+            eof.set()
+
+    threading.Thread(target=_pump, daemon=True, name="repro-stdin-pump").start()
+
+    jobs: deque[str] = deque()
+    preempt_flag = threading.Event()
+
+    def _drain() -> None:
+        """Move buffered lines into the job deque, consuming preempt
+        control lines into the flag as they pass."""
+        while True:
+            try:
+                raw = lines.get_nowait()
+            except queue.Empty:
+                return
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            if _is_preempt_control(stripped):
+                preempt_flag.set()
+            else:
+                jobs.append(stripped)
+
+    def _preempt(st) -> bool:
+        _drain()
+        return preempt_flag.is_set()
+
+    while True:
+        _drain()
+        if jobs:
+            line = jobs.popleft()
+        elif eof.is_set() and lines.empty():
+            return 0
+        else:
+            try:
+                raw = lines.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            line = raw.strip()
+            if not line:
+                continue
+            if _is_preempt_control(line):
+                continue  # stray control with no job in flight
+        preempt_flag.clear()
+        reply = _stdio_reply(line, preempt=_preempt, checkpoint_every=checkpoint_every)
+        try:
+            stdout.write(
+                json.dumps(reply, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            stdout.flush()
+        except (OSError, ValueError):
+            return 0  # parent hung up; nobody is left to read the reply
+        if reply.get("kind") == "Preempted":
+            # The contract with the transport: one preempt reply, then a
+            # clean exit — the checkpoint travels in the reply.
+            return 0
 
 
 # ---------------------------------------------------------------------------
@@ -183,16 +390,49 @@ def _claim_one(root: Path, worker_id: str) -> "tuple[str, dict, Path] | None":
     return None
 
 
-def _run_spool_job(root: Path, spec_hash: str, doc: dict) -> None:
+def _restore_spool_job(root: Path, spec_hash: str, doc: dict) -> None:
+    """Put a self-preempted job back into ``jobs/`` under its original
+    schedule position, so any worker (this one included) can claim and
+    resume it from the persisted checkpoint."""
+    try:
+        seq = int(doc.get("seq", 999999))
+    except (TypeError, ValueError):
+        seq = 999999
+    _atomic_write(
+        root / "jobs" / f"{seq:06d}-{spec_hash}.json",
+        json.dumps(doc, sort_keys=True),
+    )
+
+
+def _run_spool_job(
+    root: Path,
+    spec_hash: str,
+    doc: dict,
+    *,
+    checkpoints: CheckpointStore | None = None,
+    checkpoint_every: int | None = None,
+    preempt=None,
+) -> bool:
+    """Solve one claimed job.  Returns ``False`` when the solve was
+    preempted — the checkpoint is already persisted and the caller owes
+    a job-file restore — and ``True`` when a result (or a deterministic
+    error document) was written."""
     result_file = root / "results" / f"{spec_hash}.result.json"
     try:
-        spec, payload = _solve_payload(doc.get("spec"))
+        spec, payload = _solve_payload(
+            doc.get("spec"),
+            checkpoints=checkpoints,
+            checkpoint_every=checkpoint_every,
+            preempt=preempt,
+        )
         if spec.spec_hash != spec_hash:
             raise SpecError(
                 f"job file named {spec_hash[:12]} holds a spec hashing to "
                 f"{spec.spec_hash[:12]}"
             )
         text = json.dumps(payload, indent=2, sort_keys=True)
+    except SolverPreempted:
+        return False  # the backend flushed the checkpoint on the way out
     except ReproError as exc:
         text = json.dumps(
             {
@@ -205,6 +445,23 @@ def _run_spool_job(root: Path, spec_hash: str, doc: dict) -> None:
             sort_keys=True,
         )
     _atomic_write(result_file, text)
+    return True
+
+
+def _spool_preempt(budget, store: CheckpointStore, spec_hash: str):
+    """The per-claim preempt callback for a ``preempt_after`` budget:
+    node budgets count from the resumed checkpoint's floor (so every
+    claim advances the proof by the full budget), second budgets count
+    from claim time."""
+    if budget is None:
+        return None
+    unit, amount = budget
+    if unit == "nodes":
+        prior = store.load(spec_hash)
+        ceiling = (prior.nodes if prior is not None else 0) + int(amount)
+        return lambda st: st.nodes >= ceiling
+    deadline = time.monotonic() + amount
+    return lambda st: time.monotonic() >= deadline
 
 
 def spool_worker_loop(
@@ -214,14 +471,25 @@ def spool_worker_loop(
     exit_when_idle: bool = False,
     max_jobs: int | None = None,
     worker_id: str | None = None,
+    checkpoint_every: int | None = SPOOL_CHECKPOINT_EVERY_DEFAULT,
+    preempt_after: str | None = None,
 ) -> int:
     """Poll a spool directory for jobs until STOP (or idleness, with
     ``exit_when_idle``).  Safe to run many copies against one spool —
-    claims are atomic renames, results are atomic writes."""
+    claims are atomic renames, results are atomic writes.
+
+    Search state is checkpointed to ``checkpoints/`` every
+    ``checkpoint_every`` nodes, so a worker killed mid-proof leaves
+    resumable state behind.  ``preempt_after`` (``"800n"`` nodes or
+    seconds) makes the worker bow out of long proofs voluntarily: flush
+    a checkpoint, restore the job file, release the claim, and keep
+    polling — real work migration, not retry-from-scratch."""
     root = Path(root)
     wid = worker_id or f"w{os.getpid()}"
-    for sub in ("jobs", "claims", "results"):
+    for sub in ("jobs", "claims", "results", "checkpoints"):
         (root / sub).mkdir(parents=True, exist_ok=True)
+    store = CheckpointStore(root / "checkpoints")
+    budget = parse_preempt_after(preempt_after) if preempt_after is not None else None
     done = 0
     while True:
         if (root / "STOP").exists():
@@ -233,7 +501,20 @@ def spool_worker_loop(
             time.sleep(poll)
             continue
         spec_hash, doc, claim = claimed
-        _run_spool_job(root, spec_hash, doc)
+        finished = _run_spool_job(
+            root,
+            spec_hash,
+            doc,
+            checkpoints=store,
+            checkpoint_every=checkpoint_every,
+            preempt=_spool_preempt(budget, store, spec_hash),
+        )
+        if not finished:
+            # Self-preempted: hand the job back with its checkpoint on
+            # disk and keep polling — whoever claims it next resumes.
+            _restore_spool_job(root, spec_hash, doc)
+            claim.unlink(missing_ok=True)
+            continue
         claim.unlink(missing_ok=True)
         done += 1
         if max_jobs is not None and done >= max_jobs:

@@ -15,6 +15,7 @@ __all__ = [
     "RoutingError",
     "ConstructionError",
     "SolverError",
+    "SolverPreempted",
     "TopologyError",
     "CapacityError",
 ]
@@ -48,7 +49,42 @@ class ConstructionError(ReproError):
 
 
 class SolverError(ReproError):
-    """The exact solver was given an infeasible or oversized instance."""
+    """The exact solver was given an infeasible or oversized instance.
+
+    Budget-exhaustion raises (node limit, deadline) attach the
+    in-flight search state so callers can salvage progress:
+
+    ``checkpoint``
+        A serializable ``SearchCheckpoint`` (or ``None`` when the
+        search was not checkpointable), resumable via the engine's
+        ``checkpoint=`` parameter.
+    ``best_blocks`` / ``best_value``
+        The incumbent at the moment the budget ran out (``None`` when
+        no covering had been found yet).
+    ``stats``
+        The ``SolverStats`` snapshot (node count so far).
+    """
+
+    def __init__(
+        self,
+        *args,
+        checkpoint=None,
+        best_blocks=None,
+        best_value=None,
+        stats=None,
+    ) -> None:
+        super().__init__(*args)
+        self.checkpoint = checkpoint
+        self.best_blocks = best_blocks
+        self.best_value = best_value
+        self.stats = stats
+
+
+class SolverPreempted(SolverError):
+    """The search was preempted (deadline or external preempt request)
+    with a resumable checkpoint attached; not a failure — re-run with
+    ``checkpoint=exc.checkpoint`` to continue exactly where it left
+    off."""
 
 
 class TopologyError(ReproError, ValueError):

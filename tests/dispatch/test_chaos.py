@@ -15,26 +15,40 @@ re-dispatched, never parsed into a half-envelope.
 from __future__ import annotations
 
 import json
+import subprocess
+import threading
 
 import pytest
 
 from repro.api import CoverSpec, solve
 from repro.dispatch import (
     CHAOS_EXIT_ENV,
+    CHAOS_EXIT_NODES_ENV,
     CHAOS_STALL_ENV,
     DispatchError,
     JobError,
     SpoolTransport,
     SubprocessTransport,
+    WorkerPreempted,
     dispatch_batch,
 )
+from repro.dispatch.subproc import _SubprocessWorker, worker_command, worker_env
 
 SPECS = [CoverSpec.for_ring(n, backend="exact", use_hints=False) for n in (4, 5, 6, 7)]
+
+# The mid-proof chaos tests need a search long enough to checkpoint
+# *inside*: n=8 certification runs a few thousand nodes.
+N8 = CoverSpec.for_ring(8, backend="exact", use_hints=False)
 
 
 @pytest.fixture(scope="module")
 def oracle():
     return [solve(spec, cache=None).to_json() for spec in SPECS]
+
+
+@pytest.fixture(scope="module")
+def n8_oracle():
+    return solve(N8, cache=None)
 
 
 class TestSubprocessChaos:
@@ -103,3 +117,104 @@ class TestSpoolChaos:
         assert not token.exists()
         assert report.worker_deaths >= 1
         assert [r.to_json() for r in report.results] == oracle
+
+    def test_spool_worker_killed_mid_proof_resumes_from_checkpoint(
+        self, tmp_path, n8_oracle
+    ):
+        """The real work-migration story: a worker SIGKILLed *inside* a
+        proof leaves a checkpoint in ``checkpoints/``; whoever reclaims
+        the job resumes from it (the backend loads any checkpoint under
+        the spec hash unconditionally), so nodes-after-resume is the
+        remainder of the proof, not a restart — and the final envelope
+        is still byte-identical to a serial solve."""
+        root = tmp_path / "spool"
+        token = tmp_path / "nodes-token"
+        token.touch()
+        ckpt_file = root / "checkpoints" / f"{N8.spec_hash}.ckpt.json"
+
+        report_box: dict = {}
+
+        def _dispatch():
+            report_box["report"] = dispatch_batch(
+                [N8],
+                transport=SpoolTransport(root, spawn_workers=False),
+                workers=1,
+                job_timeout=8.0,
+            )
+
+        dispatcher = threading.Thread(target=_dispatch, daemon=True)
+        dispatcher.start()
+
+        # Phase 1: a chaos worker that dies abruptly (os._exit, claim
+        # left dangling) once the search passes 2500 nodes — after the
+        # 512-node periodic flushes below that mark.
+        chaos = subprocess.Popen(
+            worker_command()
+            + ["--spool", str(root), "--poll", "0.01", "--checkpoint-every", "512"],
+            env=worker_env({CHAOS_EXIT_NODES_ENV: f"{token}:2500"}),
+        )
+        assert chaos.wait(timeout=60) == 23  # the chaos exit code
+        assert not token.exists()
+
+        # The dead worker's last flush is on disk and strictly mid-proof:
+        # resuming from it costs (total - nodes) < total nodes.
+        ckpt = json.loads(ckpt_file.read_text())
+        assert 0 < ckpt["nodes"] < n8_oracle.stats.nodes
+
+        # Phase 2: a healthy worker picks up the reclaimed job.
+        healthy = subprocess.Popen(
+            worker_command() + ["--spool", str(root), "--poll", "0.01"],
+            env=worker_env(),
+        )
+        try:
+            dispatcher.join(timeout=120)
+            assert not dispatcher.is_alive()
+        finally:
+            healthy.terminate()
+            healthy.wait(timeout=10)
+        report = report_box["report"]
+        assert report.worker_deaths >= 1
+        assert [r.to_json() for r in report.results] == [n8_oracle.to_json()]
+        assert not ckpt_file.exists()  # completed proofs clean up
+
+
+class TestPreemption:
+    def test_stdio_preempt_hands_checkpoint_to_replacement_worker(self, n8_oracle):
+        """Protocol-level migration, fully deterministic: worker 1 gets
+        the job plus an immediate preempt request, answers with a
+        checkpoint, and exits; worker 2 resumes from that wire
+        checkpoint and finishes byte-identically."""
+        w1 = _SubprocessWorker("pre1")
+        timer = threading.Timer(0.05, w1._request_preempt)
+        timer.daemon = True
+        timer.start()
+        try:
+            with pytest.raises(WorkerPreempted) as err:
+                w1.solve(N8, None)
+        finally:
+            timer.cancel()
+            w1.close()
+        checkpoint = err.value.checkpoint
+        assert checkpoint is not None
+        assert 0 < checkpoint["nodes"] < n8_oracle.stats.nodes
+
+        w2 = _SubprocessWorker("pre2")
+        try:
+            result = w2.solve(N8, None, checkpoint=checkpoint)
+        finally:
+            w2.close()
+        assert result.to_json() == n8_oracle.to_json()
+
+    def test_spool_preempt_after_migrates_in_budgeted_slices(
+        self, tmp_path, n8_oracle
+    ):
+        """A --preempt-after node budget makes spool workers bow out,
+        checkpoint, and hand the job back; the proof still converges
+        (each claim advances one full budget) with an identical
+        envelope."""
+        transport = SpoolTransport(
+            tmp_path / "spool",
+            extra_args=["--preempt-after", "800n", "--checkpoint-every", "512"],
+        )
+        report = dispatch_batch([N8], transport=transport, workers=1)
+        assert [r.to_json() for r in report.results] == [n8_oracle.to_json()]

@@ -334,3 +334,70 @@ class TestMinBlocksGoldens:
             )
             assert payload["status"] == "proven_optimal"
             assert by_n[n]["proven"]
+
+
+class TestCheckpointResume:
+    """Envelope byte-identity across checkpoint/resume histories — the
+    differential suite is the oracle the checkpoint subsystem answers
+    to.  However a proof is sliced (deadline preemptions, voluntary
+    preempt budgets, node-limit overruns), the reassembled envelope
+    must be the bytes an uninterrupted solve produces: same covering,
+    same node count, same provenance, same JSON."""
+
+    def test_n8_certification_resumes_byte_identical(self, tmp_path):
+        from repro.api import CheckpointStore
+        from repro.util.errors import SolverPreempted
+
+        spec = CoverSpec.for_ring(8, backend="exact", use_hints=False)
+        oracle = solve(spec, cache=None)
+        store = CheckpointStore(tmp_path / "ckpts")
+        cycles = 0
+        while True:
+            prior = store.load(spec.spec_hash)
+            floor = prior.nodes if prior is not None else 0
+            try:
+                result = solve(
+                    spec,
+                    cache=None,
+                    checkpoints=store,
+                    preempt=lambda st, _f=floor: st.nodes >= _f + 800,
+                )
+                break
+            except SolverPreempted:
+                cycles += 1
+                assert cycles < 50
+                assert store.load(spec.spec_hash) is not None
+        assert cycles >= 2  # the proof really was sliced up
+        assert result.to_json() == oracle.to_json()
+        assert result.stats.nodes == oracle.stats.nodes
+        # Runtime lineage is visible in-process but never serialized.
+        assert result.provenance["resume"]["resumes"] == cycles
+        assert "resume" not in json.loads(result.to_json())["provenance"]
+        assert store.load(spec.spec_hash) is None  # success cleans up
+
+    @settings(max_examples=6, deadline=None)
+    @given(n=st.integers(5, 8), step=st.integers(280, 1200))
+    def test_resume_history_never_changes_bytes(self, n: int, step: int):
+        from repro.api import MemoryCheckpointStore
+        from repro.util.errors import SolverPreempted
+
+        spec = CoverSpec.for_ring(n, backend="exact", use_hints=False)
+        oracle = solve(spec, cache=None)
+        store = MemoryCheckpointStore()
+        for _ in range(60):
+            prior = store.load(spec.spec_hash)
+            floor = prior.nodes if prior is not None else 0
+            try:
+                result = solve(
+                    spec,
+                    cache=None,
+                    checkpoints=store,
+                    preempt=lambda st, _f=floor: st.nodes >= _f + step,
+                )
+                break
+            except SolverPreempted:
+                continue
+        else:
+            pytest.fail("preemption never converged")
+        assert result.to_json() == oracle.to_json()
+        _assert_envelope_valid(result)
