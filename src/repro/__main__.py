@@ -33,6 +33,12 @@ serial run's), ``--job-timeout`` adds a per-job deadline with
 retry-with-exclusion, and ``--spool DIR`` names the shared spool
 directory external ``python -m repro worker --spool DIR`` workers are
 watching.  ``worker`` is the remote end of both worker protocols.
+``--degrade heuristic`` arms graceful degradation (jobs that exhaust
+their retries fall back to a verified heuristic envelope with
+degradation provenance instead of failing the sweep), ``--lease-timeout``
+tunes the spool transport's heartbeat-staleness reclaim window, and
+``--fault-plan`` (sweep and worker) injects a seeded
+:mod:`repro.dispatch.faults` plan — the chaos harness CI drives.
 
 ``solve --checkpoint-dir DIR`` makes a long proof *resumable*: a run
 preempted by ``--preempt-after`` (``'800n'`` nodes or seconds) or by a
@@ -179,6 +185,20 @@ def _add_dispatch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--spool", metavar="DIR",
                         help="spool directory for --transport spool "
                              "(default: a private temp dir)")
+    parser.add_argument("--degrade", choices=("heuristic",),
+                        help="when a job exhausts its retries or deadline, fall "
+                             "back to a verified heuristic envelope (stamped "
+                             "with degradation provenance) instead of failing "
+                             "the whole sweep")
+    parser.add_argument("--lease-timeout", type=float, metavar="SECONDS",
+                        help="spool transport: reclaim a claim once its "
+                             "heartbeat lease has been frozen this long "
+                             "(default 5; heartbeating workers are never "
+                             "reclaimed)")
+    parser.add_argument("--fault-plan", metavar="PLAN",
+                        help="fault-injection plan (inline JSON or @file) armed "
+                             "and exported to spawned workers — chaos testing "
+                             "only")
 
 
 def _spec_from_args(args: argparse.Namespace, n: int):
@@ -202,6 +222,19 @@ def _spec_from_args(args: argparse.Namespace, n: int):
         node_limit=args.node_limit,
         time_budget=args.time_budget,
     )
+
+
+def _arm_fault_plan(raw: str) -> None:
+    """Parse a ``--fault-plan`` argument, arm its tokens in a private
+    temp directory (each fault then fires exactly once across the
+    fleet), and export it so spawned workers inherit it."""
+    import os
+    import tempfile
+
+    from .dispatch.faults import _load_plan_text
+
+    plan = _load_plan_text(raw).arm(tempfile.mkdtemp(prefix="repro-faults-"))
+    os.environ.update(plan.env())
 
 
 def _cache_from_args(args: argparse.Namespace):
@@ -264,6 +297,8 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
         from .dispatch import dispatch_batch
 
         try:
+            if getattr(args, "fault_plan", None):
+                _arm_fault_plan(args.fault_plan)
             specs = [_spec_from_args(args, n) for n in ns]
             report = dispatch_batch(
                 specs,
@@ -273,6 +308,8 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
                 job_timeout=args.job_timeout,
                 max_retries=args.max_retries,
                 spool_dir=args.spool,
+                degrade=args.degrade,
+                lease_timeout=args.lease_timeout,
             )
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -455,10 +492,27 @@ def _cmd_worker(argv: list[str]) -> int:
                         help="spool mode: bow out of a proof after X ('800n' "
                              "nodes or seconds), checkpoint it, and hand the "
                              "job back for any worker to resume")
+    parser.add_argument("--heartbeat-every", type=float, metavar="SECONDS",
+                        help="spool mode: renew the claim's heartbeat lease at "
+                             "most this often (default 0.5)")
+    parser.add_argument("--fault-plan", metavar="PLAN",
+                        help="fault-injection plan (inline JSON or @file) for "
+                             "this worker — chaos testing only")
     args = parser.parse_args(argv)
     from .dispatch import spool_worker_loop, stdio_worker_loop
-    from .dispatch.worker import SPOOL_CHECKPOINT_EVERY_DEFAULT
+    from .dispatch.faults import FAULT_PLAN_ENV, _load_plan_text
+    from .dispatch.worker import (
+        HEARTBEAT_EVERY_DEFAULT,
+        SPOOL_CHECKPOINT_EVERY_DEFAULT,
+    )
 
+    if args.fault_plan:
+        import os
+
+        # Validate eagerly (a typo should fail the command line, not the
+        # first job) and pass through the environment, the same door the
+        # dispatcher-side --fault-plan uses.
+        os.environ[FAULT_PLAN_ENV] = _load_plan_text(args.fault_plan).to_json()
     if args.spool:
         return spool_worker_loop(
             args.spool,
@@ -472,6 +526,11 @@ def _cmd_worker(argv: list[str]) -> int:
                 else SPOOL_CHECKPOINT_EVERY_DEFAULT
             ),
             preempt_after=args.preempt_after,
+            heartbeat_every=(
+                args.heartbeat_every
+                if args.heartbeat_every is not None
+                else HEARTBEAT_EVERY_DEFAULT
+            ),
         )
     return stdio_worker_loop(checkpoint_every=args.checkpoint_every)
 

@@ -27,6 +27,7 @@ from .spec import CoverSpec, SpecError
 
 __all__ = [
     "Result",
+    "DEGRADE_PROVENANCE_KEY",
     "RESULT_FORMAT",
     "RESULT_SCHEMA_MAJOR",
     "RESUME_PROVENANCE_KEY",
@@ -39,6 +40,13 @@ RESULT_FORMAT = "repro-result"
 # every serialized envelope so checkpoint/resume history can never
 # change result bytes.
 RESUME_PROVENANCE_KEY = "resume"
+# Runtime-only provenance key recording a graceful degradation: an
+# exact job that exhausted its retries/deadline and was re-routed
+# through the heuristic backend by the dispatcher.  Stripped from every
+# serialized envelope like resume lineage — cached *certified*
+# envelopes stay byte-identical, and a degraded envelope serialises
+# exactly like a native heuristic solve of the fallback spec.
+DEGRADE_PROVENANCE_KEY = "degraded"
 RESULT_SCHEMA_MAJOR = 1
 # Minor 1 added the optional ``objective_value`` field.  Envelopes for
 # legacy-shaped jobs (objective ``min_blocks``, no size restriction)
@@ -183,6 +191,7 @@ class Result:
             else self._provenance()
         )
         prov.pop(RESUME_PROVENANCE_KEY, None)
+        prov.pop(DEGRADE_PROVENANCE_KEY, None)
         return prov
 
     def annotate_resume(self, lineage: dict[str, Any]) -> "Result":
@@ -197,6 +206,19 @@ class Result:
             else self._provenance()
         )
         base[RESUME_PROVENANCE_KEY] = dict(lineage)
+        return replace(self, provenance=base)
+
+    def annotate_degraded(self, info: dict[str, Any]) -> "Result":
+        """A copy carrying runtime-only degradation provenance under
+        ``provenance["degraded"]`` (the original spec hash and backend,
+        the failure that triggered the fallback).  Callers inspect it
+        in-process; serialization strips it, like resume lineage."""
+        base = (
+            dict(self.provenance)
+            if self.provenance is not None
+            else self._provenance()
+        )
+        base[DEGRADE_PROVENANCE_KEY] = dict(info)
         return replace(self, provenance=base)
 
     @classmethod

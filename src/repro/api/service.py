@@ -98,6 +98,7 @@ def solve_batch(
     workers: int | None = None,
     job_timeout: float | None = None,
     max_retries: int = 2,
+    degrade: str | None = None,
 ) -> list[Result]:
     """Solve many jobs with one shared cache handle; result order
     matches spec order.
@@ -110,10 +111,18 @@ def solve_batch(
     (:func:`repro.dispatch.dispatch_batch`): cost-weighted scheduling
     over ``workers`` workers, per-job ``job_timeout`` deadlines,
     retry-with-exclusion on worker death, and cache write-through, with
-    envelopes byte-identical to the in-line path's.
+    envelopes byte-identical to the in-line path's.  ``degrade``
+    (``"heuristic"``; dispatcher path only) re-routes jobs that exhaust
+    their retries through the heuristic backend instead of failing the
+    batch — the fallback envelopes carry runtime-only ``degraded``
+    provenance and are never cached.
     """
     specs = list(specs)
     if transport is None:
+        if degrade is not None:
+            raise ValueError(
+                "degrade requires a dispatcher transport (inproc/subprocess/spool)"
+            )
         store = ResultCache.open(cache)
         return [solve(spec, cache=store) for spec in specs]
     from ..dispatch import dispatch_batch
@@ -125,6 +134,7 @@ def solve_batch(
         cache=cache,
         job_timeout=job_timeout,
         max_retries=max_retries,
+        degrade=degrade,
     )
     return report.results
 

@@ -24,9 +24,13 @@ Layers:
   :mod:`~repro.dispatch.subproc` /
   :mod:`~repro.dispatch.spool` — the three stock transports;
 * :mod:`~repro.dispatch.worker` — the worker-side loops behind
-  ``python -m repro worker`` (stdio protocol and spool polling);
+  ``python -m repro worker`` (stdio protocol, spool polling, heartbeat
+  leases);
+* :mod:`~repro.dispatch.faults` — the seeded fault-injection harness
+  (:class:`FaultPlan`) the chaos suite and CI drive workers with;
 * :mod:`~repro.dispatch.dispatcher` — :func:`dispatch_batch`,
-  scheduling, cache resume, validation, deterministic merge.
+  scheduling, cache resume, validation, graceful degradation,
+  deterministic merge.
 
 ``repro.api.solve_batch(specs, transport=...)`` is the friendly front
 door; this package is the machinery.
@@ -39,25 +43,34 @@ from .base import (
     EnvelopeError,
     Job,
     JobError,
+    RetryPolicy,
     Transport,
     TransportOutcome,
     WorkerDeath,
     WorkerPreempted,
 )
 from .dispatcher import (
+    DEGRADE_POLICIES,
     TRANSPORTS,
     DispatchReport,
     cost_weight,
     dispatch_batch,
     make_transport,
 )
+from .faults import (
+    CHAOS_EXIT_ENV,
+    CHAOS_EXIT_NODES_ENV,
+    CHAOS_STALL_ENV,
+    FAULT_EXIT_CODE,
+    FAULT_PLAN_ENV,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+)
 from .inprocess import InProcessTransport
 from .spool import SpoolTransport
 from .subproc import SubprocessTransport
 from .worker import (
-    CHAOS_EXIT_ENV,
-    CHAOS_EXIT_NODES_ENV,
-    CHAOS_STALL_ENV,
     parse_preempt_after,
     spool_worker_loop,
     stdio_worker_loop,
@@ -67,12 +80,19 @@ __all__ = [
     "CHAOS_EXIT_ENV",
     "CHAOS_EXIT_NODES_ENV",
     "CHAOS_STALL_ENV",
+    "DEGRADE_POLICIES",
     "DispatchError",
     "DispatchReport",
     "EnvelopeError",
+    "FAULT_EXIT_CODE",
+    "FAULT_PLAN_ENV",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
     "InProcessTransport",
     "Job",
     "JobError",
+    "RetryPolicy",
     "SpoolTransport",
     "SubprocessTransport",
     "TRANSPORTS",

@@ -30,8 +30,23 @@ same policy over files) share :class:`QueueRunner`: a deque drained in
 the dispatcher's order, per-job wall-clock deadlines, and
 *retry-with-exclusion* — a job whose worker dies is re-queued with the
 dead worker's id excluded, so the retry lands elsewhere, and a job that
-outlives ``max_retries`` workers fails the whole dispatch loudly
-instead of spinning.
+outlives the retry budget fails the whole dispatch loudly instead of
+spinning.
+
+Retry *timing* is governed by :class:`RetryPolicy` — a seed-free,
+fully deterministic capped exponential backoff shared by every
+transport: the k-th retry of a job becomes eligible only
+``policy.delay(k)`` seconds after the failure, so a flaky fleet stops
+hammering itself.  The policy also carries the circuit breaker: a
+worker *slot* whose workers crash ``quarantine_after`` times in a row
+is quarantined (stops being refilled) while other slots remain,
+instead of respawning a doomed worker forever.
+
+``on_exhausted`` is the graceful-degradation hook: when a job fails
+deterministically or runs out of retries, the transport first offers
+it to this callback — the dispatcher uses it to re-route exact jobs
+through the heuristic backend under ``degrade="heuristic"`` — and only
+fails the batch if the callback declines.
 """
 
 from __future__ import annotations
@@ -54,6 +69,7 @@ __all__ = [
     "JobError",
     "QueueRunner",
     "QueueWorker",
+    "RetryPolicy",
     "Transport",
     "TransportOutcome",
     "WorkerDeath",
@@ -111,6 +127,54 @@ class WorkerPreempted(ReproError, RuntimeError):
         self.checkpoint = checkpoint
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry timing plus the worker circuit breaker.
+
+    The backoff schedule is seed-free and pure: retry ``k`` of any job
+    waits exactly ``min(max_delay, base_delay * factor**(k-1))``
+    seconds — the same numbers on every machine, every run — so chaos
+    tests and CI byte-identity never depend on retry timing randomness.
+    ``quarantine_after`` is the circuit breaker: a worker slot whose
+    workers crash that many times consecutively stops being refilled
+    (while at least one other slot remains to drain the queue).
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    quarantine_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise DispatchError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise DispatchError("retry delays must be non-negative")
+        if self.factor < 1.0:
+            raise DispatchError(
+                f"backoff factor must be >= 1 (monotone schedule), got {self.factor}"
+            )
+        if self.quarantine_after < 1:
+            raise DispatchError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based);
+        attempt 0 — the first dispatch — never waits."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+
+    def schedule(self, attempts: int | None = None) -> tuple[float, ...]:
+        """The full backoff schedule for ``attempts`` retries (default:
+        ``max_retries``) — deterministic, monotone non-decreasing,
+        capped at ``max_delay``."""
+        count = self.max_retries if attempts is None else attempts
+        return tuple(self.delay(k) for k in range(1, count + 1))
+
+
 @dataclass
 class Job:
     """One unit of dispatch: a spec, its cost weight, and its retry
@@ -125,6 +189,10 @@ class Job:
     # worker to whichever worker resumes the job.
     checkpoint: dict | None = None
     preempts: int = 0
+    # Backoff gate (a perf_counter timestamp): the job is not eligible
+    # for claiming before this moment.  Set by the retry machinery from
+    # the RetryPolicy schedule.
+    not_before: float = 0.0
 
     @property
     def spec_hash(self) -> str:
@@ -137,6 +205,10 @@ OnResult = Callable[[Job, Result, float, str], None]
 # admit() -> False once the sweep budget is exhausted: jobs not yet
 # started are reported as skipped instead of run.
 Admit = Callable[[], bool]
+# on_exhausted(job, failure) -> True to absorb a job that failed
+# deterministically or ran out of retries (graceful degradation);
+# False lets the transport fail the batch as before.
+OnExhausted = Callable[[Job, Exception], bool]
 
 
 @dataclass
@@ -149,6 +221,8 @@ class TransportOutcome:
     quarantined: int = 0  # corrupt spool results deleted and re-dispatched
     resumed: int = 0  # valid spool results accepted without re-solving
     preempts: int = 0  # checkpointed preempt/resume handoffs
+    quarantined_workers: int = 0  # slots tripped by the crash circuit breaker
+    degraded: list[Job] = field(default_factory=list)  # absorbed by on_exhausted
 
 
 class Transport(ABC):
@@ -166,9 +240,14 @@ class Transport(ABC):
         max_retries: int,
         on_result: OnResult,
         admit: Admit | None = None,
+        policy: RetryPolicy | None = None,
+        on_exhausted: OnExhausted | None = None,
     ) -> TransportOutcome:
         """Execute ``jobs`` (already in schedule order) on ``workers``
-        workers, calling ``on_result`` as each envelope arrives."""
+        workers, calling ``on_result`` as each envelope arrives.
+        ``policy`` overrides the default ``RetryPolicy`` built from
+        ``max_retries``; ``on_exhausted`` may absorb jobs that fail
+        deterministically or exhaust their retries."""
 
 
 class QueueWorker(ABC):
@@ -202,9 +281,12 @@ class QueueRunner:
     One thread per worker slot drains a shared deque (kept in the
     dispatcher's schedule order).  A worker death re-queues the job at
     the *front* (it was the heaviest eligible job) with the dead worker
-    excluded, replaces the worker, and keeps going; the job fails the
-    dispatch only after dying on ``max_retries + 1`` distinct workers.
-    A global death cap backstops crash-on-start loops.
+    excluded and a :class:`RetryPolicy` backoff gate, replaces the
+    worker, and keeps going; the job fails the dispatch only after
+    dying on ``policy.max_retries + 1`` distinct workers.  A slot whose
+    workers crash ``policy.quarantine_after`` times consecutively is
+    quarantined (the thread exits without a replacement) while other
+    slots remain; a global death cap backstops crash-on-start loops.
     """
 
     def __init__(
@@ -214,19 +296,23 @@ class QueueRunner:
         *,
         workers: int,
         job_timeout: float | None,
-        max_retries: int,
+        max_retries: int = 2,
         on_result: OnResult,
         admit: Admit | None = None,
+        policy: RetryPolicy | None = None,
+        on_exhausted: OnExhausted | None = None,
     ) -> None:
         self.make_worker = make_worker
         self.pending: deque[Job] = deque(jobs)
         self.workers = max(1, min(workers, max(1, len(jobs))))
         self.job_timeout = job_timeout
-        self.max_retries = max_retries
+        self.policy = policy if policy is not None else RetryPolicy(max_retries=max_retries)
         self.on_result = on_result
         self.admit = admit
+        self.on_exhausted = on_exhausted
         self.outcome = TransportOutcome()
         self.in_flight = 0
+        self.live_slots = self.workers
         self.failure: Exception | None = None
         self.cond = threading.Condition()
         self.death_cap = max(4, 2 * len(jobs))
@@ -249,6 +335,8 @@ class QueueRunner:
 
     def _drive(self) -> None:
         worker: QueueWorker | None = None
+        crashes = 0  # consecutive worker deaths on THIS slot
+        quarantined = False  # this slot already left live_slots
         try:
             worker = self.make_worker()
             while True:
@@ -272,17 +360,35 @@ class QueueRunner:
                     self._repreempt(job, pre)
                     worker = self.make_worker()
                     continue
+                except JobError as exc:
+                    # Deterministic failure on a healthy worker: offer
+                    # the job to the degradation hook; without one (or
+                    # if it declines) the batch fails fast, as ever.
+                    if not self._absorb_exhausted(job, exc):
+                        raise
+                    self._done()
+                    continue
                 except (WorkerDeath, EnvelopeError) as death:
                     # Both mean "this worker cannot be trusted with this
                     # job": retry elsewhere, replace the worker.
                     self._close_quietly(worker)
                     self._requeue(job, worker.id, death)
+                    crashes += 1
+                    if crashes >= self.policy.quarantine_after and self._quarantine_slot():
+                        quarantined = True
+                        worker = None
+                        return
                     worker = self.make_worker()
                     continue
+                crashes = 0
                 self._done()
         except Exception as exc:  # JobError, spawn failure, callback bugs
             self._fail(exc)
         finally:
+            if not quarantined:
+                with self.cond:
+                    self.live_slots -= 1
+                    self.cond.notify_all()
             if worker is not None:
                 self._close_quietly(worker)
 
@@ -297,15 +403,17 @@ class QueueRunner:
                     self.outcome.skipped.extend(self.pending)
                     self.pending.clear()
                     self.cond.notify_all()
+                now = perf_counter()
                 for i, job in enumerate(self.pending):
-                    if worker_id not in job.excluded:
+                    if worker_id not in job.excluded and job.not_before <= now:
                         del self.pending[i]
                         self.in_flight += 1
                         return job
                 if not self.pending and self.in_flight == 0:
                     return None
-                # Pending jobs exist but all exclude this worker (only
-                # transiently possible) or retries may still arrive.
+                # Pending jobs exist but all exclude this worker or are
+                # still inside their backoff window, or retries may yet
+                # arrive from in-flight jobs.
                 self.cond.wait(0.05)
 
     def _repreempt(self, job: Job, pre: WorkerPreempted) -> None:
@@ -334,11 +442,13 @@ class QueueRunner:
             self.outcome.worker_deaths += 1
             job.attempts += 1
             job.excluded = job.excluded + (worker_id,)
-            if job.attempts > self.max_retries:
-                self.failure = DispatchError(
+            if job.attempts > self.policy.max_retries:
+                exhausted = DispatchError(
                     f"job {job.spec_hash[:12]} (n={job.spec.n}) died on "
                     f"{job.attempts} distinct workers; last: {death}"
                 )
+                if not self._absorb_locked(job, exhausted):
+                    self.failure = exhausted
             elif self.outcome.worker_deaths > self.death_cap:
                 self.failure = DispatchError(
                     f"{self.outcome.worker_deaths} worker deaths across the "
@@ -346,8 +456,40 @@ class QueueRunner:
                 )
             else:
                 self.outcome.retries += 1
+                # Deterministic capped exponential backoff: the retry
+                # sits out its window before any slot may claim it.
+                job.not_before = perf_counter() + self.policy.delay(job.attempts)
                 self.pending.appendleft(job)
             self.cond.notify_all()
+
+    def _quarantine_slot(self) -> bool:
+        """The circuit breaker: retire this slot (its workers keep
+        crashing) when at least one other slot stays live to drain the
+        queue.  Returns False — keep respawning — for the last slot.
+        Atomically leaves ``live_slots`` on success, so two slots
+        racing here can never both retire past the floor."""
+        with self.cond:
+            if self.live_slots <= 1:
+                return False
+            self.live_slots -= 1
+            self.outcome.quarantined_workers += 1
+            self.cond.notify_all()
+            return True
+
+    def _absorb_exhausted(self, job: Job, failure: Exception) -> bool:
+        with self.cond:
+            return self._absorb_locked(job, failure)
+
+    def _absorb_locked(self, job: Job, failure: Exception) -> bool:
+        """Offer a dead-end job to the degradation hook (caller holds
+        ``self.cond``).  True when the hook absorbed it — the batch
+        continues without an envelope for this job."""
+        if self.on_exhausted is None:
+            return False
+        if not self.on_exhausted(job, failure):
+            return False
+        self.outcome.degraded.append(job)
+        return True
 
     def _done(self) -> None:
         with self.cond:

@@ -22,6 +22,16 @@ shape.  The dispatcher:
 * merges deterministically: results return in the caller's spec order,
   and the batch-level :class:`~repro.core.engine.SolverStats` are
   merged over envelopes in stable spec-hash order.
+
+Graceful degradation is opt-in: ``degrade="heuristic"`` re-routes a job
+that deterministically fails or exhausts its retries through the
+heuristic backend instead of failing the whole batch.  The fallback
+envelope is validated against the *original* demand, carries a
+runtime-only ``degraded`` provenance block naming the original backend
+and the failure it papered over, and is **never** written to the result
+cache — cached certified envelopes stay byte-identical whether or not
+degradation was armed.  Without ``degrade`` the batch fails fast,
+exactly as before.
 """
 
 from __future__ import annotations
@@ -36,13 +46,22 @@ from ..api.cache import ResultCache
 from ..api.result import Result
 from ..api.spec import CoverSpec
 from ..core.engine import SolverStats
+from ..util.errors import DegradationError
 from ..util.parallel import lpt_order, resolve_workers
-from .base import DispatchError, EnvelopeError, Job, Transport, TransportOutcome
+from .base import (
+    DispatchError,
+    EnvelopeError,
+    Job,
+    RetryPolicy,
+    Transport,
+    TransportOutcome,
+)
 from .inprocess import InProcessTransport
 from .spool import SpoolTransport
 from .subproc import SubprocessTransport
 
 __all__ = [
+    "DEGRADE_POLICIES",
     "DispatchReport",
     "TRANSPORTS",
     "cost_weight",
@@ -58,12 +77,22 @@ TRANSPORTS = {
 
 
 def make_transport(
-    transport: Transport | str, *, spool_dir: Path | str | None = None
+    transport: Transport | str,
+    *,
+    spool_dir: Path | str | None = None,
+    extra_env: dict[str, str] | None = None,
+    lease_timeout: float | None = None,
 ) -> Transport:
     """Coerce the user-facing ``transport`` argument: an instance passes
     through, a registered name is constructed (``spool`` honouring
-    ``spool_dir``)."""
+    ``spool_dir`` and ``lease_timeout``; worker-spawning transports
+    honouring ``extra_env``)."""
     if isinstance(transport, Transport):
+        if extra_env is not None or lease_timeout is not None:
+            raise DispatchError(
+                "extra_env/lease_timeout cannot be applied to a transport "
+                "instance — configure the instance directly"
+            )
         return transport
     try:
         cls = TRANSPORTS[transport]
@@ -73,7 +102,20 @@ def make_transport(
             f"(available: {', '.join(TRANSPORTS)})"
         ) from None
     if cls is SpoolTransport:
-        return SpoolTransport(spool_dir)
+        kwargs: dict = {"extra_env": extra_env}
+        if lease_timeout is not None:
+            kwargs["lease_timeout"] = lease_timeout
+        return SpoolTransport(spool_dir, **kwargs)
+    if lease_timeout is not None:
+        raise DispatchError(
+            f"lease_timeout only applies to the spool transport, not {transport!r}"
+        )
+    if cls is SubprocessTransport:
+        return SubprocessTransport(extra_env=extra_env)
+    if extra_env is not None:
+        raise DispatchError(
+            f"extra_env only applies to worker-spawning transports, not {transport!r}"
+        )
     return cls()
 
 
@@ -102,6 +144,8 @@ class DispatchReport:
     quarantined: int
     skipped: list[CoverSpec] = field(default_factory=list)  # budget ran out
     preempts: int = 0  # checkpointed preempt/resume handoffs
+    degraded: int = 0  # jobs re-routed through the heuristic fallback
+    quarantined_workers: int = 0  # worker slots retired by the circuit breaker
 
     def summary(self) -> str:
         parts = [
@@ -117,11 +161,55 @@ class DispatchReport:
             parts.append(f"deaths={self.worker_deaths}")
         if self.quarantined:
             parts.append(f"quarantined={self.quarantined}")
+        if self.quarantined_workers:
+            parts.append(f"quarantined_workers={self.quarantined_workers}")
         if self.preempts:
             parts.append(f"preempts={self.preempts}")
+        if self.degraded:
+            parts.append(f"degraded={self.degraded}")
         if self.skipped:
             parts.append(f"skipped={len(self.skipped)}")
         return " ".join(parts)
+
+
+DEGRADE_POLICIES = ("heuristic",)
+
+
+def _degraded_solve(job: Job, failure: Exception) -> Result:
+    """The graceful-degradation fallback: re-solve the exhausted job's
+    spec through the heuristic backend (uncached, no optimality demand,
+    no budgets), validate the covering against the *original* demand,
+    and stamp runtime-only degradation provenance on the envelope."""
+    from ..api.service import solve
+
+    fallback_spec = replace(
+        job.spec,
+        backend="heuristic",
+        require_optimal=False,
+        node_limit=None,
+        time_budget=None,
+    )
+    try:
+        fallback = solve(fallback_spec, cache=None)
+    except Exception as exc:
+        raise DegradationError(
+            f"heuristic fallback for job {job.spec_hash[:12]} (n={job.spec.n}) "
+            f"itself failed: {exc}"
+        ) from exc
+    if not fallback.covering.covers(job.spec.instance()):
+        raise DegradationError(
+            f"heuristic fallback for job {job.spec_hash[:12]} (n={job.spec.n}) "
+            "returned a non-covering"
+        )
+    return fallback.annotate_degraded(
+        {
+            "policy": "heuristic",
+            "original_backend": job.spec.backend or "auto",
+            "original_spec_hash": job.spec_hash,
+            "reason": type(failure).__name__,
+            "detail": str(failure),
+        }
+    )
 
 
 def _check_envelope(job: Job, result: Result) -> None:
@@ -152,6 +240,9 @@ def dispatch_batch(
     order: str = "lpt",
     time_budget: float | None = None,
     spool_dir: Path | str | None = None,
+    policy: RetryPolicy | None = None,
+    degrade: str | None = None,
+    lease_timeout: float | None = None,
 ) -> DispatchReport:
     """Solve a batch of specs over a transport; see the module docstring
     for the contract.  ``order`` is ``"lpt"`` (heaviest first — minimum
@@ -159,12 +250,22 @@ def dispatch_batch(
     that reports "skipped the tail" wants).  ``time_budget`` caps the
     batch's wall-clock: jobs not yet started when it runs out are
     returned in ``report.skipped`` instead of ``report.results``.
+    ``policy`` overrides the deterministic retry/backoff/quarantine
+    schedule (``max_retries`` is ignored when given).  ``degrade``
+    (``None`` or ``"heuristic"``) arms the graceful-degradation fallback
+    described in the module docstring.  ``lease_timeout`` tunes the
+    spool transport's heartbeat-staleness reclaim window.
     """
     specs = list(specs)
     if order not in ("lpt", "fifo"):
         raise DispatchError(f"unknown dispatch order {order!r} (lpt or fifo)")
+    if degrade is not None and degrade not in DEGRADE_POLICIES:
+        raise DispatchError(
+            f"unknown degrade policy {degrade!r} "
+            f"(available: {', '.join(DEGRADE_POLICIES)})"
+        )
     start = perf_counter()
-    tr = make_transport(transport, spool_dir=spool_dir)
+    tr = make_transport(transport, spool_dir=spool_dir, lease_timeout=lease_timeout)
     nworkers = resolve_workers(workers)
     store = ResultCache.open(cache)
 
@@ -206,6 +307,14 @@ def dispatch_batch(
         deadline = start + time_budget
         admit = lambda: perf_counter() < deadline  # noqa: E731
 
+    exhausted: list[tuple[Job, Exception]] = []
+    on_exhausted = None
+    if degrade is not None:
+        def on_exhausted(job: Job, failure: Exception) -> bool:
+            with lock:
+                exhausted.append((job, failure))
+            return True
+
     if jobs:
         outcome = tr.run(
             jobs,
@@ -214,9 +323,20 @@ def dispatch_batch(
             max_retries=max_retries,
             on_result=on_result,
             admit=admit,
+            policy=policy,
+            on_exhausted=on_exhausted,
         )
     else:
         outcome = TransportOutcome()
+
+    for job, failure in exhausted:
+        t0 = perf_counter()
+        fallback = _degraded_solve(job, failure)
+        with lock:
+            # Stored under the ORIGINAL spec hash (the caller asked for
+            # that spec) and never written to the certified cache.
+            results[job.spec_hash] = fallback
+            seconds[job.spec_hash] = perf_counter() - t0
 
     skipped_jobs = sorted(outcome.skipped, key=lambda job: job.index)
     skipped_hashes = {job.spec_hash for job in skipped_jobs}
@@ -244,5 +364,7 @@ def dispatch_batch(
         worker_deaths=outcome.worker_deaths,
         quarantined=outcome.quarantined,
         preempts=outcome.preempts,
+        degraded=len(outcome.degraded),
+        quarantined_workers=outcome.quarantined_workers,
         skipped=[job.spec for job in skipped_jobs],
     )

@@ -1,0 +1,385 @@
+"""Structured, seeded fault injection for the dispatch fleet.
+
+The chaos suite needs every failure mode the fleet defends against —
+crash, mid-proof crash, stall, corrupt result, dropped heartbeat,
+refused preemption — to fire *deterministically*: exactly once per
+armed fault, on exactly one worker, reproducible from a seed.  The old
+spelling was three ad-hoc ``REPRO_CHAOS_*`` environment variables
+naming token files; this module replaces them with one declarative,
+JSON-round-trippable :class:`FaultPlan` injected per worker through a
+single environment variable (or ``--fault-plan`` on the worker/sweep
+command lines).
+
+Determinism is token-based, as before: each fault names a token file,
+and the first worker to *win* the token (atomic ``os.unlink``) owns the
+fault — every other worker sees nothing.  :meth:`FaultPlan.arm` creates
+the token files for a plan (names derived from the seed, so two armed
+plans never collide), which is what the CLI and CI smoke do; tests that
+want to place tokens by hand still can.  A fault with no token fires on
+*every* job of *every* worker carrying the plan — useful for
+single-worker protocol tests, ruinous for a fleet, so ``arm`` first.
+
+Fault kinds (the matrix README.md documents):
+
+``crash``
+    ``os._exit(FAULT_EXIT_CODE)`` at job start — claim left dangling.
+``crash_at_node``
+    The same hard exit, but only once the search passes ``at_node``
+    nodes — *after* any checkpoint flushes below that mark, killing a
+    worker mid-proof with resumable state already on disk.  The token
+    is consumed at the node threshold, not at job start, so the fault
+    waits for a proof actually long enough to reach it.
+``stall``
+    A dead ``time.sleep`` (default long enough to blow any deadline):
+    the worker stops heartbeating and ignores preempt requests — what a
+    livelocked or SIGSTOPped process looks like from outside.
+``slow``
+    Sleeps ``seconds`` *while staying alive*: the heartbeat callback
+    keeps firing throughout, so a lease-respecting dispatcher must NOT
+    reclaim the claim — the regression test for the double-solve bug.
+``corrupt_result``
+    The worker solves normally but truncates the result it writes —
+    the torn-write shape the quarantine machinery must catch.
+``drop_heartbeat``
+    The worker solves normally but stops renewing its lease for this
+    job: from outside, indistinguishable from a dead worker, so the
+    job is reclaimed; the straggler's eventual (atomic, byte-identical)
+    result write is benign.
+``refuse_preempt``
+    The worker ignores preempt requests for this job — the deadline's
+    grace-kill path must reap it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from ..api.spec import SpecError
+
+__all__ = [
+    "FAULT_EXIT_CODE",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FAULT_PLAN_FORMAT",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+]
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+FAULT_PLAN_FORMAT = "repro-fault-plan"
+_FAULT_PLAN_MAJOR = 1
+
+# Kept equal to the historical chaos exit code so existing exit-status
+# assertions (and anyone pattern-matching worker exits) keep working.
+FAULT_EXIT_CODE = 23
+
+FAULT_KINDS = (
+    "crash",
+    "crash_at_node",
+    "stall",
+    "slow",
+    "corrupt_result",
+    "drop_heartbeat",
+    "refuse_preempt",
+)
+
+_STALL_SECONDS_DEFAULT = 300.0
+_SLOW_SECONDS_DEFAULT = 1.0
+
+# Legacy chaos environment variables (deprecated, one-release shim).
+CHAOS_EXIT_ENV = "REPRO_DISPATCH_CHAOS"
+CHAOS_STALL_ENV = "REPRO_DISPATCH_STALL"
+CHAOS_EXIT_NODES_ENV = "REPRO_DISPATCH_CHAOS_NODES"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable fault.  ``token`` names the file whose atomic
+    unlink elects the single worker that fires it; ``None`` means fire
+    unconditionally (every job, every worker)."""
+
+    kind: str
+    token: str | None = None
+    at_node: int | None = None  # crash_at_node threshold
+    seconds: float | None = None  # stall / slow duration
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SpecError(
+                f"unknown fault kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        if self.kind == "crash_at_node":
+            if self.at_node is None or int(self.at_node) <= 0:
+                raise SpecError(
+                    f"crash_at_node needs a positive at_node, got {self.at_node!r}"
+                )
+        if self.seconds is not None and float(self.seconds) <= 0:
+            raise SpecError(f"fault seconds must be positive, got {self.seconds!r}")
+
+    def to_payload(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"kind": self.kind}
+        if self.token is not None:
+            doc["token"] = self.token
+        if self.at_node is not None:
+            doc["at_node"] = int(self.at_node)
+        if self.seconds is not None:
+            doc["seconds"] = float(self.seconds)
+        return doc
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "Fault":
+        if not isinstance(payload, dict):
+            raise SpecError(f"malformed fault payload: {payload!r}")
+        return cls(
+            kind=payload.get("kind"),
+            token=payload.get("token"),
+            at_node=payload.get("at_node"),
+            seconds=payload.get("seconds"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of faults plus the seed that names its armed
+    token files.  Serialises to the schema-tagged JSON the
+    ``REPRO_FAULT_PLAN`` environment variable (or a ``@file`` it points
+    at) carries into every worker."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SpecError(f"fault plan seed must be an int, got {self.seed!r}")
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        from ..io import schema_version_field
+
+        return {
+            "format": FAULT_PLAN_FORMAT,
+            "version": schema_version_field(_FAULT_PLAN_MAJOR, 0),
+            "seed": self.seed,
+            "faults": [fault.to_payload() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "FaultPlan":
+        from ..io import require_schema
+        from ..util.errors import InvalidCoveringError
+
+        try:
+            require_schema(payload, FAULT_PLAN_FORMAT, _FAULT_PLAN_MAJOR)
+        except InvalidCoveringError as exc:
+            raise SpecError(str(exc)) from None
+        raw = payload.get("faults")
+        if not isinstance(raw, (list, tuple)):
+            raise SpecError(f"malformed fault plan faults: {raw!r}")
+        seed = payload.get("seed", 0)
+        return cls(faults=tuple(Fault.from_payload(f) for f in raw), seed=seed)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_payload(payload)
+
+    # -- arming ----------------------------------------------------------
+
+    def arm(self, directory: Path | str) -> "FaultPlan":
+        """Create a token file (seed-derived name) for every token-less
+        fault and return the armed plan: each fault then fires exactly
+        once across the fleet."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        armed = []
+        for i, fault in enumerate(self.faults):
+            if fault.token is None:
+                token = directory / f"fault-{self.seed:08d}-{i:02d}-{fault.kind}.token"
+                token.touch()
+                fault = replace(fault, token=str(token))
+            armed.append(fault)
+        return FaultPlan(faults=tuple(armed), seed=self.seed)
+
+    def env(self) -> dict[str, str]:
+        """The environment fragment that carries this plan to workers."""
+        return {FAULT_PLAN_ENV: self.to_json()}
+
+
+def _load_plan_text(raw: str) -> FaultPlan:
+    """Parse a fault-plan argument: inline JSON, or ``@path`` reading
+    the plan from a file."""
+    if raw.startswith("@"):
+        try:
+            raw = Path(raw[1:]).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SpecError(f"cannot read fault plan file: {exc}") from None
+    return FaultPlan.from_json(raw)
+
+
+def _legacy_faults(environ: Mapping[str, str]) -> list[Fault]:
+    """The one-release compatibility shim for the raw ``REPRO_CHAOS_*``
+    environment variables.  Each recognised variable warns and maps to
+    its structured :class:`Fault` equivalent."""
+    found: list[Fault] = []
+
+    def _warn(var: str) -> None:
+        warnings.warn(
+            f"{var} is deprecated; pass a structured fault plan via "
+            f"{FAULT_PLAN_ENV} (repro.dispatch.faults.FaultPlan) instead — "
+            "the raw chaos variables will be removed next release",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    token = environ.get(CHAOS_EXIT_ENV)
+    if token:
+        _warn(CHAOS_EXIT_ENV)
+        found.append(Fault(kind="crash", token=token))
+    token = environ.get(CHAOS_STALL_ENV)
+    if token:
+        _warn(CHAOS_STALL_ENV)
+        found.append(Fault(kind="stall", token=token))
+    raw = environ.get(CHAOS_EXIT_NODES_ENV)
+    if raw:
+        token, sep, nodes = raw.rpartition(":")
+        if sep and token and nodes.lstrip("-").isdigit() and int(nodes) > 0:
+            _warn(CHAOS_EXIT_NODES_ENV)
+            found.append(Fault(kind="crash_at_node", token=token, at_node=int(nodes)))
+    return found
+
+
+class FaultInjector:
+    """Worker-side fault executor: per-job arming in :meth:`begin_job`,
+    node-threshold hooks via :meth:`wrap_preempt`, result tampering via
+    :meth:`corrupt`.  All flags reset per job — a fault describes one
+    injected incident, not a permanently broken worker (quarantine and
+    respawn caps handle those)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.heartbeats_dropped = False
+        self._refuse_preempt = False
+        self._corrupt_next = False
+        self._crash_at_faults: list[Fault] = []
+
+    @classmethod
+    def from_env(
+        cls, environ: Mapping[str, str] | None = None
+    ) -> "FaultInjector | None":
+        """Build an injector from the worker's environment: the
+        structured ``REPRO_FAULT_PLAN`` (inline JSON or ``@path``) plus
+        any deprecated ``REPRO_CHAOS_*`` variables (shimmed, with a
+        :class:`DeprecationWarning`).  ``None`` when nothing is armed."""
+        env = os.environ if environ is None else environ
+        faults: list[Fault] = []
+        seed = 0
+        raw = env.get(FAULT_PLAN_ENV)
+        if raw:
+            plan = _load_plan_text(raw)
+            faults.extend(plan.faults)
+            seed = plan.seed
+        faults.extend(_legacy_faults(env))
+        if not faults:
+            return None
+        return cls(FaultPlan(faults=tuple(faults), seed=seed))
+
+    # -- token election --------------------------------------------------
+
+    @staticmethod
+    def _win(fault: Fault) -> bool:
+        """True when this process owns the fault: token-less faults fire
+        unconditionally; token faults are won by atomic unlink, exactly
+        once across the fleet."""
+        if fault.token is None:
+            return True
+        try:
+            os.unlink(fault.token)
+        except OSError:
+            return False
+        return True
+
+    # -- per-job hooks ---------------------------------------------------
+
+    def begin_job(self, heartbeat: Callable[[], None] | None = None) -> None:
+        """Fire job-start faults and arm the per-job flags.  ``crash``
+        exits hard; ``stall`` sleeps dead (no heartbeat); ``slow``
+        sleeps alive, renewing ``heartbeat`` throughout."""
+        self.heartbeats_dropped = False
+        self._refuse_preempt = False
+        self._corrupt_next = False
+        self._crash_at_faults = [
+            f for f in self.plan.faults if f.kind == "crash_at_node"
+        ]
+        for fault in self.plan.faults:
+            if fault.kind == "crash_at_node":
+                continue  # token consumed at the node threshold instead
+            if not self._win(fault):
+                continue
+            if fault.kind == "crash":
+                os._exit(FAULT_EXIT_CODE)
+            elif fault.kind == "stall":
+                time.sleep(fault.seconds or _STALL_SECONDS_DEFAULT)
+            elif fault.kind == "slow":
+                self._sleep_alive(fault.seconds or _SLOW_SECONDS_DEFAULT, heartbeat)
+            elif fault.kind == "corrupt_result":
+                self._corrupt_next = True
+            elif fault.kind == "drop_heartbeat":
+                self.heartbeats_dropped = True
+            elif fault.kind == "refuse_preempt":
+                self._refuse_preempt = True
+
+    @staticmethod
+    def _sleep_alive(seconds: float, heartbeat: Callable[[], None] | None) -> None:
+        """Sleep in small slices, heartbeating between them — a slow but
+        demonstrably alive worker."""
+        deadline = time.monotonic() + seconds
+        while True:
+            if heartbeat is not None:
+                heartbeat()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(0.05, remaining))
+
+    def wrap_preempt(self, preempt: Callable | None) -> Callable | None:
+        """Wrap the engine's preempt callback with the in-search faults:
+        ``crash_at_node`` hard-exits once the node threshold is passed
+        (winning its token at that moment), ``refuse_preempt`` masks any
+        real preempt request."""
+        crash_at = list(self._crash_at_faults)
+        refuse = self._refuse_preempt
+        if not crash_at and not refuse:
+            return preempt
+
+        def wrapped(st) -> bool:
+            for fault in crash_at:
+                if st.nodes >= fault.at_node and self._win(fault):
+                    os._exit(FAULT_EXIT_CODE)
+            if refuse:
+                return False
+            return preempt(st) if preempt is not None else False
+
+        return wrapped
+
+    def corrupt(self, text: str) -> str:
+        """Apply (and consume) a pending ``corrupt_result`` fault: the
+        returned text is truncated the way a torn write would be."""
+        if not self._corrupt_next:
+            return text
+        self._corrupt_next = False
+        return text[: max(1, len(text) // 3)]

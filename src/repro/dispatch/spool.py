@@ -4,6 +4,7 @@ Layout (everything under one ``root`` on a shared filesystem)::
 
     root/jobs/<seq>-<spec-hash>.json     job documents (spec + retry state)
     root/claims/<spec-hash>.<wid>.json   a worker's in-progress claim
+    root/leases/<spec-hash>.<wid>.json   the claim's heartbeat lease
     root/results/<spec-hash>.result.json finished Result envelopes
     root/checkpoints/<spec-hash>.ckpt.json  resumable mid-proof state
     root/STOP                            shuts polling workers down
@@ -20,20 +21,46 @@ corruption (a worker crashed around the rename, a disk hiccup, a hand
 edit) and is quarantined: deleted, counted, and the job re-dispatched,
 mirroring the result cache's recovery contract.
 
-Retry-with-exclusion works through the job document itself: a
-re-dispatched job carries the failed worker's id in its ``excluded``
-list, and workers skip jobs that exclude them.  Worker death is
-detected three ways: a claim whose locally-spawned worker process has
-exited is reclaimed immediately, a claim older than the job deadline
-is reclaimed (remote workers cannot be killed, so a still-running
-straggler may yet write its — identical, atomic — envelope; that is
-benign), and spawned workers that keep dying *before* claiming
-anything trip a respawn cap instead of respawning forever.
+Reclaim is driven by **heartbeat leases**, not deadlines.  A worker
+writes ``leases/<hash>.<wid>.json`` at claim time and renews it (a
+monotone ``beat`` counter, bumped at most every ``heartbeat_every``
+seconds, piggybacked on the engine's preempt polls) for as long as the
+proof advances.  The dispatcher tracks each claim's beat against its
+*local* clock — only beat changes cross the filesystem, so clock skew
+between machines is irrelevant — and reclaims a claim through exactly
+three doors:
 
-Each poll tick does O(jobs + procs) work: the results and claims
-directories are listed once and the dead-process set computed once,
-then every pending job is matched in memory — the metadata traffic a
-shared NFS spool actually cares about.
+* the claimer is a locally-spawned process that has exited (immediate);
+* the claimer's lease has gone **stale**: its beat stopped moving for
+  ``lease_timeout`` seconds (crash on a remote machine, stall, SIGSTOP
+  past the lease window, dropped heartbeats);
+* the claimer never wrote a lease at all (a previous-release worker)
+  and the old job deadline has passed — the legacy reclaim, kept one
+  release for mixed fleets.
+
+A slow worker whose lease keeps renewing is **never** reclaimed, no
+matter how far past ``job_timeout`` it runs — the deadline-based
+double-solve window of earlier releases is gone.  A reclaimed job's
+still-running straggler may yet write its (identical, atomic) envelope;
+that is benign.
+
+Retry timing follows the shared :class:`~repro.dispatch.base.RetryPolicy`:
+a failed job sits out its deterministic capped-exponential backoff
+window before its document is re-written (retry-with-exclusion through
+the document's ``excluded`` list, as ever).  Spawned workers that keep
+dying are respawned with a per-slot circuit breaker — a slot that
+crashes ``policy.quarantine_after`` times is retired while other slots
+remain — and workers that die *before* claiming anything trip a global
+respawn cap instead of respawning forever.  ``on_exhausted`` offers
+deterministic failures and retry-exhausted jobs to the dispatcher's
+degradation hook before failing the batch.
+
+Each poll tick does O(jobs + procs) work: the results, claims and
+leases directories are listed/read once per tick and the dead-process
+set computed once, then every pending job is matched in memory — the
+metadata traffic a shared NFS spool actually cares about.  An idle
+tick backs the poll interval off toward a cap (reset on any progress),
+so a drained-but-waiting dispatcher stops spinning.
 
 Resume comes free: a valid ``results/`` entry present before dispatch
 (from a crashed earlier sweep, or from workers on other machines) is
@@ -53,6 +80,7 @@ import subprocess
 import tempfile
 import time
 from collections.abc import Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..api.result import Result
@@ -62,17 +90,52 @@ from .base import (
     EnvelopeError,
     Job,
     JobError,
+    OnExhausted,
     OnResult,
+    RetryPolicy,
     Transport,
     TransportOutcome,
 )
 from .subproc import worker_command, worker_env
-from .worker import SPOOL_ERROR_FORMAT, SPOOL_JOB_FORMAT, _atomic_write
+from .worker import (
+    HEARTBEAT_EVERY_DEFAULT,
+    SPOOL_ERROR_FORMAT,
+    SPOOL_JOB_FORMAT,
+    _atomic_write,
+)
 
-__all__ = ["SpoolTransport"]
+__all__ = ["LEASE_TIMEOUT_DEFAULT", "SpoolTransport"]
 
-# pending: spec_hash -> [job, dispatch_time, schedule_seq]
-_Pending = dict[str, list]
+# A lease whose beat hasn't moved for this long marks its worker dead.
+# Generous relative to the 0.5 s default heartbeat cadence: renewals
+# ride the engine's preempt polls, which a healthy proof hits many
+# times per second, so ten missed windows is a worker that is gone.
+LEASE_TIMEOUT_DEFAULT = 5.0
+# How long a fresh claim may sit without any lease before the legacy
+# (deadline-based) reclaim may touch it — covers the claim→lease-write
+# window of current workers so only genuinely lease-less (old-release)
+# workers ever take the legacy door.
+_LEASE_GRACE = 1.0
+# Idle drain ticks back off toward this ceiling (reset on progress).
+_DRAIN_IDLE_CAP = 0.25
+
+
+@dataclass
+class _PendingJob:
+    """Dispatcher-side state for one job still owed a result."""
+
+    job: Job
+    seq: int
+    since: float  # dispatch/re-queue time (legacy deadline clock)
+    queued: bool = True  # document written (False inside a backoff window)
+    not_before: float = 0.0  # backoff gate for the next re-queue
+    claimer: str | None = None
+    claim_seen: float = 0.0  # when the current claimer appeared (local clock)
+    lease_beat: int | None = None  # last beat observed for this claimer
+    lease_seen: float = field(default=0.0)  # local time the beat last changed
+
+
+_Pending = dict[str, _PendingJob]
 
 
 class SpoolTransport(Transport):
@@ -87,13 +150,18 @@ class SpoolTransport(Transport):
         python: str | None = None,
         extra_env: dict[str, str] | None = None,
         extra_args: Sequence[str] = (),
+        heartbeat_every: float = HEARTBEAT_EVERY_DEFAULT,
+        lease_timeout: float = LEASE_TIMEOUT_DEFAULT,
     ) -> None:
         """``root=None`` spools into a fresh temp directory, created
         lazily when :meth:`run` starts and removed when it finishes.
         ``spawn_workers=False`` writes jobs and waits for *external*
         workers (other machines) to drain them.  ``extra_args`` rides
         along on every spawned worker command line (e.g.
-        ``--checkpoint-every 512`` or ``--preempt-after 5``)."""
+        ``--checkpoint-every 512`` or ``--preempt-after 5``).
+        ``heartbeat_every`` is the lease renewal cadence handed to
+        spawned workers; ``lease_timeout`` is how long a claim's beat
+        may freeze before the claim is reclaimed."""
         self._owns_root = root is None
         self.root: Path | None = Path(root) if root is not None else None
         self.poll = poll
@@ -101,6 +169,8 @@ class SpoolTransport(Transport):
         self.python = python
         self.extra_env = extra_env
         self.extra_args = tuple(extra_args)
+        self.heartbeat_every = heartbeat_every
+        self.lease_timeout = lease_timeout
 
     # -- paths -----------------------------------------------------------
 
@@ -116,6 +186,14 @@ class SpoolTransport(Transport):
     def _result_path(self, spec_hash: str) -> Path:
         assert self.root is not None
         return self.root / "results" / self._result_name(spec_hash)
+
+    def _lease_path(self, spec_hash: str, wid: str) -> Path:
+        assert self.root is not None
+        return self.root / "leases" / f"{spec_hash}.{wid}.json"
+
+    def _checkpoint_path(self, spec_hash: str) -> Path:
+        assert self.root is not None
+        return self.root / "checkpoints" / f"{spec_hash}.ckpt.json"
 
     # -- job documents ---------------------------------------------------
 
@@ -144,6 +222,16 @@ class SpoolTransport(Transport):
             )
         return Result.from_payload(payload)
 
+    def _lease_beat(self, spec_hash: str, wid: str) -> int | None:
+        """The claimer's current lease beat, or ``None`` when no lease
+        exists (never written, already cleared, or unreadable — lease
+        writes are atomic, so unreadable means absent)."""
+        try:
+            doc = json.loads(self._lease_path(spec_hash, wid).read_text())
+            return int(doc["beat"])
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
     # -- the run loop ----------------------------------------------------
 
     def run(
@@ -155,25 +243,32 @@ class SpoolTransport(Transport):
         max_retries: int,
         on_result: OnResult,
         admit: Admit | None = None,
+        policy: RetryPolicy | None = None,
+        on_exhausted: OnExhausted | None = None,
     ) -> TransportOutcome:
         outcome = TransportOutcome()
+        if policy is None:
+            policy = RetryPolicy(max_retries=max_retries)
         if self.root is None:
             self.root = Path(tempfile.mkdtemp(prefix="repro-spool-"))
-        for sub in ("jobs", "claims", "results", "checkpoints"):
+        for sub in ("jobs", "claims", "leases", "results", "checkpoints"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
         stop = self.root / "STOP"
         stop.unlink(missing_ok=True)
 
-        procs: list[subprocess.Popen] = []
+        procs: list[subprocess.Popen | None] = []
         try:
-            pending = self._enqueue(jobs, outcome, on_result, admit)
+            pending = self._enqueue(jobs, outcome, on_result, admit, on_exhausted)
             if pending and self.spawn_workers:
                 procs = [self._spawn_worker() for _ in range(max(1, workers))]
-            self._drain(pending, outcome, on_result, job_timeout, max_retries, procs)
+            self._drain(
+                pending, outcome, on_result, job_timeout, policy, procs, on_exhausted
+            )
         finally:
             _atomic_write(stop, "")
             for proc in procs:
-                self._reap(proc)
+                if proc is not None:
+                    self._reap(proc)
             if self._owns_root:
                 shutil.rmtree(self.root, ignore_errors=True)
                 self.root = None  # recreated lazily on the next run
@@ -185,11 +280,11 @@ class SpoolTransport(Transport):
         outcome: TransportOutcome,
         on_result: OnResult,
         admit: Admit | None,
+        on_exhausted: OnExhausted | None,
     ) -> _Pending:
         """Write job files (resume semantics: an existing valid result is
         accepted, an existing corrupt one quarantined).  Returns the
-        jobs still owed a result, keyed by hash, with dispatch times and
-        schedule positions."""
+        jobs still owed a result, keyed by hash."""
         pending: _Pending = {}
         for seq, job in enumerate(jobs):
             if admit is not None and not admit():
@@ -201,12 +296,16 @@ class SpoolTransport(Transport):
                     on_result(job, result, 0.0, "spool-resume")
                     outcome.resumed += 1
                     continue
-                except JobError:
+                except JobError as exc:
+                    if self._absorb(job, exc, outcome, on_exhausted):
+                        continue
                     raise
                 except (EnvelopeError, ValueError, KeyError, TypeError, OSError):
                     self._quarantine(job.spec_hash, outcome)
             self._write_job(job, seq)
-            pending[job.spec_hash] = [job, time.monotonic(), seq]
+            pending[job.spec_hash] = _PendingJob(
+                job=job, seq=seq, since=time.monotonic()
+            )
         return pending
 
     def _drain(
@@ -215,64 +314,133 @@ class SpoolTransport(Transport):
         outcome: TransportOutcome,
         on_result: OnResult,
         job_timeout: float | None,
-        max_retries: int,
-        procs: list[subprocess.Popen],
+        policy: RetryPolicy,
+        procs: "list[subprocess.Popen | None]",
+        on_exhausted: OnExhausted | None,
     ) -> None:
         assert self.root is not None
         results_dir = self.root / "results"
         claims_dir = self.root / "claims"
         respawns = 0
         respawn_cap = max(4, 2 * len(pending) + len(procs))
+        slot_deaths = [0] * len(procs)
         # Accumulated across the run: respawning replaces a dead proc in
         # ``procs``, but its id must keep matching claims it left behind.
         dead_ids: set[str] = set()
+        idle = RetryPolicy(
+            base_delay=max(0.001, self.poll),
+            factor=1.5,
+            max_delay=max(self.poll, _DRAIN_IDLE_CAP),
+            max_retries=0,
+        )
+        idle_ticks = 0
         while pending:
             progressed = False
             # One directory listing per tick, not one stat per job.
             finished = self._listdir(results_dir)
             claims = self._claim_map(claims_dir)
             dead_ids.update(
-                f"w{proc.pid}" for proc in procs if proc.poll() is not None
+                f"w{proc.pid}"
+                for proc in procs
+                if proc is not None and proc.poll() is not None
             )
             now = time.monotonic()
             for spec_hash in list(pending):
-                job, since, seq = pending[spec_hash]
+                entry = pending[spec_hash]
+                job = entry.job
                 if self._result_name(spec_hash) in finished:
                     progressed = True
                     try:
                         result = self._read_result(spec_hash)
-                        on_result(job, result, now - since, "spool")
+                        on_result(job, result, now - entry.since, "spool")
                         del pending[spec_hash]
-                    except JobError:
+                        # A straggler may have answered a job we already
+                        # re-queued: retire the orphan document so no
+                        # idle worker re-solves it.
+                        self._job_path(job, entry.seq).unlink(missing_ok=True)
+                    except JobError as exc:
+                        if self._absorb(job, exc, outcome, on_exhausted):
+                            del pending[spec_hash]
+                            continue
                         raise
                     except (EnvelopeError, ValueError, KeyError, TypeError, OSError):
                         self._quarantine(spec_hash, outcome)
-                        self._retry(job, seq, pending, outcome, max_retries)
+                        self._retry(entry, pending, outcome, policy, on_exhausted)
+                    continue
+                if not entry.queued:
+                    # Sitting out its backoff window; re-queue when due.
+                    if now >= entry.not_before:
+                        self._write_job(job, entry.seq)
+                        entry.queued = True
+                        entry.since = now
+                        progressed = True
                     continue
                 claimer = claims.get(spec_hash)
-                claim_dead = claimer is not None and claimer in dead_ids
-                timed_out = job_timeout is not None and now - since > job_timeout
-                if claim_dead or (timed_out and claimer is not None):
+                if claimer != entry.claimer:
+                    # New claim (or claim released): restart the lease
+                    # observation for the new owner.
+                    entry.claimer = claimer
+                    entry.claim_seen = now
+                    entry.lease_beat = None
+                    entry.lease_seen = now
+                timed_out = job_timeout is not None and now - entry.since > job_timeout
+                if claimer is None:
+                    if timed_out:
+                        # Timed out but never claimed: nobody failed it —
+                        # reset the clock instead of burning a retry.
+                        entry.since = now
+                    continue
+                beat = self._lease_beat(spec_hash, claimer)
+                if beat is not None and beat != entry.lease_beat:
+                    entry.lease_beat = beat
+                    entry.lease_seen = now
+                # The reclaim state machine: a heartbeating worker is
+                # never reclaimed.  Only a dead local process, a stale
+                # lease, or (for lease-less legacy workers) the old job
+                # deadline opens the claim.
+                claim_dead = claimer in dead_ids
+                lease_stale = (
+                    entry.lease_beat is not None
+                    and now - entry.lease_seen > self.lease_timeout
+                )
+                legacy_timeout = (
+                    entry.lease_beat is None
+                    and beat is None
+                    and timed_out
+                    and now - entry.claim_seen > _LEASE_GRACE
+                )
+                if claim_dead or lease_stale or legacy_timeout:
                     (claims_dir / f"{spec_hash}.{claimer}.json").unlink(
                         missing_ok=True
                     )
+                    self._lease_path(spec_hash, claimer).unlink(missing_ok=True)
                     job.excluded = job.excluded + (claimer,)
                     outcome.worker_deaths += 1
-                    self._retry(job, seq, pending, outcome, max_retries)
+                    self._retry(entry, pending, outcome, policy, on_exhausted)
                     progressed = True
-                elif timed_out:
-                    # Timed out but never claimed: nobody failed it —
-                    # reset the clock instead of burning a retry.
-                    pending[spec_hash][1] = now
             if pending:
-                respawns += self._respawn_dead(procs)
+                respawns += self._respawn_dead(
+                    procs, slot_deaths, dead_ids, outcome, policy
+                )
                 if respawns > respawn_cap:
                     raise DispatchError(
                         f"spool workers died {respawns} times without "
                         "claiming a job — the worker command looks broken"
                     )
-                if not progressed:
-                    time.sleep(self.poll)
+                if progressed:
+                    idle_ticks = 0
+                else:
+                    idle_ticks += 1
+                    delay = idle.delay(idle_ticks)
+                    # Wake in time for the earliest deferred re-queue.
+                    due = min(
+                        (e.not_before for e in pending.values() if not e.queued),
+                        default=None,
+                    )
+                    if due is not None:
+                        delay = min(delay, max(0.0, due - time.monotonic()))
+                    if delay > 0:
+                        time.sleep(delay)
 
     @staticmethod
     def _listdir(directory: Path) -> set[str]:
@@ -300,23 +468,49 @@ class SpoolTransport(Transport):
         self._result_path(spec_hash).unlink(missing_ok=True)
         outcome.quarantined += 1
 
-    def _retry(
+    def _absorb(
         self,
         job: Job,
-        seq: int,
+        failure: Exception,
+        outcome: TransportOutcome,
+        on_exhausted: OnExhausted | None,
+    ) -> bool:
+        """Offer a dead-end job to the degradation hook; on absorption,
+        scrub its error document and checkpoint so nothing half-done
+        lingers in the spool."""
+        if on_exhausted is None or not on_exhausted(job, failure):
+            return False
+        outcome.degraded.append(job)
+        self._result_path(job.spec_hash).unlink(missing_ok=True)
+        self._checkpoint_path(job.spec_hash).unlink(missing_ok=True)
+        return True
+
+    def _retry(
+        self,
+        entry: _PendingJob,
         pending: _Pending,
         outcome: TransportOutcome,
-        max_retries: int,
+        policy: RetryPolicy,
+        on_exhausted: OnExhausted | None,
     ) -> None:
+        job = entry.job
         job.attempts += 1
-        if job.attempts > max_retries:
-            raise DispatchError(
+        if job.attempts > policy.max_retries:
+            failure = DispatchError(
                 f"spool job {job.spec_hash[:12]} (n={job.spec.n}) failed "
                 f"{job.attempts} times — giving up"
             )
+            if self._absorb(job, failure, outcome, on_exhausted):
+                del pending[job.spec_hash]
+                return
+            raise failure
         outcome.retries += 1
-        self._write_job(job, seq)
-        pending[job.spec_hash] = [job, time.monotonic(), seq]
+        # The document is re-written only once the deterministic backoff
+        # window has passed — the drain loop wakes for it.
+        entry.queued = False
+        entry.not_before = time.monotonic() + policy.delay(job.attempts)
+        entry.claimer = None
+        entry.lease_beat = None
 
     # -- local worker processes ------------------------------------------
 
@@ -326,16 +520,35 @@ class SpoolTransport(Transport):
             str(self.root),
             "--poll",
             str(self.poll),
+            "--heartbeat-every",
+            str(self.heartbeat_every),
             *self.extra_args,
         ]
         return subprocess.Popen(cmd, env=worker_env(self.extra_env))
 
-    def _respawn_dead(self, procs: list[subprocess.Popen]) -> int:
+    def _respawn_dead(
+        self,
+        procs: "list[subprocess.Popen | None]",
+        slot_deaths: list[int],
+        dead_ids: set[str],
+        outcome: TransportOutcome,
+        policy: RetryPolicy,
+    ) -> int:
         """Replace exited local workers; returns how many were replaced
-        so the drain loop can cap crash-on-start churn."""
+        so the drain loop can cap crash-on-start churn.  A slot whose
+        workers have died ``policy.quarantine_after`` times is retired
+        (circuit breaker) while at least one live slot remains."""
         replaced = 0
         for i, proc in enumerate(procs):
-            if proc.poll() is not None:
+            if proc is None or proc.poll() is None:
+                continue
+            dead_ids.add(f"w{proc.pid}")
+            slot_deaths[i] += 1
+            live = sum(1 for p in procs if p is not None)
+            if slot_deaths[i] >= policy.quarantine_after and live > 1:
+                procs[i] = None
+                outcome.quarantined_workers += 1
+            else:
                 procs[i] = self._spawn_worker()
                 replaced += 1
         return replaced

@@ -37,9 +37,11 @@ from .base import (
     Admit,
     Job,
     JobError,
+    OnExhausted,
     OnResult,
     QueueRunner,
     QueueWorker,
+    RetryPolicy,
     Transport,
     TransportOutcome,
     WorkerDeath,
@@ -216,6 +218,8 @@ class SubprocessTransport(Transport):
         max_retries: int,
         on_result: OnResult,
         admit: Admit | None = None,
+        policy: RetryPolicy | None = None,
+        on_exhausted: OnExhausted | None = None,
     ) -> TransportOutcome:
         counter = itertools.count(1)
 
@@ -236,5 +240,7 @@ class SubprocessTransport(Transport):
             max_retries=max_retries,
             on_result=on_result,
             admit=admit,
+            policy=policy,
+            on_exhausted=on_exhausted,
         )
         return runner.run()

@@ -36,23 +36,35 @@ spool mode (the ``spool`` transport; ``--spool DIR``)
     file, keep polling).  A job document's ``excluded`` list names
     worker ids that must not take it (retry-with-exclusion after a
     death); a ``STOP`` file in the spool root shuts every polling
-    worker down.
+    worker down.  An idle worker backs its polling interval off toward
+    a cap (and snaps back on the first claim), so a parked fleet burns
+    no CPU.
+
+Heartbeat leases: a spool worker writes
+``DIR/leases/<spec-hash>.<worker-id>.json`` the moment it claims a job
+and *renews* it (bumping a monotone ``beat`` counter) at most every
+``heartbeat_every`` seconds, piggybacked on the engine's preempt-poll
+cadence — zero extra engine hooks.  The dispatcher reclaims a claim
+only when its lease goes stale (the beat stops moving), never while
+the worker is demonstrably alive — which is what decouples reclaim
+from the job deadline and closes the duplicate-solve window a
+deadline-only reclaim had for slow-but-healthy workers.
 
 Jobs are solved through :func:`repro.api.solve` with **no cache**, so
 the envelope a worker emits is byte-identical to what an in-process
 solve of the same spec produces — the differential harness pins this,
 and checkpoint/resume history never changes envelope bytes.
 
-Chaos hooks (test-only, armed by environment variables naming a token
-file): ``REPRO_DISPATCH_CHAOS`` makes the first worker that wins the
-token (atomic unlink) die abruptly mid-job; ``REPRO_DISPATCH_STALL``
-makes it hang long enough to blow any job deadline;
-``REPRO_DISPATCH_CHAOS_NODES`` (``<token>:<nodes>``) makes it die
-abruptly once the search passes ``<nodes>`` nodes — *after* any
-checkpoint flushes below that mark, which is the point: it kills a
-worker mid-proof with resumable state already on disk.  Exactly one
-worker across the fleet triggers per token — the retry then runs on a
-worker that finds no token.
+Fault injection (test/CI-only) is served by
+:mod:`repro.dispatch.faults`: a structured, seeded
+:class:`~repro.dispatch.faults.FaultPlan` arrives through the
+``REPRO_FAULT_PLAN`` environment variable (or ``--fault-plan``) and
+drives crash, mid-proof crash, stall, slow-but-alive, corrupt-result,
+dropped-heartbeat, and refused-preempt faults deterministically — at
+most one worker per armed fault.  The raw ``REPRO_CHAOS_*`` variables
+of earlier releases still work through a deprecation shim
+(:func:`faults.FaultInjector.from_env` maps them to plan faults with a
+``DeprecationWarning``) and will be removed next release.
 """
 
 from __future__ import annotations
@@ -71,11 +83,19 @@ from ..api.checkpoints import CheckpointStore, MemoryCheckpointStore
 from ..api.spec import CoverSpec, SpecError
 from ..core.checkpoint import SearchCheckpoint
 from ..util.errors import ReproError, SolverPreempted
+from .base import RetryPolicy
+from .faults import (  # noqa: F401  (CHAOS_* re-exported for the shim period)
+    CHAOS_EXIT_ENV,
+    CHAOS_EXIT_NODES_ENV,
+    CHAOS_STALL_ENV,
+    FaultInjector,
+)
 
 __all__ = [
     "CHAOS_EXIT_ENV",
     "CHAOS_EXIT_NODES_ENV",
     "CHAOS_STALL_ENV",
+    "HEARTBEAT_EVERY_DEFAULT",
     "SPOOL_CHECKPOINT_EVERY_DEFAULT",
     "SPOOL_ERROR_FORMAT",
     "SPOOL_JOB_FORMAT",
@@ -84,17 +104,18 @@ __all__ = [
     "stdio_worker_loop",
 ]
 
-CHAOS_EXIT_ENV = "REPRO_DISPATCH_CHAOS"
-CHAOS_STALL_ENV = "REPRO_DISPATCH_STALL"
-CHAOS_EXIT_NODES_ENV = "REPRO_DISPATCH_CHAOS_NODES"
-_CHAOS_EXIT_CODE = 23
-_CHAOS_STALL_SECONDS = 300.0
-
 SPOOL_JOB_FORMAT = "repro-spool-job"
 SPOOL_ERROR_FORMAT = "repro-spool-error"
 # Spool workers flush search state every this-many nodes by default, so
 # a worker killed mid-proof strands at most one interval of work.
 SPOOL_CHECKPOINT_EVERY_DEFAULT = 2048
+# Lease renewal cadence: the beat is bumped at most every this-many
+# seconds (renewals ride the engine's preempt polls, which fire far
+# more often on any proof long enough to matter).
+HEARTBEAT_EVERY_DEFAULT = 0.5
+# Adaptive idle polling backs off toward this ceiling while the spool
+# stays empty, and snaps back to the base interval on the first claim.
+SPOOL_IDLE_POLL_CAP = 0.5
 
 
 def parse_preempt_after(text: str) -> "tuple[str, float]":
@@ -120,67 +141,34 @@ def parse_preempt_after(text: str) -> "tuple[str, float]":
         ) from None
 
 
-def _chaos(env: str) -> bool:
-    """True when this process won the chaos token named by ``env`` —
-    the unlink is atomic, so exactly one worker per token triggers."""
-    token = os.environ.get(env)
-    if not token:
-        return False
-    try:
-        os.unlink(token)
-    except OSError:
-        return False
-    return True
-
-
-def _chaos_hooks() -> None:
-    if _chaos(CHAOS_EXIT_ENV):
-        os._exit(_CHAOS_EXIT_CODE)  # simulate a hard crash mid-job
-    if _chaos(CHAOS_STALL_ENV):
-        time.sleep(_CHAOS_STALL_SECONDS)  # simulate a hung worker
-
-
-def _chaos_nodes() -> int | None:
-    """The node threshold for the mid-proof chaos kill when this
-    process wins the ``<token>:<nodes>`` token, else ``None``."""
-    raw = os.environ.get(CHAOS_EXIT_NODES_ENV)
-    if not raw:
-        return None
-    token, sep, nodes = raw.rpartition(":")
-    if not sep or not token:
-        return None
-    try:
-        threshold = int(nodes)
-    except ValueError:
-        return None
-    try:
-        os.unlink(token)
-    except OSError:
-        return None
-    return threshold
-
-
 def _solve_payload(
     payload: Any,
     *,
     checkpoints: CheckpointStore | None = None,
     checkpoint_every: int | None = None,
     preempt=None,
+    injector: FaultInjector | None = None,
+    heartbeat=None,
 ) -> "tuple[CoverSpec, Any]":
     """Parse and solve one job payload (the spec dict).  Raises
-    SpecError/ReproError with the worker loops deciding how to report."""
+    SpecError/ReproError with the worker loops deciding how to report.
+
+    ``injector`` arms any per-job faults (and wraps the preempt
+    callback with the in-search ones); ``heartbeat`` is called on every
+    engine preempt poll so the worker's lease keeps renewing for
+    exactly as long as the search is making progress."""
     from ..api.service import solve
 
     spec = CoverSpec.from_payload(payload)
-    _chaos_hooks()
-    chaos_nodes = _chaos_nodes()
-    if chaos_nodes is not None:
-        wrapped = preempt
+    if injector is not None:
+        injector.begin_job(heartbeat)
+        preempt = injector.wrap_preempt(preempt)
+    if heartbeat is not None:
+        inner = preempt
 
-        def preempt(st, _base=wrapped, _cap=chaos_nodes):
-            if st.nodes >= _cap:
-                os._exit(_CHAOS_EXIT_CODE)  # hard crash mid-proof
-            return _base(st) if _base is not None else False
+        def preempt(st, _inner=inner):
+            heartbeat()
+            return _inner(st) if _inner is not None else False
 
     if checkpoints is None and checkpoint_every is None and preempt is None:
         result = solve(spec, cache=None)
@@ -215,6 +203,7 @@ def _stdio_reply(
     *,
     preempt=None,
     checkpoint_every: int | None = None,
+    injector: FaultInjector | None = None,
 ) -> dict[str, Any]:
     try:
         request = json.loads(line)
@@ -242,6 +231,7 @@ def _stdio_reply(
             checkpoints=store,
             checkpoint_every=checkpoint_every,
             preempt=preempt,
+            injector=injector,
         )
     except SolverPreempted as exc:
         spec_hash = CoverSpec.from_payload(raw_spec).spec_hash
@@ -282,6 +272,7 @@ def stdio_worker_loop(
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    injector = FaultInjector.from_env()
     lines: "queue.Queue[str]" = queue.Queue()
     eof = threading.Event()
 
@@ -334,11 +325,19 @@ def stdio_worker_loop(
             if _is_preempt_control(line):
                 continue  # stray control with no job in flight
         preempt_flag.clear()
-        reply = _stdio_reply(line, preempt=_preempt, checkpoint_every=checkpoint_every)
+        reply = _stdio_reply(
+            line,
+            preempt=_preempt,
+            checkpoint_every=checkpoint_every,
+            injector=injector,
+        )
+        text = json.dumps(reply, sort_keys=True, separators=(",", ":"))
+        if injector is not None:
+            # A corrupt_result fault truncates the reply line: the
+            # dispatcher reads garbage and retries the job elsewhere.
+            text = injector.corrupt(text)
         try:
-            stdout.write(
-                json.dumps(reply, sort_keys=True, separators=(",", ":")) + "\n"
-            )
+            stdout.write(text + "\n")
             stdout.flush()
         except (OSError, ValueError):
             return 0  # parent hung up; nobody is left to read the reply
@@ -404,6 +403,55 @@ def _restore_spool_job(root: Path, spec_hash: str, doc: dict) -> None:
     )
 
 
+class _Lease:
+    """The worker side of the heartbeat-lease protocol: one small JSON
+    file beside the claim, renewed by bumping a monotone ``beat``
+    counter at most every ``every`` seconds.  The dispatcher reads only
+    whether the beat is still moving — wall clocks never cross the
+    filesystem, so skewed machines cannot fake (or miss) a death."""
+
+    def __init__(
+        self,
+        root: Path,
+        spec_hash: str,
+        worker_id: str,
+        *,
+        every: float = HEARTBEAT_EVERY_DEFAULT,
+        injector: FaultInjector | None = None,
+    ) -> None:
+        self.path = root / "leases" / f"{spec_hash}.{worker_id}.json"
+        self.worker_id = worker_id
+        self.every = max(0.01, float(every))
+        self.injector = injector
+        self.beat = 0
+        self._last = 0.0
+
+    def write(self) -> None:
+        if self.injector is not None and self.injector.heartbeats_dropped:
+            return  # drop_heartbeat fault: look dead while solving on
+        _atomic_write(
+            self.path,
+            json.dumps(
+                {"beat": self.beat, "worker": self.worker_id}, sort_keys=True
+            ),
+        )
+        self._last = time.monotonic()
+
+    def renew(self) -> None:
+        """Bump-and-write, rate-limited to ``every`` — cheap enough to
+        call on every engine preempt poll."""
+        if time.monotonic() - self._last < self.every:
+            return
+        self.beat += 1
+        self.write()
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
 def _run_spool_job(
     root: Path,
     spec_hash: str,
@@ -412,6 +460,8 @@ def _run_spool_job(
     checkpoints: CheckpointStore | None = None,
     checkpoint_every: int | None = None,
     preempt=None,
+    injector: FaultInjector | None = None,
+    heartbeat=None,
 ) -> bool:
     """Solve one claimed job.  Returns ``False`` when the solve was
     preempted — the checkpoint is already persisted and the caller owes
@@ -424,6 +474,8 @@ def _run_spool_job(
             checkpoints=checkpoints,
             checkpoint_every=checkpoint_every,
             preempt=preempt,
+            injector=injector,
+            heartbeat=heartbeat,
         )
         if spec.spec_hash != spec_hash:
             raise SpecError(
@@ -444,6 +496,11 @@ def _run_spool_job(
             indent=2,
             sort_keys=True,
         )
+    if injector is not None:
+        # A corrupt_result fault truncates the envelope text (the
+        # write itself stays atomic): exactly the torn-result shape the
+        # dispatcher's quarantine machinery must catch.
+        text = injector.corrupt(text)
     _atomic_write(result_file, text)
     return True
 
@@ -473,23 +530,38 @@ def spool_worker_loop(
     worker_id: str | None = None,
     checkpoint_every: int | None = SPOOL_CHECKPOINT_EVERY_DEFAULT,
     preempt_after: str | None = None,
+    heartbeat_every: float = HEARTBEAT_EVERY_DEFAULT,
 ) -> int:
     """Poll a spool directory for jobs until STOP (or idleness, with
     ``exit_when_idle``).  Safe to run many copies against one spool —
     claims are atomic renames, results are atomic writes.
 
-    Search state is checkpointed to ``checkpoints/`` every
-    ``checkpoint_every`` nodes, so a worker killed mid-proof leaves
-    resumable state behind.  ``preempt_after`` (``"800n"`` nodes or
-    seconds) makes the worker bow out of long proofs voluntarily: flush
-    a checkpoint, restore the job file, release the claim, and keep
-    polling — real work migration, not retry-from-scratch."""
+    Every claim gets a heartbeat lease (``leases/``), written at claim
+    time and renewed — at most every ``heartbeat_every`` seconds — on
+    the engine's preempt polls while the proof advances; the dispatcher
+    reclaims a claim only once its lease stops moving.  Search state is
+    checkpointed to ``checkpoints/`` every ``checkpoint_every`` nodes,
+    so a worker killed mid-proof leaves resumable state behind.
+    ``preempt_after`` (``"800n"`` nodes or seconds) makes the worker
+    bow out of long proofs voluntarily: flush a checkpoint, restore the
+    job file, release the claim, and keep polling — real work
+    migration, not retry-from-scratch.  While idle, the polling
+    interval backs off (factor 1.5) toward ``SPOOL_IDLE_POLL_CAP`` and
+    resets on the next claim."""
     root = Path(root)
     wid = worker_id or f"w{os.getpid()}"
-    for sub in ("jobs", "claims", "results", "checkpoints"):
+    for sub in ("jobs", "claims", "results", "checkpoints", "leases"):
         (root / sub).mkdir(parents=True, exist_ok=True)
     store = CheckpointStore(root / "checkpoints")
     budget = parse_preempt_after(preempt_after) if preempt_after is not None else None
+    injector = FaultInjector.from_env()
+    idle = RetryPolicy(
+        base_delay=max(0.001, poll),
+        factor=1.5,
+        max_delay=max(poll, SPOOL_IDLE_POLL_CAP),
+        max_retries=0,
+    )
+    idle_ticks = 0
     done = 0
     while True:
         if (root / "STOP").exists():
@@ -498,9 +570,15 @@ def spool_worker_loop(
         if claimed is None:
             if exit_when_idle:
                 return 0
-            time.sleep(poll)
+            idle_ticks += 1
+            time.sleep(idle.delay(idle_ticks))
             continue
+        idle_ticks = 0
         spec_hash, doc, claim = claimed
+        lease = _Lease(
+            root, spec_hash, wid, every=heartbeat_every, injector=injector
+        )
+        lease.write()
         finished = _run_spool_job(
             root,
             spec_hash,
@@ -508,13 +586,17 @@ def spool_worker_loop(
             checkpoints=store,
             checkpoint_every=checkpoint_every,
             preempt=_spool_preempt(budget, store, spec_hash),
+            injector=injector,
+            heartbeat=lease.renew,
         )
         if not finished:
             # Self-preempted: hand the job back with its checkpoint on
             # disk and keep polling — whoever claims it next resumes.
             _restore_spool_job(root, spec_hash, doc)
+            lease.clear()
             claim.unlink(missing_ok=True)
             continue
+        lease.clear()
         claim.unlink(missing_ok=True)
         done += 1
         if max_jobs is not None and done >= max_jobs:

@@ -16,6 +16,7 @@ __all__ = [
     "ConstructionError",
     "SolverError",
     "SolverPreempted",
+    "DegradationError",
     "TopologyError",
     "CapacityError",
 ]
@@ -85,6 +86,12 @@ class SolverPreempted(SolverError):
     with a resumable checkpoint attached; not a failure — re-run with
     ``checkpoint=exc.checkpoint`` to continue exactly where it left
     off."""
+
+
+class DegradationError(ReproError, RuntimeError):
+    """A graceful-degradation fallback itself failed: the dispatcher
+    re-routed an exhausted exact job through the heuristic backend and
+    even that could not produce a valid covering."""
 
 
 class TopologyError(ReproError, ValueError):

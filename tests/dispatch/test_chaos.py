@@ -1,11 +1,20 @@
 """Crash/chaos tests: the dispatcher must survive worker death.
 
-The chaos hooks live in the worker itself
-(:mod:`repro.dispatch.worker`): an environment variable names a token
-file, and the *first* worker to win the token (atomic unlink) dies
-abruptly mid-job — or stalls past any deadline.  Exactly one worker
-per token triggers, so the retry necessarily lands on a healthy
-worker: precisely the retry-with-exclusion path under test.
+Faults are injected with the structured harness in
+:mod:`repro.dispatch.faults`: an armed :class:`FaultPlan` rides an
+environment variable into every worker, and the *first* worker to win
+a fault's token (atomic unlink) dies abruptly mid-job — or stalls,
+drops its heartbeat, corrupts its result.  Exactly one worker per
+token triggers, so the retry necessarily lands on a healthy worker:
+precisely the retry-with-exclusion path under test.  (One test keeps
+the deprecated raw ``REPRO_CHAOS_*`` spelling to pin the one-release
+compatibility shim end-to-end.)
+
+``TestLeases`` is the heartbeat-lease story: a slow worker whose lease
+keeps renewing is *never* reclaimed (the double-solve regression), a
+stalled worker's frozen lease is reclaimed promptly, and a dropped
+heartbeat causes a benign reclaim whose straggler write changes
+nothing.
 
 The spool corruption test mirrors ``test_cache.py``'s pattern: a
 truncated ``.result.json`` must be quarantined (deleted) and the job
@@ -15,8 +24,11 @@ re-dispatched, never parsed into a half-envelope.
 from __future__ import annotations
 
 import json
+import os
+import signal
 import subprocess
 import threading
+import time
 
 import pytest
 
@@ -24,8 +36,9 @@ from repro.api import CoverSpec, solve
 from repro.dispatch import (
     CHAOS_EXIT_ENV,
     CHAOS_EXIT_NODES_ENV,
-    CHAOS_STALL_ENV,
     DispatchError,
+    Fault,
+    FaultPlan,
     JobError,
     SpoolTransport,
     SubprocessTransport,
@@ -51,26 +64,31 @@ def n8_oracle():
     return solve(N8, cache=None)
 
 
+def _armed(tmp_path, *faults, seed=2001):
+    """Arm a FaultPlan in tmp_path and return (plan, its worker env)."""
+    plan = FaultPlan(faults=tuple(faults), seed=seed).arm(tmp_path)
+    return plan, plan.env()
+
+
 class TestSubprocessChaos:
     def test_worker_killed_mid_job_retries_with_exclusion(self, tmp_path, oracle):
-        token = tmp_path / "crash-token"
-        token.touch()
-        transport = SubprocessTransport(extra_env={CHAOS_EXIT_ENV: str(token)})
+        plan, env = _armed(tmp_path, Fault(kind="crash"))
+        transport = SubprocessTransport(extra_env=env)
         report = dispatch_batch(SPECS, transport=transport, workers=2)
-        assert not token.exists()  # the chaos actually fired
+        assert not any(
+            f.token and os.path.exists(f.token) for f in plan.faults
+        )  # the fault actually fired
         assert report.worker_deaths == 1
         assert report.retries == 1
         # the sweep still converged, byte-identically
         assert [r.to_json() for r in report.results] == oracle
 
     def test_stalled_worker_is_killed_by_the_job_deadline(self, tmp_path, oracle):
-        token = tmp_path / "stall-token"
-        token.touch()
-        transport = SubprocessTransport(extra_env={CHAOS_STALL_ENV: str(token)})
+        plan, env = _armed(tmp_path, Fault(kind="stall"))
+        transport = SubprocessTransport(extra_env=env)
         report = dispatch_batch(
             SPECS, transport=transport, workers=2, job_timeout=10.0
         )
-        assert not token.exists()
         assert report.worker_deaths == 1
         assert [r.to_json() for r in report.results] == oracle
 
@@ -176,6 +194,118 @@ class TestSpoolChaos:
         assert report.worker_deaths >= 1
         assert [r.to_json() for r in report.results] == [n8_oracle.to_json()]
         assert not ckpt_file.exists()  # completed proofs clean up
+
+
+class TestLeases:
+    """Heartbeat-lease reclaim: slow-but-alive is sacred, frozen is dead."""
+
+    def test_slow_heartbeating_worker_is_never_reclaimed(self, tmp_path, oracle):
+        """THE double-solve regression: a worker that is merely slow —
+        lease renewing the whole time — must keep its claim no matter
+        how far past ``job_timeout`` it runs.  Before leases, the
+        deadline reclaimed it mid-solve and a second worker solved the
+        same job again."""
+        plan, env = _armed(tmp_path, Fault(kind="slow", seconds=3.0))
+        transport = SpoolTransport(
+            tmp_path / "spool", extra_env=env, lease_timeout=1.0
+        )
+        report = dispatch_batch(
+            SPECS, transport=transport, workers=2, job_timeout=1.0
+        )
+        assert report.worker_deaths == 0
+        assert report.retries == 0
+        assert [r.to_json() for r in report.results] == oracle
+
+    def test_sigstopped_worker_keeps_its_claim_within_the_lease_window(
+        self, tmp_path, n8_oracle
+    ):
+        """A worker SIGSTOPped past the old job deadline but within the
+        lease window resumes and finishes its own claim — no reclaim,
+        no double solve."""
+        root = tmp_path / "spool"
+        report_box: dict = {}
+
+        def _dispatch():
+            report_box["report"] = dispatch_batch(
+                [N8],
+                transport=SpoolTransport(
+                    root, spawn_workers=False, lease_timeout=30.0
+                ),
+                workers=1,
+                job_timeout=0.5,
+            )
+
+        dispatcher = threading.Thread(target=_dispatch, daemon=True)
+        dispatcher.start()
+        worker = subprocess.Popen(
+            worker_command() + ["--spool", str(root), "--poll", "0.01"],
+            env=worker_env(),
+        )
+        claims = root / "claims"
+        try:
+            deadline = time.monotonic() + 30
+            claimed = False
+            while time.monotonic() < deadline:
+                if claims.is_dir() and any(claims.iterdir()):
+                    claimed = True
+                    break
+                time.sleep(0.005)
+            assert claimed, "worker never claimed the job"
+            os.kill(worker.pid, signal.SIGSTOP)
+            time.sleep(1.5)  # blows the 0.5 s deadline, not the lease
+            os.kill(worker.pid, signal.SIGCONT)
+            dispatcher.join(timeout=120)
+            assert not dispatcher.is_alive()
+        finally:
+            worker.terminate()
+            worker.wait(timeout=10)
+        report = report_box["report"]
+        assert report.worker_deaths == 0
+        assert report.retries == 0
+        assert [r.to_json() for r in report.results] == [n8_oracle.to_json()]
+
+    def test_stalled_worker_lease_goes_stale_and_job_is_reclaimed(
+        self, tmp_path, oracle
+    ):
+        """No job deadline at all: a stalled worker is reclaimed purely
+        because its lease beat froze for lease_timeout."""
+        plan, env = _armed(tmp_path, Fault(kind="stall", seconds=6.0))
+        transport = SpoolTransport(
+            tmp_path / "spool", extra_env=env, lease_timeout=1.0
+        )
+        report = dispatch_batch(SPECS, transport=transport, workers=2)
+        assert report.worker_deaths >= 1
+        assert [r.to_json() for r in report.results] == oracle
+
+    def test_dropped_heartbeat_reclaim_is_benign(self, tmp_path, n8_oracle):
+        """A worker that keeps working but whose heartbeats stop landing
+        on disk looks dead from outside and is reclaimed; its straggler
+        result write is atomic and byte-identical, so whichever envelope
+        lands first is accepted unchanged.  (The ``slow`` fault keeps
+        the worker alive long enough for the frozen lease to go stale —
+        its renewal attempts fire but ``drop_heartbeat`` eats them.)"""
+        plan, env = _armed(
+            tmp_path, Fault(kind="drop_heartbeat"), Fault(kind="slow", seconds=3.0)
+        )
+        transport = SpoolTransport(
+            tmp_path / "spool", extra_env=env, lease_timeout=1.0
+        )
+        report = dispatch_batch([N8], transport=transport, workers=2)
+        assert report.worker_deaths >= 1
+        assert [r.to_json() for r in report.results] == [n8_oracle.to_json()]
+
+    def test_corrupt_result_fault_is_quarantined_and_resolved(
+        self, tmp_path, oracle
+    ):
+        """The worker-side torn-write fault: the winning worker truncates
+        the one result it writes; the dispatcher quarantines the garbage
+        and re-dispatches, converging byte-identically."""
+        plan, env = _armed(tmp_path, Fault(kind="corrupt_result"))
+        transport = SpoolTransport(tmp_path / "spool", extra_env=env)
+        report = dispatch_batch(SPECS, transport=transport, workers=2)
+        assert report.quarantined == 1
+        assert report.retries == 1
+        assert [r.to_json() for r in report.results] == oracle
 
 
 class TestPreemption:

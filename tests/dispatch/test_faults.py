@@ -1,0 +1,450 @@
+"""Fault-plan, retry-policy, circuit-breaker, and degradation tests.
+
+Everything here runs without subprocesses: :class:`FaultPlan` and
+:class:`FaultInjector` are exercised directly, the
+:class:`~repro.dispatch.base.RetryPolicy` invariants are pinned with
+hypothesis, and the :class:`~repro.dispatch.base.QueueRunner` retry /
+exclusion / quarantine machinery is driven with scripted in-memory
+workers.  The subprocess- and spool-level ends of the same machinery
+live in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import CoverSpec, solve
+from repro.api.result import DEGRADE_PROVENANCE_KEY
+from repro.api.spec import SpecError
+from repro.dispatch import (
+    DispatchError,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    Job,
+    RetryPolicy,
+    dispatch_batch,
+)
+from repro.dispatch.base import QueueRunner, QueueWorker, WorkerDeath
+from repro.dispatch.faults import (
+    CHAOS_EXIT_ENV,
+    CHAOS_EXIT_NODES_ENV,
+    CHAOS_STALL_ENV,
+    FAULT_PLAN_ENV,
+)
+
+# ---------------------------------------------------------------------------
+# FaultPlan / FaultInjector
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_round_trips_through_json(self):
+        plan = FaultPlan(
+            faults=(
+                Fault(kind="crash", token="/tmp/t1"),
+                Fault(kind="crash_at_node", token="/tmp/t2", at_node=2500),
+                Fault(kind="stall", seconds=45.0),
+                Fault(kind="slow", seconds=2.0),
+                Fault(kind="corrupt_result"),
+                Fault(kind="drop_heartbeat"),
+                Fault(kind="refuse_preempt"),
+            ),
+            seed=2001,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_kind_and_bad_schema_are_rejected(self):
+        with pytest.raises(SpecError, match="unknown fault kind"):
+            Fault(kind="gremlin")
+        with pytest.raises(SpecError, match="crash_at_node"):
+            Fault(kind="crash_at_node")  # no at_node
+        with pytest.raises(SpecError):
+            FaultPlan.from_json('{"format": "not-a-fault-plan"}')
+        with pytest.raises(SpecError, match="JSON"):
+            FaultPlan.from_json("{")
+
+    def test_arm_creates_seed_derived_tokens(self, tmp_path):
+        plan = FaultPlan(
+            faults=(Fault(kind="crash"), Fault(kind="stall")), seed=7
+        ).arm(tmp_path)
+        tokens = [f.token for f in plan.faults]
+        assert all(t is not None for t in tokens)
+        assert len(set(tokens)) == 2
+        for token in tokens:
+            assert (tmp_path / token.split("/")[-1]).exists()
+            assert "00000007" in token  # the seed names the token
+
+    def test_token_is_won_exactly_once_across_injectors(self, tmp_path):
+        plan = FaultPlan(faults=(Fault(kind="corrupt_result"),), seed=1).arm(tmp_path)
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        first.begin_job()
+        second.begin_job()
+        # Only the injector that unlinked the token corrupts anything.
+        assert first.corrupt("x" * 30) != "x" * 30
+        assert second.corrupt("x" * 30) == "x" * 30
+
+    def test_corrupt_fault_is_consumed_after_one_result(self, tmp_path):
+        plan = FaultPlan(faults=(Fault(kind="corrupt_result"),), seed=1).arm(tmp_path)
+        injector = FaultInjector(plan)
+        injector.begin_job()
+        assert injector.corrupt("y" * 30) == "y" * 10
+        assert injector.corrupt("y" * 30) == "y" * 30  # consumed
+
+    def test_from_env_reads_inline_json_and_at_file(self, tmp_path):
+        plan = FaultPlan(faults=(Fault(kind="drop_heartbeat", token="t"),), seed=3)
+        inline = FaultInjector.from_env({FAULT_PLAN_ENV: plan.to_json()})
+        assert inline is not None and inline.plan == plan
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        from_file = FaultInjector.from_env({FAULT_PLAN_ENV: f"@{path}"})
+        assert from_file is not None and from_file.plan == plan
+        assert FaultInjector.from_env({}) is None
+
+    def test_legacy_chaos_envs_still_work_but_warn(self, tmp_path):
+        token = tmp_path / "tok"
+        token.touch()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            injector = FaultInjector.from_env({CHAOS_EXIT_ENV: str(token)})
+        assert [f.kind for f in injector.plan.faults] == ["crash"]
+        with pytest.warns(DeprecationWarning):
+            injector = FaultInjector.from_env({CHAOS_STALL_ENV: str(token)})
+        assert [f.kind for f in injector.plan.faults] == ["stall"]
+        with pytest.warns(DeprecationWarning):
+            injector = FaultInjector.from_env(
+                {CHAOS_EXIT_NODES_ENV: f"{token}:2500"}
+            )
+        assert [(f.kind, f.at_node) for f in injector.plan.faults] == [
+            ("crash_at_node", 2500)
+        ]
+
+    def test_refuse_preempt_masks_the_real_callback(self, tmp_path):
+        plan = FaultPlan(faults=(Fault(kind="refuse_preempt"),), seed=1).arm(tmp_path)
+        injector = FaultInjector(plan)
+        injector.begin_job()
+
+        class _St:
+            nodes = 10**9
+
+        wrapped = injector.wrap_preempt(lambda st: True)
+        assert wrapped(_St()) is False
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy invariants (hypothesis)
+# ---------------------------------------------------------------------------
+
+policies = st.builds(
+    RetryPolicy,
+    max_retries=st.integers(min_value=0, max_value=16),
+    base_delay=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    factor=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    max_delay=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    quarantine_after=st.integers(min_value=1, max_value=8),
+)
+
+
+class TestRetryPolicy:
+    @given(policy=policies)
+    @settings(deadline=None)
+    def test_schedule_is_deterministic_monotone_and_capped(self, policy):
+        first = policy.schedule()
+        assert first == policy.schedule()  # seed-free: same every call
+        assert len(first) == policy.max_retries
+        assert all(d >= 0 for d in first)
+        assert all(a <= b for a, b in zip(first, first[1:]))  # monotone
+        assert all(d <= policy.max_delay for d in first)  # capped
+
+    @given(policy=policies, attempt=st.integers(min_value=-3, max_value=32))
+    @settings(deadline=None)
+    def test_delay_zero_before_first_retry(self, policy, attempt):
+        d = policy.delay(attempt)
+        if attempt <= 0:
+            assert d == 0.0
+        else:
+            assert 0.0 <= d <= policy.max_delay or d == policy.base_delay
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(DispatchError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(DispatchError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(DispatchError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(DispatchError):
+            RetryPolicy(quarantine_after=0)
+
+
+# ---------------------------------------------------------------------------
+# QueueRunner: exclusion, backoff, circuit breaker (scripted workers)
+# ---------------------------------------------------------------------------
+
+SPEC4 = CoverSpec.for_ring(4)
+
+
+class _ScriptedWorker(QueueWorker):
+    """An in-memory QueueWorker whose behaviour is a function of its id."""
+
+    def __init__(self, wid: str, behavior):
+        self.id = wid
+        self._behavior = behavior
+
+    def solve(self, spec, timeout, checkpoint=None):
+        return self._behavior(self.id, spec)
+
+    def close(self) -> None:
+        pass
+
+
+def _runner(jobs, behavior, *, workers, policy):
+    counter = itertools.count(1)
+    log: list[tuple[str, str]] = []
+
+    def on_result(job, result, elapsed, worker_id):
+        log.append((job.spec_hash, worker_id))
+
+    runner = QueueRunner(
+        lambda: _ScriptedWorker(f"w{next(counter)}", behavior),
+        jobs,
+        workers=workers,
+        job_timeout=None,
+        on_result=on_result,
+        policy=policy,
+    )
+    return runner, log
+
+
+def _job(index=0):
+    return Job(spec=SPEC4, weight=1.0, index=index)
+
+
+class TestQueueRunnerPolicy:
+    def test_retry_lands_on_a_worker_outside_the_exclusion_list(self):
+        def behavior(wid, spec):
+            if wid == "w1":
+                raise WorkerDeath("scripted death")
+            return "envelope"
+
+        runner, log = _runner(
+            [_job()],
+            behavior,
+            workers=1,
+            policy=RetryPolicy(max_retries=2, base_delay=0.0, quarantine_after=99),
+        )
+        outcome = runner.run()
+        assert outcome.retries == 1
+        assert outcome.worker_deaths == 1
+        # The retry ran on the replacement, never back on the dead worker.
+        assert log == [(SPEC4.spec_hash, "w2")]
+
+    def test_exclusion_list_grows_monotonically_across_deaths(self):
+        seen: list[tuple[str, ...]] = []
+
+        def behavior(wid, spec):
+            if wid in ("w1", "w2"):
+                raise WorkerDeath("scripted death")
+            return "envelope"
+
+        job = _job()
+        orig_claim = QueueRunner._claim
+
+        def spying_claim(self, worker_id):
+            claimed = orig_claim(self, worker_id)
+            if claimed is not None:
+                seen.append(claimed.excluded)
+            return claimed
+
+        runner, log = _runner(
+            [job],
+            behavior,
+            workers=1,
+            policy=RetryPolicy(max_retries=3, base_delay=0.0, quarantine_after=99),
+        )
+        runner._claim = spying_claim.__get__(runner)
+        runner.run()
+        # Each claim sees a superset of the previous exclusion list.
+        assert seen == [(), ("w1",), ("w1", "w2")]
+        assert log == [(SPEC4.spec_hash, "w3")]
+
+    def test_backoff_gate_defers_the_retry(self):
+        from time import perf_counter
+
+        stamps: list[float] = []
+
+        def behavior(wid, spec):
+            stamps.append(perf_counter())
+            if wid == "w1":
+                raise WorkerDeath("scripted death")
+            return "envelope"
+
+        runner, _ = _runner(
+            [_job()],
+            behavior,
+            workers=1,
+            policy=RetryPolicy(
+                max_retries=1, base_delay=0.2, factor=1.0, quarantine_after=99
+            ),
+        )
+        runner.run()
+        assert len(stamps) == 2
+        assert stamps[1] - stamps[0] >= 0.2  # sat out delay(1)
+
+    def test_crashy_slot_is_quarantined_while_the_batch_completes(self):
+        import time
+
+        def behavior(wid, spec):
+            # Whichever slot draws w2 respawns into w3 (the global
+            # counter only advances for the dying slot), so that slot
+            # accumulates two consecutive crashes and trips the breaker;
+            # the healthy slot (w1) is kept busy by the sleep so the
+            # crashy slot genuinely claims jobs.
+            if wid in ("w2", "w3"):
+                raise WorkerDeath("scripted death")
+            time.sleep(0.02)
+            return "envelope"
+
+        jobs = [_job(i) for i in range(6)]
+        runner, log = _runner(
+            jobs,
+            behavior,
+            workers=2,
+            policy=RetryPolicy(max_retries=5, base_delay=0.0, quarantine_after=2),
+        )
+        outcome = runner.run()
+        assert len(log) == 6  # every job finished despite the breaker
+        assert outcome.worker_deaths == 2
+        assert outcome.quarantined_workers == 1
+
+    def test_quarantine_never_retires_the_last_live_slot(self):
+        calls = itertools.count()
+
+        def behavior(wid, spec):
+            # First two workers die; the third succeeds — with ONE slot
+            # the circuit breaker must keep respawning, not deadlock.
+            if next(calls) < 2:
+                raise WorkerDeath("scripted death")
+            return "envelope"
+
+        runner, log = _runner(
+            [_job()],
+            behavior,
+            workers=1,
+            policy=RetryPolicy(max_retries=5, base_delay=0.0, quarantine_after=1),
+        )
+        outcome = runner.run()
+        assert len(log) == 1
+        assert outcome.quarantined_workers == 0
+
+    def test_exhausted_job_without_hook_fails_the_batch(self):
+        def behavior(wid, spec):
+            raise WorkerDeath("scripted death")
+
+        runner, _ = _runner(
+            [_job()],
+            behavior,
+            workers=1,
+            policy=RetryPolicy(max_retries=1, base_delay=0.0, quarantine_after=99),
+        )
+        with pytest.raises(DispatchError, match="died on 2 distinct workers"):
+            runner.run()
+
+    def test_exhausted_job_is_absorbed_by_the_degradation_hook(self):
+        absorbed: list[Job] = []
+
+        def behavior(wid, spec):
+            raise WorkerDeath("scripted death")
+
+        counter = itertools.count(1)
+        runner = QueueRunner(
+            lambda: _ScriptedWorker(f"w{next(counter)}", behavior),
+            [_job()],
+            workers=1,
+            job_timeout=None,
+            on_result=lambda *a: None,
+            policy=RetryPolicy(max_retries=1, base_delay=0.0, quarantine_after=99),
+            on_exhausted=lambda job, exc: absorbed.append(job) or True,
+        )
+        outcome = runner.run()
+        assert len(absorbed) == 1
+        assert outcome.degraded == absorbed
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation end-to-end (inproc: no subprocess cost)
+# ---------------------------------------------------------------------------
+
+# n=13 exceeds every exact-backend ceiling: routing fails
+# deterministically, which is exactly what degrade= must paper over.
+BAD = CoverSpec.for_ring(13, backend="exact")
+
+
+class TestGracefulDegradation:
+    def test_without_degrade_the_batch_fails_fast(self):
+        from repro.util.errors import ReproError
+
+        # inproc surfaces the raw RoutingError; subprocess wraps it in a
+        # JobError — either way the batch fails fast without degrade=.
+        with pytest.raises(ReproError, match="exact"):
+            dispatch_batch([BAD], transport="inproc", workers=1, cache=None)
+
+    def test_degrade_heuristic_returns_verified_feasible_envelope(self):
+        report = dispatch_batch(
+            [BAD], transport="inproc", workers=1, cache=None, degrade="heuristic"
+        )
+        assert report.degraded == 1
+        (result,) = report.results
+        assert result.covering.covers(BAD.instance())
+        info = result.provenance[DEGRADE_PROVENANCE_KEY]
+        assert info["policy"] == "heuristic"
+        assert info["original_backend"] == "exact"
+        assert info["original_spec_hash"] == BAD.spec_hash
+        # Runtime-only: the serialized envelope never carries the marker,
+        # so cached/emitted bytes stay identical to a certified run's.
+        assert DEGRADE_PROVENANCE_KEY not in json.loads(result.to_json()).get(
+            "provenance", {}
+        )
+        assert "degraded=1" in report.summary()
+
+    def test_degrade_works_on_the_pooled_inproc_path(self):
+        good = CoverSpec.for_ring(5)
+        report = dispatch_batch(
+            [good, BAD],
+            transport="inproc",
+            workers=2,
+            cache=None,
+            degrade="heuristic",
+        )
+        assert report.degraded == 1
+        assert len(report.results) == 2
+        oracle = solve(good, cache=None)
+        assert report.results[0].to_json() == oracle.to_json()
+
+    def test_degraded_envelopes_are_never_cached(self, tmp_path):
+        from repro.api import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        report = dispatch_batch(
+            [BAD], transport="inproc", workers=1, cache=cache, degrade="heuristic"
+        )
+        assert report.degraded == 1
+        assert cache.get(BAD) is None  # the certified cache stays clean
+
+    def test_unknown_degrade_policy_is_rejected(self):
+        with pytest.raises(DispatchError, match="unknown degrade policy"):
+            dispatch_batch([BAD], transport="inproc", degrade="prayer")
+
+    def test_solve_batch_front_door_passes_degrade_through(self):
+        from repro.api import solve_batch
+
+        results = solve_batch(
+            [BAD], transport="inproc", workers=1, degrade="heuristic"
+        )
+        assert results[0].covering.covers(BAD.instance())
+        with pytest.raises(ValueError, match="transport"):
+            solve_batch([BAD], degrade="heuristic")  # in-line path: no dispatcher
