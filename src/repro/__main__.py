@@ -14,6 +14,7 @@ Subcommands::
     python -m repro objectives                    # objective × backend matrix
     python -m repro worker                        # serve dispatcher jobs (stdio)
     python -m repro worker --spool DIR            # serve a shared spool dir
+    python -m repro serve --port 8323             # HTTP solver service (repro.serve)
     python -m repro experiments E1 E10            # regenerate paper tables
     python -m repro experiments --list
     python -m repro rho 6..20                     # closed-form ρ(n) table
@@ -71,7 +72,7 @@ from collections.abc import Callable
 
 from .analysis import experiments as X
 
-_SUBCOMMANDS = ("solve", "sweep", "objectives", "worker", "experiments", "rho")
+_SUBCOMMANDS = ("solve", "sweep", "objectives", "worker", "serve", "experiments", "rho")
 
 # E10's default range tracks the certified sweep (ρ(n) proven through
 # n = 11 — BENCH_solver.json); the time budget gates the tail so a
@@ -286,6 +287,21 @@ def _note_cache(result) -> None:
         )
 
 
+def _note_cache_stats(cache) -> None:
+    """One stderr line of ResultCache counters after a batch.  The key
+    order matters: CI greps for '[cache] hit …' per-entry lines, so
+    this summary leads with `entries=` to stay un-matchable."""
+    if cache is None:
+        return
+    stats = cache.stats()
+    print(
+        "[cache] entries={entries} hits={hits} misses={misses} "
+        "evictions={evictions} coalesced={coalesced} "
+        "hit_rate={hit_rate:.2f}".format(**stats),
+        file=sys.stderr,
+    )
+
+
 def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) -> int:
     from .api import solve
     from .util.errors import ReproError
@@ -358,6 +374,8 @@ def _run_jobs(ns: list[int], args: argparse.Namespace, *, single: bool = False) 
             elapsed = time.perf_counter() - t0
             _note_cache(result)
             results.append((result, elapsed))
+
+    _note_cache_stats(cache)
 
     if args.json:
         payloads = [result.to_payload() for result, _ in results]
@@ -535,6 +553,87 @@ def _cmd_worker(argv: list[str]) -> int:
     return stdio_worker_loop(checkpoint_every=args.checkpoint_every)
 
 
+def _cmd_serve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Run the long-lived HTTP solver service (repro.serve): "
+            "POST /v1/solve answers from the result cache when it can, "
+            "coalesces concurrent identical submissions onto one solve, "
+            "and queues the rest in a persistent SQLite job ledger — a "
+            "restarted server resumes unfinished proofs from their "
+            "checkpoints.  SIGTERM/SIGINT drain gracefully (exit 3 when "
+            "a preempted proof is left checkpointed, else 0)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8323,
+                        help="bind port (default 8323; 0 picks a free one)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="solver worker threads (default 1)")
+    parser.add_argument("--transport", choices=("inproc", "subprocess", "spool"),
+                        help="run solves through the dispatcher transport "
+                             "instead of in-process (in-process gives live "
+                             "SSE progress and checkpoint resume)")
+    parser.add_argument("--ledger", metavar="DIR",
+                        help="persistent state directory: jobs.sqlite3 + "
+                             "checkpoints/ (default: <cache dir>/serve)")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="result cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--max-inflight-weight", type=float, metavar="W",
+                        help="admission budget in 4**n·λ cost-weight units; "
+                             "submissions beyond it get 429 + Retry-After "
+                             "(an idle service always admits)")
+    parser.add_argument("--degrade", choices=("heuristic",),
+                        help="arm graceful degradation (rides the dispatcher; "
+                             "implies --transport inproc unless one is given)")
+    parser.add_argument("--checkpoint-every", type=int, default=256,
+                        metavar="NODES",
+                        help="flush resumable checkpoints every NODES search "
+                             "nodes (default 256)")
+    parser.add_argument("--preempt-after", metavar="X",
+                        help="self-drain budget per proof slice ('800n' nodes "
+                             "or seconds): preempt the active proof, leave it "
+                             "checkpointed + pending, and exit 3 — restart to "
+                             "resume (testing/ops drills)")
+    args = parser.parse_args(argv)
+
+    from .api import default_cache_dir
+    from .serve import SolverService, run_server
+    from .util.errors import ReproError
+
+    cache = _cache_from_args(args)
+    ledger_dir = args.ledger or (default_cache_dir() / "serve")
+    preempt_after = None
+    if args.preempt_after:
+        from .dispatch.worker import parse_preempt_after
+
+        try:
+            preempt_after = parse_preempt_after(args.preempt_after)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    service = SolverService(
+        ledger_dir,
+        cache=cache,
+        workers=args.workers,
+        transport=args.transport,
+        degrade=args.degrade,
+        max_inflight_weight=args.max_inflight_weight,
+        checkpoint_every=args.checkpoint_every,
+        preempt_after=preempt_after,
+    )
+    try:
+        return run_server(service, args.host, args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+
 # ---------------------------------------------------------------------------
 # experiments / rho
 # ---------------------------------------------------------------------------
@@ -632,6 +731,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_objectives(rest)
         if command == "worker":
             return _cmd_worker(rest)
+        if command == "serve":
+            return _cmd_serve(rest)
         if command == "experiments":
             return _cmd_experiments(rest)
         return _cmd_rho(rest)

@@ -58,6 +58,13 @@ class ResultCache:
     hits: int = field(default=0, init=False)
     misses: int = field(default=0, init=False)
     evictions: int = field(default=0, init=False)
+    # Requests absorbed without a solve *or* a disk read because an
+    # identical in-flight computation served them: batch duplicates in
+    # the dispatcher, concurrent identical submissions in repro.serve.
+    # The cache is the natural home for the counter — every layer that
+    # dedupes by spec hash already holds the ResultCache, and stats()
+    # stays the single accounting surface.
+    coalesced: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -160,10 +167,22 @@ class ResultCache:
                 pass
         return removed
 
-    def stats(self) -> dict[str, int]:
+    def note_coalesced(self, count: int = 1) -> None:
+        """Record ``count`` requests served by piggybacking on an
+        identical in-flight solve (no disk read, no engine run)."""
+        if count > 0:
+            self.coalesced += count
+
+    def stats(self) -> dict[str, int | float]:
+        """Counters for this cache handle's lifetime, plus the on-disk
+        entry count.  ``hit_rate`` is hits / (hits + misses), 0.0 when
+        the cache has not been consulted yet."""
+        lookups = self.hits + self.misses
         return {
             "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "coalesced": self.coalesced,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
         }

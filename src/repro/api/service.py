@@ -35,6 +35,7 @@ def solve(
     checkpoints: "CheckpointStore | str | None" = None,
     checkpoint_every: int | None = None,
     preempt=None,
+    on_progress=None,
 ) -> Result:
     """Solve one covering job.
 
@@ -53,6 +54,13 @@ def solve(
     engine stats; returning truthy triggers exactly that preemption.
     Resume history never changes the envelope: the final result is
     byte-identical to an uninterrupted solve.
+
+    ``on_progress`` is an observation-only sibling of ``preempt``: it
+    is called with the same live engine stats at the same poll cadence
+    (every 256 nodes past the poll floor), but its return value is
+    ignored — it can never preempt.  The :mod:`repro.serve` SSE stream
+    rides this hook.  It shares ``preempt``'s engine seam, so passing
+    it routes the backend through the checkpoint-capable call shape.
     """
     from .checkpoints import CheckpointStore
 
@@ -73,6 +81,15 @@ def solve(
 
     backend = get_backend(route_backend(spec))
     ckpt_store = CheckpointStore.open(checkpoints)
+    if on_progress is not None:
+        # Fold the observer into the preempt callback: one engine poll
+        # site serves both, and an observer alone can never preempt.
+        inner = preempt
+
+        def preempt(stats, _inner=inner, _observe=on_progress):
+            _observe(stats)
+            return bool(_inner(stats)) if _inner is not None else False
+
     if ckpt_store is None and checkpoint_every is None and preempt is None:
         # Keep the historical single-argument call shape so minimal
         # custom backends (``run(self, spec)``) stay compatible.

@@ -58,9 +58,6 @@ from .dispatcher import (
     make_transport,
 )
 from .faults import (
-    CHAOS_EXIT_ENV,
-    CHAOS_EXIT_NODES_ENV,
-    CHAOS_STALL_ENV,
     FAULT_EXIT_CODE,
     FAULT_PLAN_ENV,
     Fault,
@@ -77,9 +74,6 @@ from .worker import (
 )
 
 __all__ = [
-    "CHAOS_EXIT_ENV",
-    "CHAOS_EXIT_NODES_ENV",
-    "CHAOS_STALL_ENV",
     "DEGRADE_POLICIES",
     "DispatchError",
     "DispatchReport",

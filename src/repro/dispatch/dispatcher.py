@@ -243,6 +243,7 @@ def dispatch_batch(
     policy: RetryPolicy | None = None,
     degrade: str | None = None,
     lease_timeout: float | None = None,
+    on_progress=None,
 ) -> DispatchReport:
     """Solve a batch of specs over a transport; see the module docstring
     for the contract.  ``order`` is ``"lpt"`` (heaviest first — minimum
@@ -255,6 +256,11 @@ def dispatch_batch(
     (``None`` or ``"heuristic"``) arms the graceful-degradation fallback
     described in the module docstring.  ``lease_timeout`` tunes the
     spool transport's heartbeat-staleness reclaim window.
+    ``on_progress(event, spec_hash)`` — when given — is invoked at job
+    lifecycle milestones (``"cached"``, ``"solved"``, ``"degraded"``)
+    so long-lived callers (the :mod:`repro.serve` job handles) can
+    stream coarse progress without touching transport internals; it is
+    called under the dispatcher's result lock and must not block.
     """
     specs = list(specs)
     if order not in ("lpt", "fifo"):
@@ -272,6 +278,13 @@ def dispatch_batch(
     unique: dict[str, CoverSpec] = {}
     for spec in specs:
         unique.setdefault(spec.spec_hash, spec)
+    if store is not None:
+        # Batch-level coalescing: duplicate positions share one solve.
+        store.note_coalesced(len(specs) - len(unique))
+
+    def _progress(event: str, spec_hash: str) -> None:
+        if on_progress is not None:
+            on_progress(event, spec_hash)
 
     results: dict[str, Result] = {}
     seconds: dict[str, float] = {}
@@ -285,6 +298,7 @@ def dispatch_batch(
                     results[spec_hash] = replace(hit, from_cache=True)
                     seconds[spec_hash] = 0.0
                     cached += 1
+                    _progress("cached", spec_hash)
                     continue
                 store.evict(spec)  # structurally fine, demand-invalid
         jobs.append(Job(spec=spec, weight=cost_weight(spec), index=index))
@@ -301,6 +315,7 @@ def dispatch_batch(
             seconds[job.spec_hash] = elapsed
             if store is not None:
                 store.put(result)
+            _progress("solved", job.spec_hash)
 
     admit = None
     if time_budget is not None:
@@ -337,6 +352,7 @@ def dispatch_batch(
             # that spec) and never written to the certified cache.
             results[job.spec_hash] = fallback
             seconds[job.spec_hash] = perf_counter() - t0
+            _progress("degraded", job.spec_hash)
 
     skipped_jobs = sorted(outcome.skipped, key=lambda job: job.index)
     skipped_hashes = {job.spec_hash for job in skipped_jobs}

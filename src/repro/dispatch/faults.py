@@ -3,12 +3,13 @@
 The chaos suite needs every failure mode the fleet defends against —
 crash, mid-proof crash, stall, corrupt result, dropped heartbeat,
 refused preemption — to fire *deterministically*: exactly once per
-armed fault, on exactly one worker, reproducible from a seed.  The old
-spelling was three ad-hoc ``REPRO_CHAOS_*`` environment variables
-naming token files; this module replaces them with one declarative,
-JSON-round-trippable :class:`FaultPlan` injected per worker through a
-single environment variable (or ``--fault-plan`` on the worker/sweep
-command lines).
+armed fault, on exactly one worker, reproducible from a seed.  One
+declarative, JSON-round-trippable :class:`FaultPlan` is injected per
+worker through a single environment variable (or ``--fault-plan`` on
+the worker/sweep command lines).  (The ad-hoc ``REPRO_CHAOS_*``
+variables of earlier releases are gone — their one-release deprecation
+shim was removed on schedule; an environment still carrying them is
+silently ignored.)
 
 Determinism is token-based, as before: each fault names a token file,
 and the first worker to *win* the token (atomic ``os.unlink``) owns the
@@ -55,7 +56,6 @@ from __future__ import annotations
 import json
 import os
 import time
-import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -92,11 +92,6 @@ FAULT_KINDS = (
 
 _STALL_SECONDS_DEFAULT = 300.0
 _SLOW_SECONDS_DEFAULT = 1.0
-
-# Legacy chaos environment variables (deprecated, one-release shim).
-CHAOS_EXIT_ENV = "REPRO_DISPATCH_CHAOS"
-CHAOS_STALL_ENV = "REPRO_DISPATCH_STALL"
-CHAOS_EXIT_NODES_ENV = "REPRO_DISPATCH_CHAOS_NODES"
 
 
 @dataclass(frozen=True)
@@ -231,38 +226,6 @@ def _load_plan_text(raw: str) -> FaultPlan:
     return FaultPlan.from_json(raw)
 
 
-def _legacy_faults(environ: Mapping[str, str]) -> list[Fault]:
-    """The one-release compatibility shim for the raw ``REPRO_CHAOS_*``
-    environment variables.  Each recognised variable warns and maps to
-    its structured :class:`Fault` equivalent."""
-    found: list[Fault] = []
-
-    def _warn(var: str) -> None:
-        warnings.warn(
-            f"{var} is deprecated; pass a structured fault plan via "
-            f"{FAULT_PLAN_ENV} (repro.dispatch.faults.FaultPlan) instead — "
-            "the raw chaos variables will be removed next release",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    token = environ.get(CHAOS_EXIT_ENV)
-    if token:
-        _warn(CHAOS_EXIT_ENV)
-        found.append(Fault(kind="crash", token=token))
-    token = environ.get(CHAOS_STALL_ENV)
-    if token:
-        _warn(CHAOS_STALL_ENV)
-        found.append(Fault(kind="stall", token=token))
-    raw = environ.get(CHAOS_EXIT_NODES_ENV)
-    if raw:
-        token, sep, nodes = raw.rpartition(":")
-        if sep and token and nodes.lstrip("-").isdigit() and int(nodes) > 0:
-            _warn(CHAOS_EXIT_NODES_ENV)
-            found.append(Fault(kind="crash_at_node", token=token, at_node=int(nodes)))
-    return found
-
-
 class FaultInjector:
     """Worker-side fault executor: per-job arming in :meth:`begin_job`,
     node-threshold hooks via :meth:`wrap_preempt`, result tampering via
@@ -282,21 +245,17 @@ class FaultInjector:
         cls, environ: Mapping[str, str] | None = None
     ) -> "FaultInjector | None":
         """Build an injector from the worker's environment: the
-        structured ``REPRO_FAULT_PLAN`` (inline JSON or ``@path``) plus
-        any deprecated ``REPRO_CHAOS_*`` variables (shimmed, with a
-        :class:`DeprecationWarning`).  ``None`` when nothing is armed."""
+        structured ``REPRO_FAULT_PLAN`` variable carries the plan as
+        inline JSON or an ``@path`` reference.  ``None`` when nothing
+        is armed."""
         env = os.environ if environ is None else environ
-        faults: list[Fault] = []
-        seed = 0
         raw = env.get(FAULT_PLAN_ENV)
-        if raw:
-            plan = _load_plan_text(raw)
-            faults.extend(plan.faults)
-            seed = plan.seed
-        faults.extend(_legacy_faults(env))
-        if not faults:
+        if not raw:
             return None
-        return cls(FaultPlan(faults=tuple(faults), seed=seed))
+        plan = _load_plan_text(raw)
+        if not plan.faults:
+            return None
+        return cls(plan)
 
     # -- token election --------------------------------------------------
 

@@ -61,10 +61,7 @@ Fault injection (test/CI-only) is served by
 ``REPRO_FAULT_PLAN`` environment variable (or ``--fault-plan``) and
 drives crash, mid-proof crash, stall, slow-but-alive, corrupt-result,
 dropped-heartbeat, and refused-preempt faults deterministically — at
-most one worker per armed fault.  The raw ``REPRO_CHAOS_*`` variables
-of earlier releases still work through a deprecation shim
-(:func:`faults.FaultInjector.from_env` maps them to plan faults with a
-``DeprecationWarning``) and will be removed next release.
+most one worker per armed fault.
 """
 
 from __future__ import annotations
@@ -84,17 +81,9 @@ from ..api.spec import CoverSpec, SpecError
 from ..core.checkpoint import SearchCheckpoint
 from ..util.errors import ReproError, SolverPreempted
 from .base import RetryPolicy
-from .faults import (  # noqa: F401  (CHAOS_* re-exported for the shim period)
-    CHAOS_EXIT_ENV,
-    CHAOS_EXIT_NODES_ENV,
-    CHAOS_STALL_ENV,
-    FaultInjector,
-)
+from .faults import FaultInjector
 
 __all__ = [
-    "CHAOS_EXIT_ENV",
-    "CHAOS_EXIT_NODES_ENV",
-    "CHAOS_STALL_ENV",
     "HEARTBEAT_EVERY_DEFAULT",
     "SPOOL_CHECKPOINT_EVERY_DEFAULT",
     "SPOOL_ERROR_FORMAT",

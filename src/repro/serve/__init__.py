@@ -1,0 +1,52 @@
+"""repro.serve — the HTTP front door to the covering solver.
+
+A long-lived, stdlib-only serving tier over the same machinery the CLI
+drives: ``POST /v1/solve`` answers from the content-addressed
+:class:`~repro.api.cache.ResultCache` when it can, coalesces concurrent
+identical submissions onto one in-flight solve, and otherwise queues a
+job whose lifecycle lives in a SQLite-WAL
+:class:`~repro.serve.ledger.JobLedger` — so a restarted server resumes
+unfinished proofs from their
+:class:`~repro.api.checkpoints.CheckpointStore` state instead of
+re-solving.  Every served envelope is byte-identical to what
+:func:`repro.api.solve` produces for the same spec.
+
+Layers:
+
+* :mod:`~repro.serve.ledger` — the persistent job state machine;
+* :mod:`~repro.serve.coalesce` — in-flight dedupe + SSE progress fan-out;
+* :mod:`~repro.serve.admission` — ``4**n·λ`` cost-weighted admission;
+* :mod:`~repro.serve.service` — the HTTP-free core (queue, workers,
+  checkpoint resume, counters);
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.handlers` — the
+  threaded HTTP shell (``python -m repro serve``).
+"""
+
+from __future__ import annotations
+
+from .admission import AdmissionController, SERVE_RETRY_POLICY
+from .coalesce import Coalescer, ProgressBroker
+from .ledger import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobLedger,
+    JobRow,
+    LedgerError,
+)
+from .server import SolverServer, run_server
+from .service import SolverService
+
+__all__ = [
+    "AdmissionController",
+    "Coalescer",
+    "JOB_STATES",
+    "JobLedger",
+    "JobRow",
+    "LedgerError",
+    "ProgressBroker",
+    "SERVE_RETRY_POLICY",
+    "SolverServer",
+    "SolverService",
+    "TERMINAL_STATES",
+    "run_server",
+]

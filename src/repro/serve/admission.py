@@ -1,0 +1,94 @@
+"""Cost-weighted admission control for the solver service.
+
+A covering solve is exponential in the ring order, so "how many jobs
+are in flight" is the wrong fullness measure — one n=12 certification
+outweighs a thousand n=6 ones.  Admission therefore budgets the same
+``4**n * λ`` :func:`~repro.dispatch.cost_weight` the dispatcher
+schedules by: a submission is admitted while the in-flight weight stays
+under ``max_inflight_weight``, and rejected with a ``Retry-After``
+otherwise.
+
+Two deliberate edges:
+
+* an *idle* service always admits — a single job heavier than the whole
+  budget must run (alone), not deadlock the queue;
+* the retry hint comes from the same deterministic
+  :class:`~repro.dispatch.base.RetryPolicy` backoff schedule workers
+  use, scaled by queue depth — the busier the service, the longer the
+  suggested wait, capped at the policy's ``max_delay``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..api.spec import CoverSpec
+from ..dispatch.base import RetryPolicy
+from ..dispatch.dispatcher import cost_weight
+
+__all__ = ["AdmissionController", "SERVE_RETRY_POLICY"]
+
+# Client-facing backoff: coarser than the worker fleet's (humans and
+# HTTP clients retry on half-second scales, not 50 ms ones).
+SERVE_RETRY_POLICY = RetryPolicy(
+    max_retries=8, base_delay=0.5, factor=2.0, max_delay=30.0
+)
+
+
+class AdmissionController:
+    """Tracks in-flight solve weight and decides admit/reject."""
+
+    def __init__(
+        self,
+        max_inflight_weight: float | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self.max_inflight_weight = max_inflight_weight
+        self.policy = policy or SERVE_RETRY_POLICY
+        self._lock = threading.Lock()
+        self._weight = 0.0
+        self._depth = 0
+        self.rejected = 0
+
+    def try_admit(self, spec: CoverSpec) -> tuple[bool, float]:
+        """``(admitted, retry_after_seconds)``; ``retry_after`` is 0.0
+        on admission.  Admission reserves the spec's cost weight until
+        :meth:`release`."""
+        weight = cost_weight(spec)
+        with self._lock:
+            over = (
+                self.max_inflight_weight is not None
+                and self._weight + weight > self.max_inflight_weight
+            )
+            if over and self._depth > 0:
+                self.rejected += 1
+                attempt = min(self._depth, self.policy.max_retries)
+                retry_after = max(
+                    self.policy.delay(attempt), self.policy.base_delay
+                )
+                return False, retry_after
+            self._weight += weight
+            self._depth += 1
+            return True, 0.0
+
+    def force_admit(self, spec: CoverSpec) -> None:
+        """Reserve weight unconditionally — for restart recovery, where
+        the job was admitted by a previous server life and refusing it
+        now would orphan an accepted ledger row."""
+        with self._lock:
+            self._weight += cost_weight(spec)
+            self._depth += 1
+
+    def release(self, spec: CoverSpec) -> None:
+        with self._lock:
+            self._weight = max(0.0, self._weight - cost_weight(spec))
+            self._depth = max(0, self._depth - 1)
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        with self._lock:
+            return {
+                "inflight_weight": self._weight,
+                "inflight_jobs": self._depth,
+                "max_inflight_weight": self.max_inflight_weight,
+                "rejected": self.rejected,
+            }

@@ -1,0 +1,117 @@
+"""In-flight request coalescing and per-job progress fan-out.
+
+The :class:`Coalescer` is the serve-side half of the repo's
+one-solve-per-spec story: the cache dedupes across *time* (yesterday's
+envelope answers today's request) and the dispatcher dedupes within a
+*batch*; this dedupes across *concurrent clients* — the first
+submission of a spec hash owns the solve, and every identical
+submission that lands while it is in flight piggybacks on the same job
+handle.  Ownership is decided under one lock, so two requests racing
+on a fresh hash cannot both win.
+
+The :class:`ProgressBroker` fans engine progress out to SSE
+subscribers: each subscriber gets a private queue; publishing never
+blocks the solver (full queues drop the event — progress is a stream
+of snapshots, not a transaction log, and the next poll supersedes the
+lost one).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+__all__ = ["Coalescer", "ProgressBroker"]
+
+
+class Coalescer:
+    """Tracks which spec hashes are in flight and counts piggybacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, int] = {}  # spec hash -> subscriber count
+        self.coalesced = 0  # submissions absorbed by an in-flight solve
+
+    def claim(self, spec_hash: str) -> bool:
+        """True when this claim is the first for the hash (the caller
+        owns starting the solve); False when the hash is already in
+        flight.  Piggyback *counting* is the caller's call (`note`):
+        recovery re-claims defensively without being a coalesce."""
+        with self._lock:
+            if spec_hash in self._inflight:
+                self._inflight[spec_hash] += 1
+                return False
+            self._inflight[spec_hash] = 1
+            return True
+
+    def note(self, count: int = 1) -> None:
+        """Count ``count`` submissions absorbed by an in-flight job."""
+        with self._lock:
+            self.coalesced += count
+
+    def release(self, spec_hash: str) -> None:
+        """The solve for ``spec_hash`` reached a terminal state (or was
+        requeued for a later server life); the hash is claimable again."""
+        with self._lock:
+            self._inflight.pop(spec_hash, None)
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+
+class ProgressBroker:
+    """Per-job pub/sub for progress events (SSE feeds subscribe here)."""
+
+    # Progress is lossy by design; a slow consumer only ever misses
+    # intermediate snapshots, never the terminal event (publish_terminal
+    # retries the terminal doc after draining a full queue).
+    QUEUE_DEPTH = 64
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: dict[str, list[queue.Queue]] = {}
+
+    def subscribe(self, spec_hash: str) -> "queue.Queue[dict | None]":
+        q: queue.Queue = queue.Queue(maxsize=self.QUEUE_DEPTH)
+        with self._lock:
+            self._subscribers.setdefault(spec_hash, []).append(q)
+        return q
+
+    def unsubscribe(self, spec_hash: str, q: queue.Queue) -> None:
+        with self._lock:
+            subs = self._subscribers.get(spec_hash)
+            if subs is not None:
+                try:
+                    subs.remove(q)
+                except ValueError:
+                    pass
+                if not subs:
+                    del self._subscribers[spec_hash]
+
+    def publish(self, spec_hash: str, event: dict) -> None:
+        with self._lock:
+            subs = list(self._subscribers.get(spec_hash, ()))
+        for q in subs:
+            try:
+                q.put_nowait(event)
+            except queue.Full:
+                pass  # lossy: the next snapshot supersedes this one
+
+    def publish_terminal(self, spec_hash: str, event: dict) -> None:
+        """Deliver ``event`` then a ``None`` sentinel (end of stream) to
+        every subscriber, making room in full queues first — terminal
+        events must not be lost."""
+        with self._lock:
+            subs = self._subscribers.pop(spec_hash, [])
+        for q in subs:
+            for item in (event, None):
+                while True:
+                    try:
+                        q.put_nowait(item)
+                        break
+                    except queue.Full:
+                        try:
+                            q.get_nowait()
+                        except queue.Empty:
+                            pass

@@ -1,0 +1,211 @@
+"""HTTP request handling for the solver service.
+
+One :class:`ServeHandler` per request (``ThreadingHTTPServer`` gives
+each its own thread); every route is a thin translation onto the
+:class:`~repro.serve.service.SolverService` owned by the server.
+
+Routes::
+
+    POST /v1/solve                CoverSpec payload in; 200 + envelope
+                                  (cache/ledger hit), 202 + job doc,
+                                  429 + Retry-After, or 400
+    GET  /v1/jobs/<hash>          job doc (state machine snapshot)
+    GET  /v1/jobs/<hash>/result   the envelope: 200 raw bytes when
+                                  terminal, 409 while in flight, 500
+                                  for failed jobs, 404 unknown
+    GET  /v1/jobs/<hash>/events   SSE progress stream
+    GET  /v1/health               liveness
+    GET  /v1/stats                queue depth, cache counters, coalesces
+
+Envelope responses are written as the *exact* ``Result.to_json`` bytes
+the offline path produces — no re-serialization, so ``curl | cmp``
+against ``python -m repro solve --json`` holds.
+
+The handler speaks HTTP/1.0 deliberately: connection close delimits
+every body, which keeps the SSE stream free of chunked-transfer framing
+while remaining readable by browsers, ``curl`` and ``urllib`` alike.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import queue
+import sys
+from http.server import BaseHTTPRequestHandler
+
+from ..util.errors import ReproError
+
+__all__ = ["ServeHandler"]
+
+# Keepalive cadence for idle SSE streams; also the poll at which the
+# stream re-checks the ledger so a missed terminal event cannot wedge
+# a subscriber forever.
+_SSE_KEEPALIVE_S = 0.5
+
+# A spec hash is 64 hex chars; anything else 404s before touching state.
+_HASH_LEN = 64
+
+
+def _json_bytes(doc) -> bytes:
+    return (json.dumps(doc, indent=2, sort_keys=True) + "\n").encode()
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-serve/1.0"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        print(f"[serve] {self.address_string()} {format % args}", file=sys.stderr)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        *,
+        content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_doc(self, code: int, doc, **kwargs) -> None:
+        self._send(code, _json_bytes(doc), **kwargs)
+
+    def _send_error_doc(self, code: int, message: str, **kwargs) -> None:
+        self._send_doc(code, {"error": message}, **kwargs)
+
+    # -- routing ---------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path.rstrip("/") != "/v1/solve":
+            self._send_error_doc(404, f"unknown endpoint {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length).decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_error_doc(400, f"request body is not JSON: {exc}")
+            return
+        try:
+            disposition, value = self.service.submit(payload)
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            self._send_error_doc(400, f"bad CoverSpec payload: {exc}")
+            return
+        if disposition == "result":
+            # The exact envelope bytes the offline solve produces.
+            self._send(200, value.encode())
+        elif disposition == "busy":
+            self._send_error_doc(
+                429,
+                "service is at its in-flight weight budget; retry later",
+                headers={"Retry-After": str(math.ceil(value))},
+            )
+        else:
+            self._send_doc(202, value)
+
+    def do_GET(self) -> None:  # noqa: N802
+        path = self.path.rstrip("/")
+        if path == "/v1/health":
+            self._send_doc(
+                200,
+                {
+                    "status": "ok",
+                    "uptime_s": self.service.stats()["uptime_s"],
+                },
+            )
+        elif path == "/v1/stats":
+            self._send_doc(200, self.service.stats())
+        elif path.startswith("/v1/jobs/"):
+            self._get_job(path.removeprefix("/v1/jobs/"))
+        else:
+            self._send_error_doc(404, f"unknown endpoint {self.path}")
+
+    def _get_job(self, rest: str) -> None:
+        spec_hash, _, tail = rest.partition("/")
+        if len(spec_hash) != _HASH_LEN or tail not in ("", "result", "events"):
+            self._send_error_doc(404, f"unknown endpoint {self.path}")
+            return
+        row = self.service.job(spec_hash)
+        if row is None:
+            self._send_error_doc(404, f"unknown job {spec_hash[:12]}")
+            return
+        if tail == "":
+            self._send_doc(200, self.service.job_doc(spec_hash))
+        elif tail == "result":
+            if row.state in ("done", "degraded"):
+                self._send(200, row.result_json.encode())
+            elif row.state == "failed":
+                self._send_error_doc(500, row.error or "job failed")
+            else:
+                self._send_error_doc(
+                    409, f"job {spec_hash[:12]} is {row.state}; no result yet"
+                )
+        else:
+            self._stream_events(spec_hash, row)
+
+    # -- SSE -------------------------------------------------------------
+
+    def _sse_event(self, doc: dict) -> bytes:
+        name = doc.get("event", "message")
+        return (
+            f"event: {name}\ndata: {json.dumps(doc, sort_keys=True)}\n\n"
+        ).encode()
+
+    def _stream_events(self, spec_hash: str, row) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+
+        # Replay the current state first, so late subscribers see where
+        # the job stands before live events start.
+        self.wfile.write(
+            self._sse_event(
+                {"event": "state", "state": row.state, "replay": True}
+            )
+        )
+        if row.terminal:
+            return
+
+        q = self.service.broker.subscribe(spec_hash)
+        try:
+            while True:
+                try:
+                    event = q.get(timeout=_SSE_KEEPALIVE_S)
+                except queue.Empty:
+                    # Terminal event may have raced the subscription;
+                    # the ledger is the source of truth.
+                    current = self.service.job(spec_hash)
+                    if current is None or current.terminal:
+                        self.wfile.write(
+                            self._sse_event(
+                                {
+                                    "event": "state",
+                                    "state": current.state if current else "gone",
+                                }
+                            )
+                        )
+                        return
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                if event is None:
+                    return  # end-of-stream sentinel
+                self.wfile.write(self._sse_event(event))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up beyond the queue
+        finally:
+            self.service.broker.unsubscribe(spec_hash, q)

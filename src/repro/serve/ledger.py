@@ -1,0 +1,244 @@
+"""The persistent job ledger behind ``repro.serve``.
+
+One SQLite database (WAL mode) records every job the service has ever
+accepted, keyed by the canonical spec hash — which *is* the job id:
+request coalescing means there is never more than one job per spec, so
+the handle clients poll is the same content address the cache and the
+checkpoint store already speak.
+
+The row is a small state machine::
+
+    pending ──► running ──► done
+                   │   ├──► degraded
+                   │   └──► failed ──► pending   (explicit resubmit)
+                   └──► pending                  (preempt / crash recovery)
+
+``recover()`` flips every ``running`` row back to ``pending`` at
+startup: a server killed mid-proof left its engine state in the
+:class:`~repro.api.checkpoints.CheckpointStore` (the backend flushes
+every ``checkpoint_every`` nodes), so the re-queued job resumes from
+the checkpoint instead of re-solving from scratch.  Terminal ``done``/
+``degraded`` rows carry the exact envelope bytes that were served —
+replaying them is byte-identical by construction.
+
+Writes happen from HTTP handler threads and solver workers alike: the
+single connection is shared under a lock (``check_same_thread=False``),
+and every mutation commits before the lock drops, so a crash between
+requests never loses an accepted job.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..util.errors import ReproError
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobLedger",
+    "JobRow",
+    "LedgerError",
+    "SCHEMA_VERSION",
+]
+
+JOB_STATES = ("pending", "running", "done", "failed", "degraded")
+TERMINAL_STATES = ("done", "failed", "degraded")
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    spec_hash   TEXT PRIMARY KEY,
+    state       TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    result_json TEXT,
+    error       TEXT,
+    created_at  REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL,
+    attempts    INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+# Legal state-machine edges; everything else raises LedgerError.
+_TRANSITIONS = {
+    ("pending", "running"),
+    ("running", "done"),
+    ("running", "degraded"),
+    ("running", "failed"),
+    ("running", "pending"),  # preemption / crash recovery
+    ("failed", "pending"),  # explicit resubmit
+}
+
+
+class LedgerError(ReproError):
+    """An illegal ledger operation (bad transition, unknown job)."""
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One ledger row, as read — a snapshot, not a live handle."""
+
+    spec_hash: str
+    state: str
+    spec_json: str
+    result_json: str | None
+    error: str | None
+    created_at: float
+    started_at: float | None
+    finished_at: float | None
+    attempts: int
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class JobLedger:
+    """The WAL-journaled job table at ``path`` (created on first use)."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version not in (0, SCHEMA_VERSION):
+                raise LedgerError(
+                    f"ledger {self.path} has schema version {version}; "
+                    f"this build speaks version {SCHEMA_VERSION}"
+                )
+            self._conn.execute(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            self._conn.commit()
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, spec_hash: str) -> JobRow | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT spec_hash, state, spec_json, result_json, error, "
+                "created_at, started_at, finished_at, attempts "
+                "FROM jobs WHERE spec_hash = ?",
+                (spec_hash,),
+            ).fetchone()
+        return JobRow(*row) if row is not None else None
+
+    def unfinished(self) -> list[JobRow]:
+        """Every non-terminal row, oldest first — the restart queue."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT spec_hash, state, spec_json, result_json, error, "
+                "created_at, started_at, finished_at, attempts "
+                "FROM jobs WHERE state IN ('pending', 'running') "
+                "ORDER BY created_at",
+            ).fetchall()
+        return [JobRow(*row) for row in rows]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        counts.update(dict(rows))
+        return counts
+
+    # -- transitions -----------------------------------------------------
+
+    def submit(self, spec_hash: str, spec_json: str) -> JobRow:
+        """Record a new ``pending`` job; a second submit of the same
+        hash is a no-op returning the existing row (the coalescing and
+        replay decisions belong to the service, which sees the state)."""
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO jobs "
+                "(spec_hash, state, spec_json, created_at, attempts) "
+                "VALUES (?, 'pending', ?, ?, 0)",
+                (spec_hash, spec_json, now),
+            )
+            self._conn.commit()
+        row = self.get(spec_hash)
+        assert row is not None
+        return row
+
+    def _transition(self, spec_hash: str, new_state: str, **updates) -> JobRow:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE spec_hash = ?", (spec_hash,)
+            ).fetchone()
+            if row is None:
+                raise LedgerError(f"unknown job {spec_hash[:12]}")
+            old_state = row[0]
+            if (old_state, new_state) not in _TRANSITIONS:
+                raise LedgerError(
+                    f"illegal transition {old_state} -> {new_state} "
+                    f"for job {spec_hash[:12]}"
+                )
+            sets = ["state = ?"]
+            params: list = [new_state]
+            for column, value in updates.items():
+                sets.append(f"{column} = ?")
+                params.append(value)
+            params.append(spec_hash)
+            self._conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE spec_hash = ?",
+                params,
+            )
+            if new_state == "running":
+                self._conn.execute(
+                    "UPDATE jobs SET attempts = attempts + 1 "
+                    "WHERE spec_hash = ?",
+                    (spec_hash,),
+                )
+            self._conn.commit()
+        row = self.get(spec_hash)
+        assert row is not None
+        return row
+
+    def mark_running(self, spec_hash: str) -> JobRow:
+        return self._transition(spec_hash, "running", started_at=time.time())
+
+    def mark_done(self, spec_hash: str, result_json: str, *, degraded: bool = False) -> JobRow:
+        """Terminal success: store the exact envelope bytes served to
+        every future request for this hash."""
+        return self._transition(
+            spec_hash,
+            "degraded" if degraded else "done",
+            result_json=result_json,
+            error=None,
+            finished_at=time.time(),
+        )
+
+    def mark_failed(self, spec_hash: str, error: str) -> JobRow:
+        return self._transition(
+            spec_hash, "failed", error=error, finished_at=time.time()
+        )
+
+    def requeue(self, spec_hash: str) -> JobRow:
+        """Preempted (or resubmitted-after-failure) job back to
+        ``pending`` — the checkpoint store holds its engine state."""
+        return self._transition(spec_hash, "pending", error=None)
+
+    def recover(self) -> int:
+        """Startup sweep: every ``running`` row belonged to a dead
+        server; flip them to ``pending`` so the queue re-runs them
+        (resuming from checkpoints).  Returns how many were recovered."""
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = 'pending' WHERE state = 'running'"
+            )
+            self._conn.commit()
+            return cur.rowcount
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -143,6 +143,30 @@ class TestMaintenance:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_stats_expose_hit_rate_and_coalesce_counter(self, cache):
+        stats = cache.stats()
+        assert stats["hit_rate"] == 0.0  # never consulted: not 0/0
+        assert stats["coalesced"] == 0
+        solve(SPEC, cache=cache)  # miss
+        solve(SPEC, cache=cache)  # hit
+        solve(SPEC, cache=cache)  # hit
+        stats = cache.stats()
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        # The coalesce counter is fed by the layers that dedupe by spec
+        # hash (dispatcher batches, the serve tier) — the cache only
+        # accounts for it.
+        cache.note_coalesced()
+        cache.note_coalesced(2)
+        cache.note_coalesced(0)  # no-op
+        assert cache.stats()["coalesced"] == 3
+
+    def test_dispatch_batch_counts_duplicate_specs_as_coalesced(self, cache):
+        from repro.dispatch import dispatch_batch
+
+        report = dispatch_batch([SPEC, SPEC, SPEC], cache=cache)
+        assert len(report.results) == 3
+        assert cache.stats()["coalesced"] == 2
+
 
 class TestCorruptStatsRecovery:
     def test_wrong_typed_stats_value_is_quarantined(self, cache):

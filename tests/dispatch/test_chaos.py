@@ -6,9 +6,7 @@ environment variable into every worker, and the *first* worker to win
 a fault's token (atomic unlink) dies abruptly mid-job — or stalls,
 drops its heartbeat, corrupts its result.  Exactly one worker per
 token triggers, so the retry necessarily lands on a healthy worker:
-precisely the retry-with-exclusion path under test.  (One test keeps
-the deprecated raw ``REPRO_CHAOS_*`` spelling to pin the one-release
-compatibility shim end-to-end.)
+precisely the retry-with-exclusion path under test.
 
 ``TestLeases`` is the heartbeat-lease story: a slow worker whose lease
 keeps renewing is *never* reclaimed (the double-solve regression), a
@@ -34,8 +32,7 @@ import pytest
 
 from repro.api import CoverSpec, solve
 from repro.dispatch import (
-    CHAOS_EXIT_ENV,
-    CHAOS_EXIT_NODES_ENV,
+    FAULT_EXIT_CODE,
     DispatchError,
     Fault,
     FaultPlan,
@@ -124,15 +121,14 @@ class TestSpoolChaos:
             dispatch_batch(SPECS[:2], transport=transport, workers=2)
 
     def test_spool_worker_crash_is_reclaimed_and_completed(self, tmp_path, oracle):
-        token = tmp_path / "crash-token"
-        token.touch()
-        transport = SpoolTransport(
-            tmp_path / "spool", extra_env={CHAOS_EXIT_ENV: str(token)}
-        )
+        plan, env = _armed(tmp_path, Fault(kind="crash"))
+        transport = SpoolTransport(tmp_path / "spool", extra_env=env)
         report = dispatch_batch(
             SPECS, transport=transport, workers=2, job_timeout=30.0
         )
-        assert not token.exists()
+        assert not any(
+            f.token and os.path.exists(f.token) for f in plan.faults
+        )  # the fault actually fired
         assert report.worker_deaths >= 1
         assert [r.to_json() for r in report.results] == oracle
 
@@ -146,8 +142,7 @@ class TestSpoolChaos:
         remainder of the proof, not a restart — and the final envelope
         is still byte-identical to a serial solve."""
         root = tmp_path / "spool"
-        token = tmp_path / "nodes-token"
-        token.touch()
+        plan, fault_env = _armed(tmp_path, Fault(kind="crash_at_node", at_node=2500))
         ckpt_file = root / "checkpoints" / f"{N8.spec_hash}.ckpt.json"
 
         report_box: dict = {}
@@ -169,10 +164,12 @@ class TestSpoolChaos:
         chaos = subprocess.Popen(
             worker_command()
             + ["--spool", str(root), "--poll", "0.01", "--checkpoint-every", "512"],
-            env=worker_env({CHAOS_EXIT_NODES_ENV: f"{token}:2500"}),
+            env=worker_env(fault_env),
         )
-        assert chaos.wait(timeout=60) == 23  # the chaos exit code
-        assert not token.exists()
+        assert chaos.wait(timeout=60) == FAULT_EXIT_CODE
+        assert not any(
+            f.token and os.path.exists(f.token) for f in plan.faults
+        )  # the fault actually fired
 
         # The dead worker's last flush is on disk and strictly mid-proof:
         # resuming from it costs (total - nodes) < total nodes.

@@ -31,12 +31,7 @@ from repro.dispatch import (
     dispatch_batch,
 )
 from repro.dispatch.base import QueueRunner, QueueWorker, WorkerDeath
-from repro.dispatch.faults import (
-    CHAOS_EXIT_ENV,
-    CHAOS_EXIT_NODES_ENV,
-    CHAOS_STALL_ENV,
-    FAULT_PLAN_ENV,
-)
+from repro.dispatch.faults import FAULT_PLAN_ENV
 
 # ---------------------------------------------------------------------------
 # FaultPlan / FaultInjector
@@ -107,22 +102,22 @@ class TestFaultPlan:
         assert from_file is not None and from_file.plan == plan
         assert FaultInjector.from_env({}) is None
 
-    def test_legacy_chaos_envs_still_work_but_warn(self, tmp_path):
+    def test_legacy_chaos_envs_are_gone_and_ignored(self, tmp_path):
+        # The REPRO_CHAOS_* one-release shim (PR 7) was removed on
+        # schedule: an environment still carrying the old spellings
+        # arms nothing, silently.
         token = tmp_path / "tok"
         token.touch()
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            injector = FaultInjector.from_env({CHAOS_EXIT_ENV: str(token)})
-        assert [f.kind for f in injector.plan.faults] == ["crash"]
-        with pytest.warns(DeprecationWarning):
-            injector = FaultInjector.from_env({CHAOS_STALL_ENV: str(token)})
-        assert [f.kind for f in injector.plan.faults] == ["stall"]
-        with pytest.warns(DeprecationWarning):
-            injector = FaultInjector.from_env(
-                {CHAOS_EXIT_NODES_ENV: f"{token}:2500"}
-            )
-        assert [(f.kind, f.at_node) for f in injector.plan.faults] == [
-            ("crash_at_node", 2500)
-        ]
+        legacy = {
+            "REPRO_DISPATCH_CHAOS": str(token),
+            "REPRO_DISPATCH_STALL": str(token),
+            "REPRO_DISPATCH_CHAOS_NODES": f"{token}:2500",
+        }
+        assert FaultInjector.from_env(legacy) is None
+        import repro.dispatch as dispatch_pkg
+
+        for name in ("CHAOS_EXIT_ENV", "CHAOS_STALL_ENV", "CHAOS_EXIT_NODES_ENV"):
+            assert not hasattr(dispatch_pkg, name)
 
     def test_refuse_preempt_masks_the_real_callback(self, tmp_path):
         plan = FaultPlan(faults=(Fault(kind="refuse_preempt"),), seed=1).arm(tmp_path)

@@ -1,0 +1,204 @@
+"""The HTTP shell: endpoints, status codes, SSE, byte-identity.
+
+Each test runs a real :class:`SolverServer` on an ephemeral port
+(``port 0``) with requests through :mod:`urllib` — the same stack the
+CI smoke job's curl clients exercise.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import CoverSpec, solve
+from repro.dispatch.dispatcher import cost_weight
+from repro.serve import SolverServer, SolverService
+
+N8 = CoverSpec.for_ring(8, backend="exact", use_hints=False)
+N6 = CoverSpec.for_ring(6, backend="exact", use_hints=False)
+
+
+@pytest.fixture(scope="module")
+def n8_oracle():
+    return solve(N8, cache=None)
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = SolverService(tmp_path / "ledger", cache=tmp_path / "cache")
+    httpd = SolverServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield base, service
+    httpd.shutdown()
+    httpd.server_close()
+    service.shutdown()
+
+
+def _post(base: str, payload: dict):
+    req = urllib.request.Request(
+        base + "/v1/solve",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req) as response:
+        return response.status, response.read()
+
+
+def _get_json(base: str, path: str):
+    with urllib.request.urlopen(base + path) as response:
+        return response.status, json.loads(response.read())
+
+
+def _wait_done(base: str, job: str, timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, doc = _get_json(base, f"/v1/jobs/{job}")
+        if doc["state"] in ("done", "failed", "degraded"):
+            return doc
+        time.sleep(0.02)
+    raise AssertionError(f"job {job[:12]} never finished")
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, server):
+        base, _ = server
+        status, doc = _get_json(base, "/v1/health")
+        assert status == 200 and doc["status"] == "ok"
+        status, doc = _get_json(base, "/v1/stats")
+        assert status == 200
+        for key in ("queue_depth", "coalesced", "solves", "jobs", "cache"):
+            assert key in doc
+        assert "hit_rate" in doc["cache"]
+
+    def test_solve_then_poll_then_result_byte_identical(
+        self, server, n8_oracle
+    ):
+        base, _ = server
+        status, body = _post(base, N8.to_payload())
+        assert status == 202
+        doc = json.loads(body)
+        assert doc["job"] == N8.spec_hash  # the handle IS the spec hash
+        _wait_done(base, doc["job"])
+        with urllib.request.urlopen(
+            base + doc["links"]["result"]
+        ) as response:
+            assert response.read().decode() == n8_oracle.to_json()
+
+    def test_second_post_served_immediately_with_exact_bytes(
+        self, server, n8_oracle
+    ):
+        base, _ = server
+        _, body = _post(base, N8.to_payload())
+        _wait_done(base, json.loads(body)["job"])
+        status, body = _post(base, N8.to_payload())
+        assert status == 200
+        assert body.decode() == n8_oracle.to_json()
+
+    def test_result_conflict_while_pending(self, server):
+        base, service = server
+        service.request_drain()  # freeze the queue: the job stays pending
+        status, body = _post(base, N8.to_payload())
+        assert status == 202
+        try:
+            urllib.request.urlopen(
+                base + f"/v1/jobs/{N8.spec_hash}/result"
+            )
+        except urllib.error.HTTPError as err:
+            assert err.code == 409
+        else:
+            raise AssertionError("expected 409 for an unfinished job")
+
+    def test_unknown_job_and_unknown_route_404(self, server):
+        base, _ = server
+        for path in (f"/v1/jobs/{'f' * 64}", "/v1/nope", "/v1/jobs/short"):
+            try:
+                urllib.request.urlopen(base + path)
+            except urllib.error.HTTPError as err:
+                assert err.code == 404
+            else:
+                raise AssertionError(f"expected 404 for {path}")
+
+    def test_bad_payload_400(self, server):
+        base, _ = server
+        for body in (b"not json", b'{"n": -4}', b'{"unexpected": 1}'):
+            req = urllib.request.Request(base + "/v1/solve", data=body)
+            try:
+                urllib.request.urlopen(req)
+            except urllib.error.HTTPError as err:
+                assert err.code == 400
+                assert "error" in json.loads(err.read())
+            else:
+                raise AssertionError(f"expected 400 for {body!r}")
+
+    def test_429_carries_retry_after(self, tmp_path):
+        service = SolverService(
+            tmp_path / "ledger",
+            cache=None,
+            max_inflight_weight=cost_weight(N8),
+        )
+        httpd = SolverServer(("127.0.0.1", 0), service)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            # Workers never started: the first job camps on the budget.
+            status, _ = _post(base, N8.to_payload())
+            assert status == 202
+            try:
+                _post(base, N6.to_payload())
+            except urllib.error.HTTPError as err:
+                assert err.code == 429
+                assert int(err.headers["Retry-After"]) >= 1
+            else:
+                raise AssertionError("expected 429")
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.shutdown()
+
+
+class TestSSE:
+    def test_stream_replays_state_and_ends_after_terminal(
+        self, server, n8_oracle
+    ):
+        base, _ = server
+        _, body = _post(base, N8.to_payload())
+        job = json.loads(body)["job"]
+        # Subscribe while (probably) still running; the stream must
+        # open with a state replay and close after the terminal event.
+        with urllib.request.urlopen(
+            base + f"/v1/jobs/{job}/events", timeout=30
+        ) as response:
+            assert response.headers["Content-Type"].startswith(
+                "text/event-stream"
+            )
+            text = response.read().decode()  # EOF == stream closed
+        events = [
+            json.loads(line.removeprefix("data: "))
+            for line in text.splitlines()
+            if line.startswith("data: ")
+        ]
+        assert events, f"no SSE events in {text!r}"
+        assert events[0].get("replay") is True
+        assert events[-1]["state"] in ("done", "pending", "running")
+        _wait_done(base, job)
+
+    def test_stream_on_finished_job_is_a_single_replay(self, server):
+        base, _ = server
+        _, body = _post(base, N6.to_payload())
+        job = json.loads(body)["job"]
+        _wait_done(base, job)
+        with urllib.request.urlopen(
+            base + f"/v1/jobs/{job}/events", timeout=10
+        ) as response:
+            text = response.read().decode()
+        assert "event: state" in text
+        assert '"replay": true' in text
+        assert '"state": "done"' in text

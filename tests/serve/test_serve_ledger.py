@@ -1,0 +1,162 @@
+"""JobLedger: the state machine, persistence, and crash recovery."""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.serve.ledger import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobLedger,
+    LedgerError,
+    SCHEMA_VERSION,
+)
+
+H1 = "a" * 64
+H2 = "b" * 64
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    led = JobLedger(tmp_path / "jobs.sqlite3")
+    yield led
+    led.close()
+
+
+class TestStateMachine:
+    def test_happy_path_pending_running_done(self, ledger):
+        row = ledger.submit(H1, '{"n": 8}')
+        assert row.state == "pending" and row.attempts == 0
+        row = ledger.mark_running(H1)
+        assert row.state == "running" and row.attempts == 1
+        assert row.started_at is not None
+        row = ledger.mark_done(H1, '{"envelope": true}')
+        assert row.state == "done" and row.terminal
+        assert row.result_json == '{"envelope": true}'
+        assert row.finished_at is not None
+
+    def test_degraded_is_a_distinct_terminal_state(self, ledger):
+        ledger.submit(H1, "{}")
+        ledger.mark_running(H1)
+        row = ledger.mark_done(H1, "{}", degraded=True)
+        assert row.state == "degraded" and row.terminal
+
+    def test_failure_and_resubmit(self, ledger):
+        ledger.submit(H1, "{}")
+        ledger.mark_running(H1)
+        row = ledger.mark_failed(H1, "boom")
+        assert row.state == "failed" and row.error == "boom"
+        row = ledger.requeue(H1)  # explicit resubmit clears the error
+        assert row.state == "pending" and row.error is None
+        ledger.mark_running(H1)
+        assert ledger.get(H1).attempts == 2
+
+    def test_preemption_requeues_a_running_job(self, ledger):
+        ledger.submit(H1, "{}")
+        ledger.mark_running(H1)
+        row = ledger.requeue(H1)
+        assert row.state == "pending"
+
+    def test_illegal_transitions_raise(self, ledger):
+        ledger.submit(H1, "{}")
+        with pytest.raises(LedgerError, match="illegal transition"):
+            ledger.mark_done(H1, "{}")  # pending -> done skips running
+        ledger.mark_running(H1)
+        ledger.mark_done(H1, "{}")
+        with pytest.raises(LedgerError, match="illegal transition"):
+            ledger.mark_running(H1)  # done is terminal
+        with pytest.raises(LedgerError, match="illegal transition"):
+            ledger.requeue(H1)  # done cannot be resubmitted
+        with pytest.raises(LedgerError, match="unknown job"):
+            ledger.mark_running(H2)
+
+    def test_duplicate_submit_is_a_noop(self, ledger):
+        first = ledger.submit(H1, '{"n": 8}')
+        ledger.mark_running(H1)
+        again = ledger.submit(H1, '{"n": 999}')
+        assert again.state == "running"  # existing row wins
+        assert again.spec_json == '{"n": 8}'
+        assert again.created_at == first.created_at
+
+    def test_counts_cover_every_state(self, ledger):
+        assert ledger.counts() == {state: 0 for state in JOB_STATES}
+        ledger.submit(H1, "{}")
+        ledger.submit(H2, "{}")
+        ledger.mark_running(H2)
+        counts = ledger.counts()
+        assert counts["pending"] == 1 and counts["running"] == 1
+
+
+class TestPersistence:
+    def test_rows_survive_reopen(self, tmp_path):
+        led = JobLedger(tmp_path / "jobs.sqlite3")
+        led.submit(H1, '{"n": 8}')
+        led.mark_running(H1)
+        led.mark_done(H1, '{"the": "envelope"}')
+        led.close()
+        led2 = JobLedger(tmp_path / "jobs.sqlite3")
+        row = led2.get(H1)
+        assert row.state == "done"
+        assert row.result_json == '{"the": "envelope"}'
+        led2.close()
+
+    def test_recover_flips_running_rows_to_pending(self, tmp_path):
+        led = JobLedger(tmp_path / "jobs.sqlite3")
+        led.submit(H1, "{}")
+        led.mark_running(H1)  # ... and then the server dies
+        led.submit(H2, "{}")
+        led.close()
+        led2 = JobLedger(tmp_path / "jobs.sqlite3")
+        assert led2.recover() == 1
+        assert led2.get(H1).state == "pending"
+        unfinished = [row.spec_hash for row in led2.unfinished()]
+        assert unfinished == [H1, H2]  # oldest first
+        led2.close()
+
+    def test_wal_mode_and_schema_version(self, tmp_path):
+        path = tmp_path / "jobs.sqlite3"
+        led = JobLedger(path)
+        led.close()
+        conn = sqlite3.connect(path)
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert (
+            conn.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
+        )
+        conn.close()
+
+    def test_future_schema_version_is_refused(self, tmp_path):
+        path = tmp_path / "jobs.sqlite3"
+        JobLedger(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version=99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(LedgerError, match="schema version 99"):
+            JobLedger(path)
+
+
+class TestConcurrency:
+    def test_parallel_submitters_never_lose_a_row(self, tmp_path):
+        led = JobLedger(tmp_path / "jobs.sqlite3")
+        hashes = [f"{i:064d}" for i in range(20)]
+
+        def hammer(h: str) -> None:
+            for _ in range(5):
+                led.submit(h, "{}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(h,)) for h in hashes
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert led.counts()["pending"] == len(hashes)
+        led.close()
+
+
+def test_terminal_states_are_a_subset_of_job_states():
+    assert set(TERMINAL_STATES) < set(JOB_STATES)

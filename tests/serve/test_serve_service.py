@@ -1,0 +1,203 @@
+"""SolverService: coalescing, admission, preempt/resume, counters.
+
+The coalescing tests come in two strengths: a *deterministic* one that
+submits before the workers start (so every identical submission must
+coalesce — no timing), and a *racing* one with real threads against a
+live service (at most one engine solve, stragglers served from the
+cache).  The restart test is the tentpole's acceptance story: a service
+drained mid-proof leaves a pending ledger row + checkpoint, and a new
+service on the same directories finishes the proof from where it
+stopped, byte-identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import CoverSpec, solve
+from repro.api.cache import ResultCache
+from repro.serve import SolverService
+from repro.serve.admission import AdmissionController
+from repro.dispatch.dispatcher import cost_weight
+
+N8 = CoverSpec.for_ring(8, backend="exact", use_hints=False)
+N6 = CoverSpec.for_ring(6, backend="exact", use_hints=False)
+
+
+@pytest.fixture(scope="module")
+def n8_oracle():
+    return solve(N8, cache=None)
+
+
+def _wait_terminal(service, spec_hash, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        row = service.job(spec_hash)
+        if row is not None and row.terminal:
+            return row
+        time.sleep(0.02)
+    raise AssertionError(f"job {spec_hash[:12]} never reached a terminal state")
+
+
+class TestCoalescing:
+    def test_identical_submissions_coalesce_deterministically(
+        self, tmp_path, n8_oracle
+    ):
+        service = SolverService(tmp_path / "ledger", cache=tmp_path / "cache")
+        dispositions = [service.submit(N8.to_payload()) for _ in range(3)]
+        assert [d[0] for d in dispositions] == ["job", "job", "job"]
+        # All three share the job handle == the canonical spec hash.
+        assert {d[1]["job"] for d in dispositions} == {N8.spec_hash}
+        service.start()
+        row = _wait_terminal(service, N8.spec_hash)
+        assert row.state == "done"
+        assert row.result_json == n8_oracle.to_json()
+        stats = service.stats()
+        assert stats["solves"] == 1  # exactly one engine solve
+        assert stats["coalesced"] == 2
+        assert stats["cache"]["coalesced"] == 2  # satellite: cache-owned counter
+        service.shutdown()
+
+    def test_concurrent_submitters_observe_one_engine_solve(
+        self, tmp_path, n8_oracle
+    ):
+        service = SolverService(
+            tmp_path / "ledger", cache=tmp_path / "cache", workers=2
+        )
+        service.start()
+        outcomes: list[tuple[str, object]] = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            disposition = service.submit(N8.to_payload())
+            if disposition[0] == "job":
+                _wait_terminal(service, N8.spec_hash)
+                disposition = service.submit(N8.to_payload())
+            with lock:
+                outcomes.append(disposition)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(outcomes) == 6
+        # Every client eventually got the same byte-identical envelope...
+        assert all(kind == "result" for kind, _ in outcomes)
+        assert {text for _, text in outcomes} == {n8_oracle.to_json()}
+        # ...from exactly one engine run (SolverStats via the envelope:
+        # the recorded node count matches a single uninterrupted solve).
+        assert service.stats()["solves"] == 1
+        assert service.job(N8.spec_hash).attempts == 1
+        service.shutdown()
+
+    def test_cache_hit_skips_the_queue_entirely(self, tmp_path, n8_oracle):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(n8_oracle)
+        service = SolverService(tmp_path / "ledger", cache=cache)
+        kind, text = service.submit(N8.to_payload())
+        assert kind == "result"
+        assert text == n8_oracle.to_json()
+        assert service.stats()["jobs"]["pending"] == 0  # no job was created
+        service.shutdown()
+
+
+class TestRestartResume:
+    def test_drained_mid_proof_then_resumed_by_a_new_service(
+        self, tmp_path, n8_oracle
+    ):
+        """The killed-mid-job story, made deterministic: the poll_hook
+        seam preempts the proof at >= 800 nodes (checkpoint flushed by
+        the backend), the service self-drains, and a second service on
+        the same ledger+checkpoint directories finishes the remaining
+        nodes — one resume, byte-identical envelope, no re-solve."""
+        service = SolverService(
+            tmp_path / "ledger",
+            cache=tmp_path / "cache",
+            checkpoint_every=256,
+            poll_hook=lambda spec_hash, stats: stats.nodes >= 800,
+        )
+        service.submit(N8.to_payload())
+        service.start()
+        assert service.stopped.wait(timeout=30), "service did not self-drain"
+        service.shutdown()
+        assert service.preempted
+        ckpt = service.checkpoints.load(N8.spec_hash)
+        assert ckpt is not None and 0 < ckpt.nodes < n8_oracle.stats.nodes
+
+        resumed = SolverService(tmp_path / "ledger", cache=tmp_path / "cache")
+        assert resumed.start() == 1  # the pending row was recovered
+        row = _wait_terminal(resumed, N8.spec_hash)
+        assert row.state == "done"
+        assert row.result_json == n8_oracle.to_json()
+        assert resumed.stats()["resumed"] == 1  # continued the checkpoint
+        assert resumed.checkpoints.load(N8.spec_hash) is None  # cleaned up
+        resumed.shutdown()
+
+    def test_preempt_after_budget_self_drains(self, tmp_path, n8_oracle):
+        service = SolverService(
+            tmp_path / "ledger",
+            cache=tmp_path / "cache",
+            checkpoint_every=256,
+            preempt_after=("nodes", 800),
+        )
+        service.submit(N8.to_payload())
+        service.start()
+        assert service.stopped.wait(timeout=30)
+        service.shutdown()
+        assert service.preempted
+        ckpt = service.checkpoints.load(N8.spec_hash)
+        assert ckpt is not None and ckpt.nodes >= 800
+
+
+class TestFailuresAndAdmission:
+    def test_unsolvable_spec_lands_in_failed_and_can_be_resubmitted(
+        self, tmp_path
+    ):
+        # n=13 exceeds every exact ceiling: deterministic routing failure.
+        bad = CoverSpec.for_ring(13, backend="exact")
+        service = SolverService(tmp_path / "ledger", cache=None)
+        kind, doc = service.submit(bad.to_payload())
+        assert kind == "job"
+        service.start()
+        row = _wait_terminal(service, bad.spec_hash)
+        assert row.state == "failed" and row.error
+        # Resubmitting a failed job re-queues it (attempts grow).
+        kind, doc = service.submit(bad.to_payload())
+        assert kind == "job"
+        row = _wait_terminal(service, bad.spec_hash)
+        assert row.state == "failed" and row.attempts == 2
+        service.shutdown()
+
+    def test_admission_rejects_over_budget_with_retry_after(self, tmp_path):
+        admission = AdmissionController(max_inflight_weight=cost_weight(N8))
+        admitted, _ = admission.try_admit(N8)
+        assert admitted
+        refused, retry_after = admission.try_admit(N6)
+        assert not refused and retry_after > 0
+        assert admission.snapshot()["rejected"] == 1
+        admission.release(N8)
+        admitted, _ = admission.try_admit(N6)
+        assert admitted
+
+    def test_idle_service_admits_jobs_heavier_than_the_budget(self, tmp_path):
+        # A single job over the whole budget must run, not deadlock.
+        admission = AdmissionController(max_inflight_weight=1.0)
+        admitted, _ = admission.try_admit(N8)
+        assert admitted
+
+    def test_busy_service_returns_retry_after_through_submit(self, tmp_path):
+        service = SolverService(
+            tmp_path / "ledger",
+            cache=None,
+            max_inflight_weight=cost_weight(N8),
+        )
+        # Workers not started: the first submission stays in flight.
+        assert service.submit(N8.to_payload())[0] == "job"
+        kind, retry_after = service.submit(N6.to_payload())
+        assert kind == "busy"
+        assert retry_after > 0
+        service.shutdown()
