@@ -23,6 +23,13 @@ Results are written three ways: the rendered table
 the pinned ``N8_NODE_CEILING`` (the seed's 85,650-node n = 8 anomaly
 must stay ≥ 10× beaten).
 
+The JSON additionally carries a ``kernel_ablation`` block: the largest
+even ring size in the sweep re-proven under every installed kernel
+(``REPRO_KERNEL``), prologue hoisted, reporting nodes/sec and the
+wall-clock speedup over the pure-Python reference.  Byte-identity
+(see :mod:`repro.core.kernel`) means the node counts must agree
+exactly — the rows are a pure throughput comparison.
+
 ``REPRO_BENCH_NS`` (comma-separated ring sizes) restricts the sweep —
 CI's smoke job sets ``4,5,6,7,8``.  The sweep itself goes through
 ``api.solve_batch``'s dispatcher (``repro.dispatch``);
@@ -35,9 +42,17 @@ exact.
 from __future__ import annotations
 
 import os
+import time
 
 from repro.analysis.experiments import experiment_solver_certification
-from repro.core.engine import N8_NODE_CEILING
+from repro.core.engine import (
+    DEFAULT_NODE_LIMIT,
+    N8_NODE_CEILING,
+    SolverEngine,
+    SolverStats,
+)
+from repro.core.kernel import available_kernels
+from repro.core.objective import resolve_objective
 
 NS = (4, 5, 6, 7, 8, 9, 10, 11)
 SHARD_THRESHOLD = 11
@@ -61,6 +76,48 @@ def _dispatch_from_env() -> dict:
     return kwargs
 
 
+def _kernel_ablation(n: int) -> list[dict]:
+    """Time the identical K_n exhaustion proof under every installed
+    kernel (``REPRO_KERNEL`` values), prologue hoisted so only the
+    branch-and-bound loop is on the clock.  Byte-identity makes the
+    comparison exact: every kernel explores the same node sequence, so
+    the rows differ only in wall-clock."""
+    obj = resolve_objective("min_blocks")
+    rows = []
+    for kernel in available_kernels():
+        eng = SolverEngine(n, kernel=kernel)
+        best_count, best_blocks, order, root_cands, _ = eng._search_prologue(
+            None, "lex", obj, None
+        )
+        st = SolverStats()
+        start = time.perf_counter()
+        eng._covering_search(
+            root_cands=root_cands,
+            best_count=best_count,
+            best_blocks=best_blocks,
+            node_limit=DEFAULT_NODE_LIMIT,
+            st=st,
+            order=order,
+            objective=obj,
+        )
+        seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "kernel": kernel,
+                "n": n,
+                "nodes": st.nodes,
+                "seconds": seconds,
+                "nodes_per_sec": st.nodes / seconds if seconds > 0 else 0.0,
+            }
+        )
+    python_seconds = next(r["seconds"] for r in rows if r["kernel"] == "python")
+    for row in rows:
+        row["speedup_vs_python"] = (
+            python_seconds / row["seconds"] if row["seconds"] > 0 else 0.0
+        )
+    return rows
+
+
 def test_bench_solver_certification(benchmark, save_table, save_json):
     ns = _ns_from_env()
     result = benchmark.pedantic(
@@ -71,6 +128,17 @@ def test_bench_solver_certification(benchmark, save_table, save_json):
     )
     table = result.render()
     save_table("E10_solver", table)
+
+    # Kernel ablation on the largest even ring size in the sweep — the
+    # even sizes are the ones whose bound gap forces a real exhaustion
+    # proof, so they are where the vectorized kernel's throughput shows.
+    ablation_n = max((n for n in ns if n % 2 == 0), default=max(ns))
+    ablation = _kernel_ablation(ablation_n)
+    assert len({row["nodes"] for row in ablation}) == 1, (
+        "kernels disagree on node count — byte-identity is broken: "
+        f"{ablation}"
+    )
+
     save_json(
         "E10_solver",
         {
@@ -78,10 +146,17 @@ def test_bench_solver_certification(benchmark, save_table, save_json):
             "title": "exact solver certification of rho(n)",
             "n8_node_ceiling": N8_NODE_CEILING,
             "rows": result.rows,
+            "kernel_ablation": ablation,
         },
         mirror="BENCH_solver.json",
     )
     print("\n" + table)
+    for row in ablation:
+        print(
+            f"kernel={row['kernel']:<7} n={row['n']} nodes={row['nodes']} "
+            f"seconds={row['seconds']:.4f} nodes/s={row['nodes_per_sec']:,.0f} "
+            f"speedup={row['speedup_vs_python']:.2f}x"
+        )
 
     for row in result.rows:
         assert row["match"], f"solver disagrees with ρ({row['n']})"

@@ -120,6 +120,7 @@ from ..util.parallel import parallel_map, resolve_workers, weighted_chunks
 from .blocks import CycleBlock
 from .checkpoint import KIND_INSTANCE, KIND_KN, CappedMemo, SearchCheckpoint, memo_cap
 from .covering import Covering
+from .kernel import resolve_kernel
 from .ledger import CoverageLedger
 from .objective import Objective, resolve_objective
 
@@ -564,11 +565,16 @@ class SolverEngine:
     """Shared bitmask kernel behind every exact solver and the greedy
     baseline (see the module docstring for the architecture)."""
 
-    def __init__(self, n: int, *, max_size: int = 4):
+    def __init__(self, n: int, *, max_size: int = 4, kernel: str | None = None):
         if n < 3:
             raise SolverError(f"n ≥ 3 required, got {n}")
         self.n = n
         self.max_size = max_size
+        # "python" or "numpy" — resolved once per engine from the
+        # argument or REPRO_KERNEL (see repro.core.kernel).  The choice
+        # never enters results or checkpoints: both kernels produce
+        # byte-identical envelopes and kernel-agnostic checkpoints.
+        self.kernel = resolve_kernel(kernel)
 
     # -- shared state (memoized at module level, cheap to re-ask) -------
 
@@ -878,6 +884,27 @@ class SolverEngine:
         """
         n = self.n
         obj = resolve_objective(objective)
+        if self.kernel == "numpy":
+            from .kernel import numpy_covering_search
+
+            return numpy_covering_search(
+                self,
+                root_cands=root_cands,
+                best_count=best_count,
+                best_blocks=best_blocks,
+                node_limit=node_limit,
+                st=st,
+                order=order,
+                use_memo=use_memo,
+                deadline=deadline,
+                objective=obj,
+                allowed_sizes=allowed_sizes,
+                branching=branching,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                on_checkpoint=on_checkpoint,
+                preempt=preempt,
+            )
         space = self.space
         table = self._table("convex", allowed_sizes)
         dist = space.dist
@@ -1134,6 +1161,7 @@ class SolverEngine:
                 deadline,
                 obj.name,
                 allowed_sizes,
+                self.kernel,
             )
             for shard in shards
         ]
@@ -1308,6 +1336,17 @@ class SolverEngine:
         if symmetric:
             root_cands, _ = _orbit_representatives(n, blocks, per_bit[root_bit])
 
+        # The numpy kernel vectorizes candidate scoring only — the
+        # instance loop's mutable residual vector and ``decremented``
+        # bookkeeping stay in Python (they are serialization-ordered).
+        # argsort(kind="stable") over the same key keeps the scored
+        # lists, and therefore the node sequence, identical.
+        korder = None
+        if self.kernel == "numpy":
+            from .kernel import InstanceOrder
+
+            korder = InstanceOrder(n, self.max_size)
+
         memo = CappedMemo(memo_cap())
         best: list = [best_count, best_blocks]
         chosen: list[CycleBlock] = []
@@ -1353,6 +1392,8 @@ class SolverEngine:
             cands = per_bit[target]
             if used == 0 and root_cands is not None and target == root_bit:
                 cands = root_cands
+            if korder is not None:
+                return korder.order(cands, residual_counts)
             return sorted(
                 cands,
                 key=lambda i: -sum(
@@ -1734,20 +1775,21 @@ def solve_min_covering_instance(
 def _sharded_root_worker(
     payload: tuple[
         int, int, tuple[int, ...], int, int, str, float | None,
-        str, tuple[int, ...] | None,
+        str, tuple[int, ...] | None, str,
     ],
 ) -> tuple[int | None, list[tuple[int, ...]] | None, int]:
     """One shard of a root-orbit-partitioned certification: search the
     given root candidates only, starting from the broadcast incumbent
     value (exclusive threshold, objective units).  The objective
-    crosses the process boundary by registry name.  Returns a
-    strictly-better covering's vertex lists or ``None``, plus the
-    shard's node count."""
+    crosses the process boundary by registry name, the kernel by its
+    resolved name (a worker without numpy falls back to the reference
+    kernel — same proof either way).  Returns a strictly-better
+    covering's vertex lists or ``None``, plus the shard's node count."""
     (
         n, max_size, root_cands, best_count, node_limit, branching, deadline,
-        objective_name, allowed_sizes,
+        objective_name, allowed_sizes, kernel,
     ) = payload
-    engine = SolverEngine(n, max_size=max_size)
+    engine = SolverEngine(n, max_size=max_size, kernel=kernel)
     st = SolverStats()
     obj = resolve_objective(objective_name)
     table = engine._table("convex", allowed_sizes)
@@ -1769,11 +1811,11 @@ def _sharded_root_worker(
 
 
 def _solve_many_worker(
-    payload: tuple[int, int | None, int, int],
+    payload: tuple[int, int | None, int, int, str | None],
 ) -> tuple[Covering, SolverStats]:
-    n, upper_bound, max_size, node_limit = payload
+    n, upper_bound, max_size, node_limit, kernel = payload
     st = SolverStats()
-    cov = SolverEngine(n, max_size=max_size).min_covering(
+    cov = SolverEngine(n, max_size=max_size, kernel=kernel).min_covering(
         upper_bound=upper_bound, node_limit=node_limit, stats=st
     )
     return cov, st
@@ -1787,6 +1829,7 @@ def solve_many(
     node_limit: int = DEFAULT_NODE_LIMIT,
     workers: int | None = None,
     shard_threshold: int | None = None,
+    kernel: str | None = None,
 ) -> list[tuple[Covering, SolverStats]]:
     """Batched front door: certified min coverings for every ring size in
     ``ns``, fanned out over :func:`repro.util.parallel.parallel_map`.
@@ -1805,6 +1848,7 @@ def solve_many(
     orbits across all workers instead of occupying one.
     """
     ns = tuple(ns)
+    kern = resolve_kernel(kernel)
     if upper_bounds is None:
         ubs: tuple[int | None, ...] = (None,) * len(ns)
     else:
@@ -1814,16 +1858,18 @@ def solve_many(
                 f"upper_bounds has {len(ubs)} entries for {len(ns)} ring sizes"
             )
     results: dict[int, tuple[Covering, SolverStats]] = {}
-    batched: list[tuple[int, tuple[int, int | None, int, int]]] = []
+    batched: list[tuple[int, tuple[int, int | None, int, int, str]]] = []
     for pos, (n, ub) in enumerate(zip(ns, ubs)):
         if shard_threshold is not None and n >= shard_threshold:
             st = SolverStats()
-            cov = SolverEngine(n, max_size=max_size).min_covering_sharded(
+            cov = SolverEngine(
+                n, max_size=max_size, kernel=kern
+            ).min_covering_sharded(
                 workers=workers, upper_bound=ub, node_limit=node_limit, stats=st
             )
             results[pos] = (cov, st)
         else:
-            batched.append((pos, (n, ub, max_size, node_limit)))
+            batched.append((pos, (n, ub, max_size, node_limit, kern)))
     if batched:
         payloads = [payload for _, payload in batched]
         weights = [4.0 ** payload[0] for payload in payloads]

@@ -14,6 +14,7 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.core.construction import optimal_covering
+from repro.core.kernel import KERNEL_ENV, numpy_available
 from repro.wdm.design import design_ring_network
 
 settings.register_profile(
@@ -26,6 +27,18 @@ settings.register_profile(
 settings.register_profile("thorough", max_examples=300, deadline=None)
 if os.environ.get("HYPOTHESIS_PROFILE"):
     settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+
+
+@pytest.fixture(params=["python", "numpy"])
+def kernel(request, monkeypatch):
+    """Parametrize a test over both search kernels via ``REPRO_KERNEL``
+    (the numpy leg skips cleanly when numpy is not installed, which is
+    exactly the fallback environment the no-numpy CI job runs)."""
+    name = request.param
+    if name == "numpy" and not numpy_available():
+        pytest.skip("numpy not installed — python kernel is the fallback")
+    monkeypatch.setenv(KERNEL_ENV, name)
+    return name
 
 
 @pytest.fixture(scope="session")

@@ -60,8 +60,11 @@ ENGINE_NODE_CEILINGS = {
 
 
 class TestPruningRegression:
+    # The node-count tests take the ``kernel`` fixture: both kernels
+    # must reproduce the same counts (the numpy leg skips when numpy
+    # is absent — the pinned ceilings then certify the fallback path).
     @pytest.mark.parametrize("n", sorted(SEED_NODES))
-    def test_fewer_nodes_same_optimum(self, n):
+    def test_fewer_nodes_same_optimum(self, n, kernel):
         stats = SolverStats()
         cov = solve_min_covering(n, stats=stats)
         assert cov.num_blocks == rho(n)
@@ -81,14 +84,14 @@ class TestPruningRegression:
         assert stats.nodes * 10 < SEED_NODES[9]
 
     @pytest.mark.parametrize("n", sorted(ENGINE_NODE_CEILINGS))
-    def test_pinned_node_ceilings(self, n):
+    def test_pinned_node_ceilings(self, n, kernel):
         stats = SolverStats()
         cov = solve_min_covering(n, stats=stats)
         assert cov.num_blocks == rho(n)
         assert stats.proven_optimal
         assert stats.nodes <= ENGINE_NODE_CEILINGS[n], (
-            f"n={n}: node-count regression — {stats.nodes} > "
-            f"{ENGINE_NODE_CEILINGS[n]}"
+            f"n={n}: node-count regression under the {kernel} kernel — "
+            f"{stats.nodes} > {ENGINE_NODE_CEILINGS[n]}"
         )
 
     def test_all_small_n_certified(self):

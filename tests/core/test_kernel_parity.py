@@ -1,0 +1,399 @@
+"""Kernel-parity differential harness (:mod:`repro.core.kernel`).
+
+The numpy kernel is only allowed to exist because of this file: a
+vectorized rewrite of a *certifying* search is safe exactly when the
+fast path is bit-for-bit the same proof.  The properties pinned here:
+
+* python-vs-numpy kernels explore identical node sequences — equal
+  ``SolverStats``, equal coverings — over hypothesis-generated
+  ``CoverSpec``s (n, λ, random restricted demands, ``allowed_sizes``,
+  both objectives), and the API envelopes are *byte*-identical;
+* the numpy path satisfies the same pinned node ceilings as
+  ``tests/core/test_engine.py`` (``NUMPY_NODE_CEILINGS`` mirrors
+  ``ENGINE_NODE_CEILINGS`` — the counts are identical by contract, so
+  the constants are too);
+* node-limit raises are bit-exact across kernels: same ``st.nodes``
+  (exactly ``limit + 1``), same in-flight best, byte-identical
+  resumable checkpoint — bulk span accounting must clamp at the
+  boundary, not overshoot;
+* the vectorized ``Objective.node_bound_batch`` hooks agree
+  elementwise with the scalar ``node_bound`` for both built-ins;
+* kernel resolution: argument > ``REPRO_KERNEL`` > auto, unknown
+  names raise, and an unavailable numpy falls back to the reference
+  python kernel — which still certifies (the no-numpy CI job runs the
+  whole engine suite in that state).
+
+``HYPOTHESIS_PROFILE=ci`` derandomizes the fuzz (see
+``tests/conftest.py``), so a CI parity failure replays locally
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+import repro.core.kernel as kernel_mod
+from repro.api import CoverSpec, solve
+from repro.core.engine import (
+    N8_NODE_CEILING,
+    SolverEngine,
+    SolverStats,
+    solve_many,
+)
+from repro.core.formulas import rho
+from repro.core.objective import MinBlocksObjective, MinTotalSizeObjective
+from repro.core.kernel import (
+    KERNEL_ENV,
+    KERNELS,
+    NO_NUMPY_ENV,
+    available_kernels,
+    numpy_available,
+    resolve_kernel,
+)
+from repro.util import circular
+from repro.util.errors import SolverError, SolverPreempted
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy kernel not available"
+)
+
+# Mirrors ``tests/core/test_engine.py``'s ENGINE_NODE_CEILINGS: the
+# numpy kernel must reproduce the reference node counts exactly, so it
+# inherits the same pinned ceilings (n=8 is the shared ≥10× seed bar).
+NUMPY_NODE_CEILINGS = {
+    4: 16,
+    5: 4,
+    6: 64,
+    7: 4,
+    8: N8_NODE_CEILING,
+    9: 4,
+    10: 140_000,
+    11: 600,
+}
+
+
+@contextmanager
+def _kernel_env(name: str):
+    """Pin ``REPRO_KERNEL`` for one API-level solve (hypothesis tests
+    cannot take the function-scoped ``kernel`` fixture)."""
+    old = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = name
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = old
+
+
+def _solve_spec(spec: CoverSpec, kernel: str):
+    with _kernel_env(kernel):
+        return solve(spec, cache=None)
+
+
+def _engine_run(kernel: str, n: int, **kwargs):
+    stats = SolverStats()
+    cov = SolverEngine(n, kernel=kernel).min_covering(stats=stats, **kwargs)
+    return stats, cov
+
+
+def _fingerprint(stats: SolverStats, cov) -> tuple:
+    return (
+        stats.nodes,
+        stats.best_value,
+        stats.proven_optimal,
+        tuple(blk.vertices for blk in cov.blocks),
+    )
+
+
+# λ → largest ring the exact instance solver certifies fast enough for
+# a property suite (same calibration as tests/test_differential.py).
+_MAX_N = {1: 9, 2: 9, 3: 7}
+
+
+def _uniform_specs() -> hst.SearchStrategy[CoverSpec]:
+    return hst.sampled_from([1, 2, 3]).flatmap(
+        lambda lam: hst.tuples(
+            hst.integers(4, _MAX_N[lam]),
+            hst.sampled_from(["min_blocks", "min_total_size"]),
+        ).map(
+            lambda t: CoverSpec.for_ring(
+                t[0], lam=lam, backend="exact", objective=t[1], use_hints=False
+            )
+        )
+    )
+
+
+@hst.composite
+def _restricted_specs(draw) -> CoverSpec:
+    """Random restricted demand (subset of chords, multiplicities
+    {1, 2}), random objective, sometimes size-restricted."""
+    n = draw(hst.integers(5, 9))
+    all_chords = sorted(
+        {circular.chord(a, b) for a in range(n) for b in range(n) if a != b}
+    )
+    chords = draw(
+        hst.lists(hst.sampled_from(all_chords), min_size=1, max_size=6, unique=True)
+    )
+    mults = draw(
+        hst.lists(hst.integers(1, 2), min_size=len(chords), max_size=len(chords))
+    )
+    objective = draw(hst.sampled_from(["min_blocks", "min_total_size"]))
+    allowed = draw(hst.sampled_from([None, (3, 4)]))
+    payload = {
+        "n": n,
+        "demand": tuple((a, b, m) for (a, b), m in zip(chords, mults)),
+        "backend": "exact",
+        "objective": objective,
+    }
+    if allowed is not None:
+        payload["allowed_sizes"] = allowed
+    return CoverSpec(**payload)
+
+
+class TestKernelResolution:
+    def test_registry(self):
+        assert KERNELS == ("python", "numpy")
+        assert "python" in available_kernels()
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "numpy")
+        assert resolve_kernel("python") == "python"
+        assert SolverEngine(6, kernel="python").kernel == "python"
+
+    def test_environment_beats_auto(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "python")
+        assert resolve_kernel() == "python"
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_kernel() == expected
+        assert resolve_kernel("auto") == expected
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SolverError, match="unknown kernel"):
+            resolve_kernel("fortran")
+        with pytest.raises(SolverError, match="unknown kernel"):
+            SolverEngine(6, kernel="fortran")
+
+    def test_numpy_request_falls_back_without_numpy(self, monkeypatch):
+        """An explicit ``numpy`` request in a numpy-less environment
+        silently lands on the reference kernel — and that fallback
+        engine still certifies (what the no-numpy CI job pins at
+        scale)."""
+        monkeypatch.setattr(kernel_mod, "_numpy_module", None)
+        assert not numpy_available()
+        assert available_kernels() == ("python",)
+        assert resolve_kernel("numpy") == "python"
+        assert resolve_kernel("auto") == "python"
+        engine = SolverEngine(6, kernel="numpy")
+        assert engine.kernel == "python"
+        assert engine.min_covering().num_blocks == rho(6)
+
+    def test_no_numpy_env_forces_fallback(self, monkeypatch):
+        """``REPRO_NO_NUMPY`` makes the probe report numpy as absent —
+        the hook CI's kernel-fallback job uses to exercise the
+        fallback without uninstalling numpy from the whole package."""
+        monkeypatch.setenv(NO_NUMPY_ENV, "1")
+        assert not numpy_available()
+        assert available_kernels() == ("python",)
+        assert resolve_kernel("numpy") == "python"
+        monkeypatch.setenv(KERNEL_ENV, "numpy")
+        engine = SolverEngine(6)
+        assert engine.kernel == "python"
+        assert engine.min_covering().num_blocks == rho(6)
+
+
+@requires_numpy
+class TestEnvelopeParity:
+    """Byte-identical API envelopes and equal node counts, fuzzed."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=_uniform_specs())
+    def test_uniform_specs_byte_identical(self, spec: CoverSpec):
+        py = _solve_spec(spec, "python")
+        np_ = _solve_spec(spec, "numpy")
+        assert py.stats.nodes == np_.stats.nodes
+        assert py.to_json() == np_.to_json()
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=_restricted_specs())
+    def test_restricted_specs_byte_identical(self, spec: CoverSpec):
+        py = _solve_spec(spec, "python")
+        np_ = _solve_spec(spec, "numpy")
+        assert py.stats.nodes == np_.stats.nodes
+        assert py.to_json() == np_.to_json()
+
+    def test_sharded_backend_byte_identical(self):
+        spec = CoverSpec.for_ring(
+            8, backend="exact_sharded", use_hints=False, workers=2
+        )
+        py = _solve_spec(spec, "python")
+        np_ = _solve_spec(spec, "numpy")
+        assert py.stats.nodes == np_.stats.nodes
+        assert py.to_json() == np_.to_json()
+
+
+@requires_numpy
+class TestEngineParity:
+    """Engine-level twins: equal stats and coverings knob-by-knob."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=hst.integers(4, 9),
+        objective=hst.sampled_from(["min_blocks", "min_total_size"]),
+        use_memo=hst.booleans(),
+        branching=hst.sampled_from(["lex", "scarcest"]),
+    )
+    def test_knobbed_search_parity(self, n, objective, use_memo, branching):
+        runs = {
+            k: _engine_run(
+                k, n, objective=objective, use_memo=use_memo, branching=branching
+            )
+            for k in ("python", "numpy")
+        }
+        assert _fingerprint(*runs["python"]) == _fingerprint(*runs["numpy"])
+
+    def test_restricted_sizes_parity(self):
+        for sizes in ((3, 4), (4,)):
+            runs = {
+                k: _engine_run(k, 8, allowed_sizes=sizes)
+                for k in ("python", "numpy")
+            }
+            assert _fingerprint(*runs["python"]) == _fingerprint(*runs["numpy"])
+
+    def test_solve_many_kernel_parity(self):
+        py = solve_many(range(4, 9), kernel="python")
+        np_ = solve_many(range(4, 9), kernel="numpy")
+        assert [
+            (st.nodes, tuple(blk.vertices for blk in cov.blocks))
+            for cov, st in py
+        ] == [
+            (st.nodes, tuple(blk.vertices for blk in cov.blocks))
+            for cov, st in np_
+        ]
+
+    @pytest.mark.parametrize("n", sorted(NUMPY_NODE_CEILINGS))
+    def test_numpy_pinned_node_ceilings_and_count_equality(self, n):
+        py_stats, py_cov = _engine_run("python", n)
+        np_stats, np_cov = _engine_run("numpy", n)
+        assert np_cov.num_blocks == rho(n)
+        assert np_stats.nodes == py_stats.nodes
+        assert np_stats.nodes <= NUMPY_NODE_CEILINGS[n], (
+            f"n={n}: numpy-kernel node-count regression — "
+            f"{np_stats.nodes} > {NUMPY_NODE_CEILINGS[n]}"
+        )
+
+
+@requires_numpy
+class TestRaiseParity:
+    """Interrupted searches: raises carry bit-identical state."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(limit=hst.integers(32, 3400))
+    def test_node_limit_raise_bit_identical(self, limit):
+        states = {}
+        for k in ("python", "numpy"):
+            stats = SolverStats()
+            with pytest.raises(SolverError) as exc:
+                SolverEngine(8, kernel=k).min_covering(
+                    stats=stats, node_limit=limit
+                )
+            err = exc.value
+            states[k] = (
+                stats.nodes,
+                err.best_value,
+                err.checkpoint.to_json(),
+            )
+        assert states["python"] == states["numpy"]
+        assert states["python"][0] == limit + 1  # exact, not overshot
+
+    def test_deadline_raise_resumes_to_identical_envelope(self):
+        base_stats, base_cov = _engine_run("python", 8)
+        for k1, k2 in (("python", "numpy"), ("numpy", "python")):
+            stats = SolverStats()
+            with pytest.raises(SolverPreempted) as exc:
+                SolverEngine(8, kernel=k1).min_covering(stats=stats, deadline=0.0)
+            cov = SolverEngine(8, kernel=k2).min_covering(
+                stats=stats, checkpoint=exc.value.checkpoint
+            )
+            assert _fingerprint(stats, cov) == _fingerprint(base_stats, base_cov)
+
+
+@requires_numpy
+class TestObjectiveBatchHook:
+    """``node_bound_batch`` must agree elementwise with ``node_bound``."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=hst.lists(
+            hst.tuples(
+                hst.integers(0, 400),  # frac_units
+                hst.integers(0, 45),  # residual_requests
+                hst.integers(0, 12),  # odd_vertices
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        frac_denom=hst.integers(1, 6),
+        max_cover=hst.integers(3, 4),
+        min_cost=hst.integers(1, 4),
+    )
+    def test_builtins_match_scalar_hook(self, rows, frac_denom, max_cover, min_cost):
+        import numpy as np
+
+        frac_units = np.asarray([r[0] for r in rows], dtype=np.int64)
+        resid = np.asarray([r[1] for r in rows], dtype=np.int64)
+        odd = np.asarray([r[2] for r in rows], dtype=np.int64)
+        for obj in (MinBlocksObjective(), MinTotalSizeObjective()):
+            batch = obj.node_bound_batch(
+                frac_units=frac_units,
+                frac_denom=frac_denom,
+                residual_requests=resid,
+                max_cover=max_cover,
+                min_cost=min_cost,
+                odd_vertices=odd,
+            )
+            scalar = [
+                obj.node_bound(
+                    frac_units=int(w),
+                    frac_denom=frac_denom,
+                    residual_requests=int(r),
+                    max_cover=max_cover,
+                    min_cost=min_cost,
+                    odd_vertices=int(o),
+                )
+                for w, r, o in rows
+            ]
+            assert [int(v) for v in batch] == scalar
+
+    def test_scalar_zero_odd_matches_zero_array(self):
+        import numpy as np
+
+        obj = MinBlocksObjective()
+        frac_units = np.arange(10, dtype=np.int64)
+        resid = np.arange(10, dtype=np.int64)
+        via_scalar = obj.node_bound_batch(
+            frac_units=frac_units,
+            frac_denom=3,
+            residual_requests=resid,
+            max_cover=4,
+            min_cost=1,
+            odd_vertices=0,
+        )
+        via_array = obj.node_bound_batch(
+            frac_units=frac_units,
+            frac_denom=3,
+            residual_requests=resid,
+            max_cover=4,
+            min_cost=1,
+            odd_vertices=np.zeros(10, dtype=np.int64),
+        )
+        assert [int(v) for v in via_scalar] == [int(v) for v in via_array]
