@@ -30,6 +30,13 @@ wall-clock speedup over the pure-Python reference.  Byte-identity
 (see :mod:`repro.core.kernel`) means the node counts must agree
 exactly — the rows are a pure throughput comparison.
 
+A ``backend_ablation`` block sits alongside it: the shared small even
+rings certified twice over — once by ``exact`` branch-and-bound
+exhaustion, once by the ``sat`` tier's downward cardinality walk —
+with wall-clock and each regime's native effort metric (B&B nodes vs
+CDCL conflicts/decisions).  The optima are asserted equal; the block
+is a cost comparison between independent proofs.
+
 ``REPRO_BENCH_NS`` (comma-separated ring sizes) restricts the sweep —
 CI's smoke job sets ``4,5,6,7,8``.  The sweep itself goes through
 ``api.solve_batch``'s dispatcher (``repro.dispatch``);
@@ -118,6 +125,41 @@ def _kernel_ablation(n: int) -> list[dict]:
     return rows
 
 
+def _backend_ablation(ns: tuple[int, ...]) -> list[dict]:
+    """Prove the same ρ(n) optima under the ``exact`` branch-and-bound
+    and the ``sat`` certification tier, hints off, and report each
+    regime's native effort metric side by side: B&B nodes vs CDCL
+    conflicts/decisions.  The optima must agree — the ablation is a
+    cost comparison between two independent proofs, not a tolerance
+    band."""
+    from repro.api import CoverSpec, solve
+    from repro.sat.engines import resolve_engine
+
+    rows = []
+    for n in ns:
+        row: dict = {"n": n, "engine": resolve_engine()}
+        for backend in ("exact", "sat"):
+            spec = CoverSpec.for_ring(n, backend=backend, use_hints=False)
+            start = time.perf_counter()
+            res = solve(spec, cache=None)
+            seconds = time.perf_counter() - start
+            assert res.status == "proven_optimal", (backend, n, res.status)
+            row[f"{backend}_seconds"] = seconds
+            row[f"{backend}_optimum"] = res.stats.best_value
+            if backend == "exact":
+                row["exact_nodes"] = res.stats.nodes
+            else:
+                cert = res.sat_certificate
+                row["sat_conflicts"] = cert["conflicts"]
+                row["sat_decisions"] = cert["decisions"]
+        assert row["exact_optimum"] == row["sat_optimum"], (
+            f"n={n}: exact and sat disagree on the optimum — "
+            f"{row['exact_optimum']} vs {row['sat_optimum']}"
+        )
+        rows.append(row)
+    return rows
+
+
 def test_bench_solver_certification(benchmark, save_table, save_json):
     ns = _ns_from_env()
     result = benchmark.pedantic(
@@ -139,6 +181,12 @@ def test_bench_solver_certification(benchmark, save_table, save_json):
         f"{ablation}"
     )
 
+    # Backend ablation: the same optima certified twice over the shared
+    # small-even rings — B&B exhaustion vs SAT walk — comparing each
+    # tier's native effort metric (nodes vs conflicts/decisions).
+    backend_ns = tuple(n for n in ns if n in (6, 7, 8))
+    backend_rows = _backend_ablation(backend_ns) if backend_ns else []
+
     save_json(
         "E10_solver",
         {
@@ -147,6 +195,7 @@ def test_bench_solver_certification(benchmark, save_table, save_json):
             "n8_node_ceiling": N8_NODE_CEILING,
             "rows": result.rows,
             "kernel_ablation": ablation,
+            "backend_ablation": backend_rows,
         },
         mirror="BENCH_solver.json",
     )
@@ -156,6 +205,13 @@ def test_bench_solver_certification(benchmark, save_table, save_json):
             f"kernel={row['kernel']:<7} n={row['n']} nodes={row['nodes']} "
             f"seconds={row['seconds']:.4f} nodes/s={row['nodes_per_sec']:,.0f} "
             f"speedup={row['speedup_vs_python']:.2f}x"
+        )
+    for row in backend_rows:
+        print(
+            f"backend-ablation n={row['n']} optimum={row['exact_optimum']} "
+            f"exact={row['exact_seconds']:.3f}s/{row['exact_nodes']} nodes "
+            f"sat[{row['engine']}]={row['sat_seconds']:.3f}s/"
+            f"{row['sat_conflicts']} conflicts/{row['sat_decisions']} decisions"
         )
 
     for row in result.rows:

@@ -23,6 +23,15 @@ setup(
     packages=find_packages(where="src"),
     package_data={"repro": ["py.typed"]},
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
-    extras_require={"dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"]},
+    extras_require={
+        "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],
+        # Optional accelerators.  Both are probed at runtime and both
+        # have dependency-free fallbacks, so neither is a hard install
+        # requirement: the vectorized search kernel degrades to the
+        # pure-Python reference (REPRO_KERNEL), and the SAT backend's
+        # pysat engine degrades to the bundled CDCL (REPRO_SAT).
+        "sat": ["python-sat>=0.1.7"],
+        "all": ["python-sat>=0.1.7"],
+    },
     license="MIT",
 )

@@ -12,6 +12,8 @@ Subcommands::
     python -m repro sweep --ns 4..11 --transport subprocess --workers 2
     python -m repro sweep --ns 4..8 --objective min_total_size --json
     python -m repro objectives                    # objective × backend matrix
+    python -m repro backends                      # backend capability matrix
+    python -m repro solve --n 12 --backend sat --no-hints  # SAT certification
     python -m repro worker                        # serve dispatcher jobs (stdio)
     python -m repro worker --spool DIR            # serve a shared spool dir
     python -m repro serve --port 8323             # HTTP solver service (repro.serve)
@@ -72,7 +74,9 @@ from collections.abc import Callable
 
 from .analysis import experiments as X
 
-_SUBCOMMANDS = ("solve", "sweep", "objectives", "worker", "serve", "experiments", "rho")
+_SUBCOMMANDS = (
+    "solve", "sweep", "objectives", "backends", "worker", "serve", "experiments", "rho"
+)
 
 # E10's default range tracks the certified sweep (ρ(n) proven through
 # n = 11 — BENCH_solver.json); the time budget gates the tail so a
@@ -482,6 +486,74 @@ def _cmd_objectives(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_backends(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro backends",
+        description=(
+            "List registered backends: the objectives each accepts (probed "
+            "on uniform K_n jobs), the result status it emits, its "
+            "optimality certificate, and engine/size notes."
+        ),
+    )
+    parser.parse_args(argv)
+    from .api import CoverSpec, available_backends, get_backend
+    from .api.backends import EXACT_INSTANCE_MAX_N, EXACT_KN_MAX_N
+    from .core.objective import available_objectives
+    from .sat import SAT_MAX_N, available_engines, resolve_engine
+    from .util.tables import Table
+
+    notes = {
+        "closed_form": "Theorem 1/2 constructions; O(n²), any n",
+        "exact": (
+            f"branch-and-bound; K_n n ≤ {EXACT_KN_MAX_N}, "
+            f"instances n ≤ {EXACT_INSTANCE_MAX_N}"
+        ),
+        "exact_sharded": f"root-orbit sharded B&B; uniform K_n n ≤ {EXACT_KN_MAX_N}",
+        "heuristic": "greedy + local search; any n, never certified",
+        "sat": (
+            f"cardinality-SAT walk; n ≤ {SAT_MAX_N}, REPRO_SAT="
+            f"{resolve_engine()} (runnable: {','.join(available_engines())})"
+        ),
+    }
+    status = {
+        "closed_form": "closed_form",
+        "exact": "proven_optimal",
+        "exact_sharded": "proven_optimal",
+        "heuristic": "feasible",
+        "sat": "proven_optimal",
+    }
+    certificate = {
+        "closed_form": "formula lower bounds",
+        "exact": "branch_and_bound_exhaustive",
+        "exact_sharded": "branch_and_bound_exhaustive",
+        "heuristic": "(none)",
+        "sat": "sat_unsat_core (replayable)",
+    }
+    table = Table(
+        "Backends (repro.api registry)",
+        ["backend", "objectives", "status", "certificate", "notes"],
+    )
+    for name in available_backends():
+        backend = get_backend(name)
+        objectives = [
+            obj
+            for obj in available_objectives()
+            if any(
+                backend.supports(CoverSpec.for_ring(n, objective=obj))
+                for n in (9, 8)
+            )
+        ]
+        table.add_row(
+            name,
+            ",".join(objectives) or "(probe-dependent)",
+            status.get(name, "?"),
+            certificate.get(name, "?"),
+            notes.get(name, ""),
+        )
+    print(table.render())
+    return 0
+
+
 def _cmd_worker(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro worker",
@@ -729,6 +801,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(rest)
         if command == "objectives":
             return _cmd_objectives(rest)
+        if command == "backends":
+            return _cmd_backends(rest)
         if command == "worker":
             return _cmd_worker(rest)
         if command == "serve":

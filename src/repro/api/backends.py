@@ -497,3 +497,10 @@ register_backend(ClosedFormBackend())
 register_backend(ExactBackend())
 register_backend(ExactShardedBackend())
 register_backend(HeuristicBackend())
+
+# The SAT certification backend lives in its own subsystem
+# (:mod:`repro.sat`); imported after every definition above so its
+# module can import this one's helpers without a cycle.
+from ..sat.backend import SatBackend  # noqa: E402
+
+register_backend(SatBackend())

@@ -54,7 +54,10 @@ RESULT_SCHEMA_MAJOR = 1
 # cached results and the BENCH goldens survive the bump; envelopes for
 # the new objective axis stamp minor 1 and carry their value.  Readers
 # accept both (minor revisions add optional fields only).
-_RESULT_SCHEMA_MINOR = 1
+# Minor 2 added the optional ``sat_certificate`` field: only envelopes
+# produced by the ``sat`` backend carry it (and the minor-2 stamp), so
+# every other backend's envelope stays byte-identical.
+_RESULT_SCHEMA_MINOR = 2
 
 STATUSES = ("proven_optimal", "closed_form", "feasible")
 
@@ -88,6 +91,12 @@ class Result:
     # for legacy-shaped min_blocks jobs (whose envelopes must stay
     # byte-identical to the pre-objective schema).
     objective_value: int | None = None
+    # The SAT backend's replayable optimality certificate: the UNSAT
+    # assumption core at ``optimum − 1`` plus the encoding provenance
+    # (CNF SHA-256, engine, per-k statistics) an auditor needs to
+    # rebuild the CNF and re-refute the core.  ``None`` for every other
+    # backend — the key is then absent from the serialized envelope.
+    sat_certificate: dict[str, Any] | None = None
     from_cache: bool = field(default=False, compare=False)
     # Stamped at first serialisation and round-tripped verbatim after
     # that, so a cache hit keeps the *producing* library's version (and
@@ -152,7 +161,12 @@ class Result:
     def to_payload(self) -> dict[str, Any]:
         from ..io import covering_to_payload, schema_version_field
 
-        minor = _RESULT_SCHEMA_MINOR if _extended_spec(self.spec) else 0
+        if self.sat_certificate is not None:
+            minor = _RESULT_SCHEMA_MINOR
+        elif _extended_spec(self.spec):
+            minor = 1
+        else:
+            minor = 0
         payload = {
             "format": RESULT_FORMAT,
             "version": schema_version_field(RESULT_SCHEMA_MAJOR, minor),
@@ -173,6 +187,8 @@ class Result:
         }
         if _extended_spec(self.spec):
             payload["objective_value"] = self.objective_value
+        if self.sat_certificate is not None:
+            payload["sat_certificate"] = self.sat_certificate
         return payload
 
     def _provenance(self) -> dict[str, Any]:
@@ -262,6 +278,9 @@ class Result:
         provenance = payload.get("provenance")
         if provenance is not None and not isinstance(provenance, dict):
             raise SpecError(f"malformed provenance payload: {provenance!r}")
+        sat_certificate = payload.get("sat_certificate")
+        if sat_certificate is not None and not isinstance(sat_certificate, dict):
+            raise SpecError(f"malformed sat_certificate payload: {sat_certificate!r}")
         return cls(
             spec=spec,
             covering=covering,
@@ -271,6 +290,7 @@ class Result:
             lower_bound=payload.get("lower_bound"),
             certificates=tuple(certificates),
             objective_value=payload.get("objective_value"),
+            sat_certificate=sat_certificate,
             provenance=provenance,
         )
 

@@ -14,8 +14,11 @@ in order:
    when the spec's shard policy says the ring is big enough to scale
    out (uniform ``K_n`` only — that is where the shard seam lives),
    else serial ``exact``;
-5. a job no exact tier can take (beyond the size ceilings) fails with
-   a :class:`RoutingError` naming the way out (``require_optimal=False``).
+5. past the branch-and-bound size ceilings the ``sat`` tier takes over
+   (``min_blocks`` only): the same ``proven_optimal`` guarantee from a
+   cardinality-SAT UNSAT core instead of exhaustion;
+6. a job no certifying tier can take fails with a
+   :class:`RoutingError` naming the way out (``require_optimal=False``).
 
 Warm-start hints thread between tiers inside the backends (see
 :func:`repro.api.backends.warm_start_bound`): the router's choice of an
@@ -71,11 +74,17 @@ def route_backend(spec: CoverSpec) -> str:
     if get_backend("exact").supports(spec):
         return "exact"
 
+    # Beyond the B&B ceilings the SAT certification tier takes over:
+    # same proven_optimal guarantee by a different argument (UNSAT-core
+    # lower bounds over the block-table CNF).
+    if get_backend("sat").supports(spec):
+        return "sat"
+
     raise RoutingError(
         f"no backend can certify this spec (n={spec.n}, λ={spec.lam}, "
         f"uniform={spec.is_all_to_all}; registered: "
-        f"{', '.join(available_backends())}) — the exact tiers are "
-        "size-limited; pass require_optimal=False for the heuristic tier"
+        f"{', '.join(available_backends())}) — the exact and sat tiers "
+        "are size-limited; pass require_optimal=False for the heuristic tier"
     )
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "DEFAULT_MEMO_CAP",
     "KIND_INSTANCE",
     "KIND_KN",
+    "KIND_SAT",
     "MEMO_CAP_ENV",
     "SearchCheckpoint",
     "memo_cap",
@@ -48,10 +49,13 @@ __all__ = [
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
 CHECKPOINT_SCHEMA_MAJOR = 1
-_CHECKPOINT_SCHEMA_MINOR = 0
+# Minor 1 added the ``sat`` kind: the SAT certification backend's walk
+# state (no frames/memo — its resumable unit is the per-k boundary).
+_CHECKPOINT_SCHEMA_MINOR = 1
 
 KIND_KN = "kn"
 KIND_INSTANCE = "instance"
+KIND_SAT = "sat"
 
 MEMO_CAP_ENV = "REPRO_MEMO_CAP"
 DEFAULT_MEMO_CAP = 2_000_000
@@ -145,7 +149,14 @@ class SearchCheckpoint:
     * ``instance`` frames are ``[used_cost, remaining_requests, W,
       odd_mask, scored_candidates, cursor, decremented_bits]`` and the
       snapshot additionally carries the mutable ``residual_counts``
-      vector plus a ``demand`` fingerprint validated on resume.
+      vector plus a ``demand`` fingerprint validated on resume;
+    * ``sat`` checkpoints carry no frames or memo at all — the SAT
+      backend's resumable unit is the boundary between ``k`` steps of
+      its downward cardinality walk, and everything it needs (the
+      engine name, ``k_start``, the next ``k``, per-``k`` statistics)
+      lives in the ``sat_state`` dict.  Each ``k`` step runs on a
+      fresh solver, so a resume reproduces the identical per-``k``
+      statistics and final envelope.
 
     The chosen-block path is *not* stored: frame ``k``'s active child
     is always ``scored[cursor - 1]``, so the path is reconstructed from
@@ -170,6 +181,7 @@ class SearchCheckpoint:
     allowed_sizes: tuple[int, ...] | None = None
     residual_counts: list[int] | None = None  # instance only
     demand: list[list[int]] | None = None  # instance fingerprint [[a, b, m], ...]
+    sat_state: dict[str, Any] | None = None  # sat only (walk progress)
     resumes: int = 0
 
     # -- serialization ---------------------------------------------------
@@ -202,7 +214,10 @@ class SearchCheckpoint:
             "frames": _frames_payload(self.kind, self.frames),
             "resumes": self.resumes,
         }
-        if self.kind == KIND_KN:
+        if self.kind == KIND_SAT:
+            payload["memo"] = []
+            payload["sat_state"] = self.sat_state
+        elif self.kind == KIND_KN:
             payload["memo"] = [[hex(key), used] for key, used in self.memo]
         else:
             payload["memo"] = [[list(key), used] for key, used in self.memo]
@@ -228,10 +243,20 @@ class SearchCheckpoint:
         except InvalidCoveringError as exc:
             raise SolverError(f"bad checkpoint payload: {exc}") from None
         kind = payload.get("kind")
-        if kind not in (KIND_KN, KIND_INSTANCE):
+        if kind not in (KIND_KN, KIND_INSTANCE, KIND_SAT):
             raise SolverError(f"bad checkpoint payload: unknown kind {kind!r}")
         try:
-            if kind == KIND_KN:
+            sat_state = None
+            if kind == KIND_SAT:
+                memo = []
+                residual_counts = None
+                demand = None
+                sat_state = payload.get("sat_state")
+                if not isinstance(sat_state, dict):
+                    raise SolverError(
+                        "bad checkpoint payload: sat checkpoint without sat_state"
+                    )
+            elif kind == KIND_KN:
                 memo = [(int(key, 16), int(used)) for key, used in payload["memo"]]
                 residual_counts = None
                 demand = None
@@ -278,6 +303,7 @@ class SearchCheckpoint:
                 memo=memo,
                 residual_counts=residual_counts,
                 demand=demand,
+                sat_state=sat_state,
                 resumes=int(payload.get("resumes", 0)),
             )
         except (KeyError, TypeError, ValueError) as exc:

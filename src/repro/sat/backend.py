@@ -1,0 +1,412 @@
+"""The ``sat`` backend: incremental cardinality-SAT certification.
+
+The exact branch-and-bound tiers stall on even ``n``'s counting/packing
+gap — at ``n = 12`` the ``K_n`` proof preempts at 184k nodes with no
+end in sight.  This backend certifies the same optima by a different
+argument entirely: encode min-covering over the memoized block table as
+CNF (:mod:`repro.sat.cnf`), attach an incremental cardinality layer
+plus the counting-budget strengthening (:mod:`repro.sat.card`), and
+walk ``k`` downward from the greedy/improver incumbent —
+
+* SAT under the "≤ k" assumption → a verified covering of ``k`` blocks
+  becomes the new incumbent, ``k`` drops to one below it;
+* UNSAT → the assumption core *is* the lower-bound certificate: the
+  single reusable "≤ k" literal whose refutation proves no covering of
+  ``k`` blocks exists, so the incumbent is optimal.
+
+The envelope's ``sat_certificate`` records the core, the engine, the
+encoding provenance (CNF SHA-256, ``k_start``, symmetry clause), and
+per-``k`` statistics; :func:`replay_unsat_core` rebuilds the encoding
+from the spec alone, checks the SHA, and re-refutes the recorded core
+with the dependency-free internal CDCL — the audit step CI runs.
+
+Each ``k`` step runs on a **fresh** solver instance over the same
+recorded clause list, so per-``k`` statistics are independent of walk
+history: a run preempted at any ``k`` boundary and resumed later (even
+under the other engine is *refused* — engines may count conflicts
+differently) finishes with the byte-identical envelope, pinned by the
+differential suite.  Deadlines, dispatcher preemption, and the node
+limit (mapped to cumulative conflicts) poll every 512 conflicts via the
+internal engine's tick hook; the pysat fast path polls between ``k``
+steps only.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..api.backends import (
+    _deadline_of,
+    _node_limit_of,
+    _objective_of,
+    warm_start_bound,
+)
+from ..api.checkpoints import CheckpointStore
+from ..api.result import Result
+from ..api.spec import CoverSpec, SpecError
+from ..core.checkpoint import KIND_SAT, SearchCheckpoint
+from ..core.covering import Covering
+from ..core.engine import SolverEngine, SolverStats
+from ..core.verify import assert_valid_covering
+from ..util.errors import SolverError, SolverPreempted
+from .cnf import CoveringEncoding, attach_walk_layers, build_covering_cnf
+from .engines import load_encoding, new_solver, resolve_engine
+
+__all__ = ["SatBackend", "SAT_MAX_N", "replay_unsat_core"]
+
+#: The encoding stays tractable while the block table does: past this
+#: the table itself (C(n+1, 4) blocks) dwarfs the budget strengthening.
+SAT_MAX_N = 16
+
+_TICK_EVERY = 512
+
+
+class _Abort(Exception):
+    """Internal signal: a tick hook saw a deadline/preempt/limit."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+
+
+class SatBackend:
+    """Downward cardinality walk over the CNF encoding, per-``k``
+    checkpoints, replayable UNSAT-core optimality certificates."""
+
+    name = "sat"
+
+    def supports(self, spec: CoverSpec) -> bool:
+        # Block-count objective only: the cardinality layer counts
+        # selectors, not slots.  Size restrictions and λ > 1 both fold
+        # into the encoding.
+        return spec.objective == "min_blocks" and 3 <= spec.n <= SAT_MAX_N
+
+    def run(
+        self,
+        spec: CoverSpec,
+        *,
+        checkpoints=None,
+        checkpoint_every: int | None = None,
+        preempt=None,
+    ) -> Result:
+        if not self.supports(spec):
+            raise SpecError(
+                "sat backend certifies min_blocks specs with "
+                f"3 ≤ n ≤ {SAT_MAX_N} only"
+            )
+        engine = resolve_engine()
+        deadline = _deadline_of(spec)
+        node_limit = _node_limit_of(spec)
+        store = CheckpointStore.open(checkpoints)
+        resume = store.load(spec.spec_hash) if store is not None else None
+
+        incumbent = self._incumbent_blocks(spec)
+        k_start = len(incumbent) - 1
+        best_blocks: list[tuple[int, ...]] = incumbent
+        k_next = k_start
+        per_k: list[list] = []
+        done_conflicts = 0
+        done_decisions = 0
+        done_propagations = 0
+        resumes = 0
+        if resume is not None:
+            resume.check_compatible(
+                kind=KIND_SAT,
+                n=spec.n,
+                max_size=spec.max_size,
+                objective=spec.objective,
+                allowed_sizes=spec.allowed_sizes,
+            )
+            state = resume.sat_state or {}
+            if state.get("engine") != engine:
+                raise SolverError(
+                    f"sat checkpoint was taken under engine "
+                    f"{state.get('engine')!r} but this process resolved "
+                    f"{engine!r} — per-k statistics are engine-specific, "
+                    "re-run under the recorded engine or drop the checkpoint"
+                )
+            k_start = int(state["k_start"])
+            k_next = int(state["k_next"])
+            per_k = [list(row) for row in state.get("per_k", [])]
+            done_conflicts = int(state.get("conflicts", 0))
+            done_decisions = int(state.get("decisions", 0))
+            done_propagations = int(state.get("propagations", 0))
+            resumes = resume.resumes
+            if resume.best_blocks is not None:
+                best_blocks = [tuple(vs) for vs in resume.best_blocks]
+
+        enc = build_covering_cnf(spec)
+        attach_walk_layers(enc, k_start)
+
+        def capture() -> SearchCheckpoint:
+            return SearchCheckpoint(
+                kind=KIND_SAT,
+                n=spec.n,
+                max_size=spec.max_size,
+                objective=spec.objective,
+                nodes=done_conflicts,
+                best_value=len(best_blocks),
+                best_blocks=tuple(tuple(v) for v in best_blocks),
+                frames=[],
+                memo=[],
+                allowed_sizes=spec.allowed_sizes,
+                sat_state={
+                    "engine": engine,
+                    "k_start": k_start,
+                    "k_next": k_next,
+                    "per_k": [list(row) for row in per_k],
+                    "conflicts": done_conflicts,
+                    "decisions": done_decisions,
+                    "propagations": done_propagations,
+                },
+                resumes=resumes,
+            )
+
+        def flush() -> None:
+            if store is not None:
+                store.save(spec.spec_hash, capture())
+
+        def raise_interrupt(kind: str, extra_conflicts: int) -> None:
+            # The aborted k step's partial statistics are *discarded*:
+            # resume re-runs that k on a fresh solver, reproducing the
+            # uninterrupted run's per-k numbers exactly.
+            stats = SolverStats(
+                nodes=done_conflicts + extra_conflicts,
+                best_value=len(best_blocks),
+                proven_optimal=False,
+            )
+            flush()
+            ckpt = capture()
+            if kind == "node_limit":
+                raise SolverError(
+                    f"sat backend exceeded node limit {node_limit} "
+                    f"(cumulative conflicts) for n={spec.n}",
+                    checkpoint=ckpt,
+                    best_blocks=list(best_blocks),
+                    best_value=len(best_blocks),
+                    stats=stats,
+                )
+            if kind == "deadline":
+                raise SolverPreempted(
+                    f"solver exceeded its time budget for n={spec.n}",
+                    checkpoint=ckpt,
+                    best_blocks=list(best_blocks),
+                    best_value=len(best_blocks),
+                    stats=stats,
+                )
+            raise SolverPreempted(
+                f"solver preempted at {done_conflicts + extra_conflicts} "
+                f"conflicts for n={spec.n}",
+                checkpoint=ckpt,
+                best_blocks=list(best_blocks),
+                best_value=len(best_blocks),
+                stats=stats,
+            )
+
+        unsat_k: int | None = None
+        core: tuple[int, ...] = ()
+        trivial = False
+        while k_next >= 0:
+            k = k_next
+            if enc.trivial_below is not None and k < enc.trivial_below:
+                # The counting bound alone refutes every k' ≤ k (the
+                # cardinality layer has no "≥ k+1" literal to guard a
+                # budget clause with, so no solver call is needed).
+                unsat_k = k
+                trivial = True
+                per_k.append([k, "unsat_trivial", 0, 0])
+                break
+            solver = new_solver(engine)
+            if not load_encoding(solver, enc):
+                # Root-level UNSAT while loading: the pool cannot cover
+                # the demand at all — but the incumbent covering exists,
+                # so this indicates an encoding bug, not a thin pool.
+                raise SolverError(
+                    f"sat encoding is root-unsatisfiable for n={spec.n} "
+                    "despite a feasible incumbent — encoding bug"
+                )
+            assumption = enc.assumption(k)
+
+            def on_tick() -> None:
+                if done_conflicts + solver.conflicts > node_limit:
+                    raise _Abort("node_limit")
+                if deadline is not None and time.time() > deadline:
+                    raise _Abort("deadline")
+                if preempt is not None and preempt(
+                    SolverStats(
+                        nodes=done_conflicts + solver.conflicts,
+                        best_value=len(best_blocks),
+                        proven_optimal=False,
+                    )
+                ):
+                    raise _Abort("preempt")
+
+            try:
+                # The pysat path has no tick hook: poll once up front so
+                # deadline/preempt still bind at k boundaries.
+                on_tick()
+                sat = solver.solve(
+                    [assumption] if assumption is not None else (),
+                    on_tick=on_tick,
+                    tick_every=_TICK_EVERY,
+                )
+            except _Abort as abort:
+                raise_interrupt(abort.kind, getattr(solver, "conflicts", 0))
+            per_k.append(
+                [k, "sat" if sat else "unsat", solver.conflicts, solver.decisions]
+            )
+            done_conflicts += solver.conflicts
+            done_decisions += solver.decisions
+            done_propagations += solver.propagations
+            if done_conflicts > node_limit:
+                raise_interrupt("node_limit", 0)
+            if not sat:
+                unsat_k = k
+                core = tuple(solver.core)
+                break
+            model = dict(solver.model)
+            best_blocks = enc.decode(lambda v: model.get(v, False))
+            k_next = len(best_blocks) - 1
+            flush()
+
+        optimum = len(best_blocks)
+        if unsat_k is not None and unsat_k + 1 != optimum:
+            raise SolverError(
+                f"sat walk refuted k={unsat_k} but the incumbent has "
+                f"{optimum} blocks — non-contiguous walk state"
+            )
+        covering = Covering.from_vertex_lists(spec.n, best_blocks)
+        assert_valid_covering(
+            covering, spec.instance(), allowed_sizes=spec.allowed_sizes
+        )
+        if store is not None:
+            store.delete(spec.spec_hash)
+
+        obj = _objective_of(spec)
+        cert = obj.certificate(spec, "exact")
+        certificate = {
+            "engine": engine,
+            "optimum": optimum,
+            "unsat_k": optimum - 1,
+            "assumption_core": [int(l) for l in core],
+            "trivial": trivial,
+            "k_start": k_start,
+            "encoding": enc.provenance(),
+            "per_k": [list(row) for row in per_k],
+            "conflicts": done_conflicts,
+            "decisions": done_decisions,
+            "propagations": done_propagations,
+        }
+        stats = SolverStats(
+            nodes=done_conflicts, best_value=optimum, proven_optimal=True
+        )
+        result = Result(
+            spec=spec,
+            covering=covering,
+            status="proven_optimal",
+            backend=self.name,
+            stats=stats,
+            lower_bound=optimum,
+            certificates=("sat_unsat_core",) + tuple(a.name for a in cert.arguments),
+            sat_certificate=certificate,
+        )
+        if resume is not None:
+            result = result.annotate_resume(
+                {
+                    "resumed": True,
+                    "resumes": resume.resumes + 1,
+                    "checkpoint_nodes": resume.nodes,
+                }
+            )
+        return result
+
+    @staticmethod
+    def _incumbent_blocks(spec: CoverSpec) -> list[tuple[int, ...]]:
+        """The greedy+improve incumbent the walk opens from — computed
+        internally (like the exact tiers) so ``--no-hints`` certification
+        still starts from a real covering.  A closed-form hint can only
+        *shorten* the walk, so it is consulted when hints are allowed."""
+        from ..core.improve import ImproveStats, improve_covering
+
+        engine = SolverEngine(spec.n, max_size=spec.max_size)
+        inst = spec.instance()
+        obj = _objective_of(spec)
+        if spec.pool == "auto":
+            try:
+                covering = engine.greedy_cover(
+                    inst, pool="tight", allowed_sizes=spec.allowed_sizes
+                )
+            except SolverError:
+                covering = engine.greedy_cover(
+                    inst, pool="convex", allowed_sizes=spec.allowed_sizes
+                )
+        else:
+            covering = engine.greedy_cover(
+                inst, pool=spec.pool, allowed_sizes=spec.allowed_sizes
+            )
+        covering = improve_covering(
+            covering,
+            inst,
+            pool=spec.pool,
+            max_size=spec.max_size,
+            stats=ImproveStats(),
+            objective=obj,
+            allowed_sizes=spec.allowed_sizes,
+        )
+        blocks = [tuple(blk.vertices) for blk in covering.blocks]
+        hint = warm_start_bound(spec)
+        if hint is not None and hint < len(blocks):
+            from ..api.backends import get_backend
+
+            closed = get_backend("closed_form").run(spec)
+            blocks = [tuple(blk.vertices) for blk in closed.covering.blocks]
+        return blocks
+
+
+def replay_unsat_core(
+    spec: CoverSpec, certificate: dict, *, engine: str = "internal"
+) -> bool:
+    """Audit a recorded ``sat_certificate``: rebuild the encoding from
+    the spec and the recorded ``k_start`` alone, check the CNF SHA-256
+    matches the certificate's provenance, and re-refute the recorded
+    assumption core with a fresh solver (the dependency-free internal
+    CDCL by default — the auditor needs no optional packages).
+
+    Returns ``True`` when the certificate replays (UNSAT reproduced);
+    raises :class:`SolverError` naming the first discrepancy otherwise.
+    """
+    k_start = int(certificate["k_start"])
+    enc = build_covering_cnf(spec)
+    attach_walk_layers(enc, k_start)
+    recorded_sha = certificate.get("encoding", {}).get("cnf_sha256")
+    actual_sha = enc.cnf.sha256()
+    if recorded_sha != actual_sha:
+        raise SolverError(
+            "sat certificate does not replay: CNF sha256 mismatch "
+            f"(recorded {recorded_sha}, rebuilt {actual_sha})"
+        )
+    unsat_k = int(certificate["unsat_k"])
+    if certificate.get("trivial"):
+        # The refutation is the counting bound itself: no "≥ k+1"
+        # literal exists, so check the arithmetic it certified.
+        if enc.trivial_below is None or unsat_k >= enc.trivial_below:
+            raise SolverError(
+                "sat certificate does not replay: trivial refutation at "
+                f"k={unsat_k} is not implied by the rebuilt encoding"
+            )
+        return True
+    core = [int(l) for l in certificate["assumption_core"]]
+    expected = enc.assumption(unsat_k)
+    if expected is not None and core != [expected]:
+        raise SolverError(
+            "sat certificate does not replay: recorded core "
+            f"{core} is not the ≤{unsat_k} assumption literal {expected}"
+        )
+    solver = new_solver(resolve_engine(engine))
+    if not load_encoding(solver, enc):
+        return True  # root-level UNSAT refutes any assumption set
+    if solver.solve(core):
+        raise SolverError(
+            "sat certificate does not replay: the recorded assumption "
+            f"core {core} is satisfiable against the rebuilt CNF"
+        )
+    return True

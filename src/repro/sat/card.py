@@ -1,0 +1,207 @@
+"""Incremental cardinality layer: clamped (generalized) totalizers.
+
+The ``sat`` backend's downward walk needs "at most ``k`` blocks" to
+tighten monotonically — ``k`` drops by at least one after every SAT
+answer — *without re-encoding*.  The classic MARCO-style device is a
+totalizer: a balanced merge tree over the selector literals whose root
+exposes one output literal per reachable count ``v`` meaning "at least
+``v`` inputs are true".  Enforcing ``≤ k`` is then just *assuming* the
+negation of the ``≥ k+1`` output — a single reusable assumption
+literal per ``k``, and the literal the UNSAT core names when ``k`` is
+below the optimum.
+
+:class:`Totalizer` generalises this to weighted inputs (the encoding's
+counting-budget strengthening counts slack mass, not blocks) and clamps
+sums at ``cap + 1``: every sum above the largest bound the walk will
+ever query collapses onto one overflow literal, which keeps the clause
+count ``O(items · cap)`` instead of quadratic.
+
+Clause semantics are one-directional (inputs imply outputs), which is
+exactly what bound *assumptions* need: an output literal can be set
+true vacuously, but can never be *false* while the true input sum
+reaches its value.  Intra-node ordering clauses (``≥ v'`` implies
+``≥ v`` for ``v < v'``) make a single negated output literal forbid
+every larger sum, so one assumption per bound suffices.
+
+:class:`CardinalityBound` wraps the unweighted selector-count instance
+and hands the backend its per-``k`` assumption/guard literals;
+:func:`at_least` encodes fixed "at least ``m`` of these literals"
+constraints (λ-fold coverage) through the same builder over negated
+inputs.
+"""
+
+from __future__ import annotations
+
+from ..util.errors import SolverError
+
+__all__ = ["Totalizer", "CardinalityBound", "at_least"]
+
+
+class Totalizer:
+    """A clamped weighted totalizer over ``(literal, weight)`` items.
+
+    Output literals live in ``solver`` (any object with ``new_var`` and
+    ``add_clause``); :meth:`geq` maps a target sum to the literal
+    meaning "the true inputs weigh at least that much" (``None`` when
+    the inputs can never weigh that much).  Sums above ``cap`` clamp
+    onto the single value ``cap + 1``.
+    """
+
+    def __init__(self, solver, items, cap: int) -> None:
+        if cap < 0:
+            raise SolverError(f"totalizer cap must be non-negative, got {cap}")
+        self._solver = solver
+        self._cap = cap
+        self._overflow = cap + 1
+        nodes = []
+        for lit, weight in items:
+            weight = int(weight)
+            if weight <= 0:
+                raise SolverError(f"totalizer weights must be positive, got {weight}")
+            nodes.append({min(weight, self._overflow): int(lit)})
+        if not nodes:
+            self._values: tuple[int, ...] = ()
+            self._lits: dict[int, int] = {}
+            return
+        # Balanced bottom-up merge: pair adjacent nodes until one root
+        # remains.  Deterministic (input order) and shallow (log depth).
+        while len(nodes) > 1:
+            merged = []
+            for i in range(0, len(nodes) - 1, 2):
+                merged.append(self._merge(nodes[i], nodes[i + 1]))
+            if len(nodes) % 2:
+                merged.append(nodes[-1])
+            nodes = merged
+        root = nodes[0]
+        self._lits = root
+        self._values = tuple(sorted(root))
+        self._add_ordering(root)
+
+    def _merge(self, a: dict[int, int], b: dict[int, int]) -> dict[int, int]:
+        clamp = self._overflow
+        sums = set(a) | set(b)
+        for va in a:
+            for vb in b:
+                sums.add(min(va + vb, clamp))
+        node = {v: self._solver.new_var() for v in sorted(sums)}
+        add = self._solver.add_clause
+        for va, la in a.items():
+            add([-la, node[va]])
+        for vb, lb in b.items():
+            add([-lb, node[vb]])
+        for va, la in a.items():
+            for vb, lb in b.items():
+                add([-la, -lb, node[min(va + vb, clamp)]])
+        return node
+
+    def _add_ordering(self, node: dict[int, int]) -> None:
+        # ``≥ v'`` implies ``≥ v`` for consecutive root values, so a
+        # single negated output forbids every sum above it.
+        add = self._solver.add_clause
+        ordered = sorted(node)
+        for lo, hi in zip(ordered, ordered[1:]):
+            add([-node[hi], node[lo]])
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable (possibly clamped) sum, 0 when empty."""
+        return self._values[-1] if self._values else 0
+
+    def geq(self, target: int) -> int | None:
+        """The output literal asserting "true inputs weigh ≥ ``target``",
+        or ``None`` when no reachable sum is that large (the constraint
+        "< target" is then vacuously true).  ``target`` must not exceed
+        ``cap + 1`` — larger bounds were clamped away at build time."""
+        if target <= 0:
+            raise SolverError(f"geq target must be positive, got {target}")
+        if target > self._overflow:
+            raise SolverError(
+                f"geq target {target} exceeds the totalizer cap {self._cap} + 1"
+            )
+        for v in self._values:
+            if v >= target:
+                return self._lits[v]
+        return None
+
+
+class CardinalityBound:
+    """The selector-count totalizer behind the walk's "≤ k" bounds.
+
+    ``assumption(k)`` is the literal to *assume* for "at most ``k``
+    selectors true" (``None`` when the bound is vacuous);
+    ``guard(k)`` is the positive "≥ k+1" literal that k-conditional
+    strengthening clauses embed so they only bite under that bound.
+    Both are stable across calls — the reusable-assumption contract.
+    """
+
+    def __init__(self, solver, selector_lits, k_max: int) -> None:
+        self._k_max = int(k_max)
+        self._tot = Totalizer(
+            solver, [(lit, 1) for lit in selector_lits], cap=self._k_max
+        )
+
+    @property
+    def k_max(self) -> int:
+        return self._k_max
+
+    def guard(self, k: int) -> int | None:
+        """The "count ≥ k+1" output literal, ``None`` when unreachable."""
+        if not 0 <= k <= self._k_max:
+            raise SolverError(
+                f"cardinality bound k={k} outside the encoded range 0..{self._k_max}"
+            )
+        return self._tot.geq(k + 1)
+
+    def assumption(self, k: int) -> int | None:
+        """The assumption literal enforcing "≤ k" (``None`` = vacuous)."""
+        g = self.guard(k)
+        return None if g is None else -g
+
+
+def at_least(solver, lits, m: int) -> None:
+    """Add clauses forcing at least ``m`` of ``lits`` true.
+
+    ``m = 1`` is the plain clause; larger ``m`` (λ-fold coverage) uses
+    a sequential-counter chain — ``s[j][c]`` reads "the first ``j``
+    literals contain at least ``c`` trues", the root unit asserts
+    ``s[L][m]``, and the chain clauses let the solver walk the claim
+    down to actual input literals.  ``O(len · m)`` clauses, so λ-fold
+    demand stays cheap where the totalizer over negations would be
+    quadratic.
+    """
+    lits = list(lits)
+    m = int(m)
+    if m <= 0:
+        return
+    if len(lits) < m:
+        raise SolverError(
+            f"at-least-{m} constraint over {len(lits)} literals is unsatisfiable"
+        )
+    if m == 1:
+        solver.add_clause(lits)
+        return
+    # prev[c] / cur[c] hold s[j-1][c] / s[j][c] for c = 1..m; s[j][0]
+    # is constant-true and s[0][c>0] constant-false (both substituted).
+    prev: list[int | None] = [None] * (m + 1)
+    for j, x in enumerate(lits, start=1):
+        cur: list[int | None] = [None] * (m + 1)
+        top = min(j, m)
+        for c in range(1, top + 1):
+            s = solver.new_var()
+            cur[c] = s
+            below = prev[c]  # None exactly when j-1 < c (constant false)
+            # s[j][c] → s[j-1][c] ∨ x_j
+            clause = [-s, x]
+            if below is not None and j - 1 >= c:
+                clause.append(below)
+            solver.add_clause(clause)
+            # s[j][c] → s[j-1][c] ∨ s[j-1][c-1]   (tautology when c = 1)
+            if c > 1:
+                clause = [-s, prev[c - 1]]
+                if below is not None and j - 1 >= c:
+                    clause.append(below)
+                solver.add_clause(clause)
+        prev = cur
+    root = prev[m]
+    assert root is not None
+    solver.add_clause([root])

@@ -1,0 +1,441 @@
+"""A dependency-free CDCL SAT solver: the ``sat`` backend's contractual
+fallback engine.
+
+The solver is deliberately small but real: two-watched-literal unit
+propagation, first-UIP conflict analysis with clause learning, VSIDS
+branching with deterministic index tie-breaking, Luby restarts, phase
+saving, activity-based learned-clause reduction, and the MiniSat-style
+assumption interface the incremental cardinality walk relies on —
+``solve(assumptions)`` returns ``False`` with :attr:`Cdcl.core` holding
+the subset of assumption literals whose conjunction is refuted (the
+replayable UNSAT certificate the backend records in its envelope).
+
+Everything is deterministic: no randomness, no timing dependence, no
+hash-order iteration over sets.  Two runs over the same clause sequence
+with the same assumptions perform the identical decision/conflict
+sequence, which is what lets the backend's per-``k`` statistics enter a
+deterministic result envelope and lets a preempted walk resume to
+byte-identical bytes.
+
+Literals are non-zero Python ints in DIMACS convention (``v`` /
+``-v``); variables are allocated densely from 1 via :meth:`Cdcl.new_var`
+or :meth:`Cdcl.ensure_vars`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..util.errors import SolverError
+
+__all__ = ["Cdcl", "luby"]
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 …"""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+_RESCALE = 1e100
+_DECAY = 1.0 / 0.95
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: list[int], learnt: bool) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class Cdcl:
+    """Conflict-driven clause learning over integer literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        # Assignment state, indexed by variable (slot 0 unused).
+        self._value: list[int] = [0]  # 0 unassigned, +1 true, -1 false
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._seen: list[bool] = [False]
+        # watches[lit_index(l)] = clauses currently watching literal l.
+        self._watches: list[list[_Clause]] = [[], []]
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._heap: list[tuple[float, int]] = []  # (-activity, var), lazy
+        self._ok = True
+        # Assumption-interface outputs.
+        self.core: tuple[int, ...] = ()
+        self.model: dict[int, bool] = {}
+        # Statistics (deterministic; surfaced in the result envelope).
+        self.decisions = 0
+        self.conflicts = 0
+        self.propagations = 0
+        self.learned = 0
+        self.restarts = 0
+
+    # -- variables -----------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._value.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        self._seen.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        return self.num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.new_var()
+
+    @staticmethod
+    def _widx(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit << 1) | 1)
+
+    def value(self, lit: int) -> int:
+        """+1 true, -1 false, 0 unassigned under the current trail."""
+        v = self._value[abs(lit)]
+        return v if lit > 0 else -v
+
+    # -- clauses -------------------------------------------------------
+
+    def add_clause(self, lits) -> bool:
+        """Add a clause (at decision level 0).  Returns ``False`` when
+        the clause database became unsatisfiable outright."""
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise SolverError("clauses may only be added at decision level 0")
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            lit = int(lit)
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise SolverError(f"literal {lit} outside variable range")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            if self.value(lit) == 1:
+                return True  # already satisfied at root
+            if self.value(lit) == -1:
+                continue  # root-false literal dropped
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            self._ok = self._propagate() is None
+            return self._ok
+        clause = _Clause(out, False)
+        self._clauses.append(clause)
+        self._watches[self._widx(-out[0])].append(clause)
+        self._watches[self._widx(-out[1])].append(clause)
+        return True
+
+    # -- assignment ----------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: _Clause | None) -> None:
+        v = abs(lit)
+        self._value[v] = 1 if lit > 0 else -1
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> _Clause | None:
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            watchers = self._watches[self._widx(lit)]
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                lits = clause.lits
+                # Normalise: the falsified literal at position 1.
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self.value(first) == 1:
+                    i += 1
+                    continue
+                moved = False
+                for j in range(2, len(lits)):
+                    if self.value(lits[j]) != -1:
+                        lits[1], lits[j] = lits[j], lits[1]
+                        self._watches[self._widx(-lits[1])].append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if self.value(first) == -1:
+                    self._qhead = len(self._trail)
+                    return clause  # conflict
+                self._enqueue(first, clause)
+                i += 1
+        return None
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        heap = self._heap
+        push = heapq.heappush
+        for lit in reversed(self._trail[bound:]):
+            v = abs(lit)
+            self._phase[v] = lit > 0
+            self._value[v] = 0
+            self._reason[v] = None
+            push(heap, (-self._activity[v], v))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+        # Duplicate (stale) entries accumulate across backtracks; rebuild
+        # once they dominate so pops stay cheap.
+        if len(heap) > 4 * self.num_vars + 16:
+            self._rebuild_heap()
+
+    # -- VSIDS ---------------------------------------------------------
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-self._activity[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self._value[v] == 0
+        ]
+        heapq.heapify(self._heap)
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _RESCALE:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            self._rebuild_heap()
+
+    def _pick_branch_var(self) -> int:
+        heap = self._heap
+        while heap:
+            act, v = heapq.heappop(heap)
+            if self._value[v] == 0 and act == -self._activity[v]:
+                return v
+        for v in range(1, self.num_vars + 1):
+            if self._value[v] == 0:
+                return v
+        return 0
+
+    # -- conflict analysis --------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        seen = self._seen
+        learnt: list[int] = [0]  # slot 0 = asserting literal (filled last)
+        counter = 0
+        lit = 0
+        reason: _Clause | None = conflict
+        idx = len(self._trail) - 1
+        cur_level = len(self._trail_lim)
+        while True:
+            assert reason is not None
+            reason.activity += self._var_inc
+            start = 0 if lit == 0 else 1
+            for q in reason.lits[start:]:
+                v = abs(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self._level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[idx])]:
+                idx -= 1
+            lit = self._trail[idx]
+            v = abs(lit)
+            seen[v] = False
+            counter -= 1
+            idx -= 1
+            if counter == 0:
+                break
+            reason = self._reason[v]
+        learnt[0] = -lit
+        # Conflict-clause minimisation (local): drop literals implied by
+        # the rest of the clause through their reason.
+        orig = learnt[1:]
+        marked = {abs(q) for q in orig}
+        kept = [learnt[0]]
+        for q in orig:
+            r = self._reason[abs(q)]
+            if r is not None and all(
+                abs(p) in marked or self._level[abs(p)] == 0 for p in r.lits[1:]
+            ):
+                continue
+            kept.append(q)
+        learnt = kept
+        for q in orig:
+            seen[abs(q)] = False
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            # Second-highest decision level among the learnt literals.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt = self._level[abs(learnt[1])]
+        self._var_inc *= _DECAY
+        return learnt, bt
+
+    def _analyze_final(self, lit: int) -> tuple[int, ...]:
+        """Assumption core: the subset of assumption literals implying
+        ``-lit`` (computed by walking the implication graph)."""
+        core = {lit}
+        if not self._trail_lim:
+            return tuple(sorted(core))
+        seen = self._seen
+        seen[abs(lit)] = True
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            p = self._trail[i]
+            v = abs(p)
+            if not seen[v]:
+                continue
+            reason = self._reason[v]
+            if reason is None:
+                core.add(p)  # an assumption decision
+            else:
+                for q in reason.lits[1:]:
+                    if self._level[abs(q)] > 0:
+                        seen[abs(q)] = True
+            seen[v] = False
+        seen[abs(lit)] = False
+        return tuple(sorted(core))
+
+    # -- learned-clause housekeeping ----------------------------------
+
+    def _reduce_db(self) -> None:
+        learnts = sorted(
+            (c for c in self._learnts if len(c.lits) > 2),
+            key=lambda c: (c.activity, -len(c.lits)),
+        )
+        locked = {id(self._reason[abs(l)]) for l in self._trail if self._reason[abs(l)]}
+        drop = set()
+        for c in learnts[: len(learnts) // 2]:
+            if id(c) not in locked:
+                drop.add(id(c))
+        if not drop:
+            return
+        self._learnts = [c for c in self._learnts if id(c) not in drop]
+        for widx in range(2, len(self._watches)):
+            self._watches[widx] = [c for c in self._watches[widx] if id(c) not in drop]
+
+    # -- search --------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions=(),
+        *,
+        on_tick=None,
+        tick_every: int = 512,
+    ) -> bool:
+        """Solve under ``assumptions``.  ``True`` fills :attr:`model`
+        (a variable → bool map); ``False`` fills :attr:`core` with the
+        refuted subset of the assumptions.  ``on_tick`` is called every
+        ``tick_every`` conflicts — raise from it to abort (the solver's
+        root state stays valid, so the caller can retry later)."""
+        if not self._ok:
+            self.core = ()
+            return False
+        assumptions = [int(a) for a in assumptions]
+        self._cancel_until(0)
+        confl = self._propagate()
+        if confl is not None:
+            self._ok = False
+            self.core = ()
+            return False
+        self._heap = [
+            (-self._activity[v], v)
+            for v in range(1, self.num_vars + 1)
+            if self._value[v] == 0
+        ]
+        heapq.heapify(self._heap)
+        conflicts_this_call = 0
+        restart_num = 0
+        restart_budget = 32 * luby(1)
+        learnt_cap = max(4000, len(self._clauses) // 2)
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                self.conflicts += 1
+                conflicts_this_call += 1
+                if on_tick is not None and self.conflicts % tick_every == 0:
+                    on_tick()
+                if not self._trail_lim:
+                    self._ok = False
+                    self.core = ()
+                    return False
+                learnt, bt = self._analyze(confl)
+                self._cancel_until(bt)
+                self._attach_learnt(learnt)
+                if len(self._learnts) > learnt_cap:
+                    self._reduce_db()
+                    learnt_cap += learnt_cap // 2
+                if conflicts_this_call >= restart_budget:
+                    restart_num += 1
+                    self.restarts += 1
+                    restart_budget = conflicts_this_call + 32 * luby(restart_num + 1)
+                    self._cancel_until(len(assumptions))
+                continue
+            # Decision: assumptions first, then VSIDS.
+            if len(self._trail_lim) < len(assumptions):
+                a = assumptions[len(self._trail_lim)]
+                val = self.value(a)
+                if val == -1:
+                    self.core = self._analyze_final(a)
+                    self._cancel_until(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                if val == 0:
+                    self._enqueue(a, None)
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                self.model = {
+                    v: self._value[v] > 0 for v in range(1, self.num_vars + 1)
+                }
+                self._cancel_until(0)
+                return True
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(var if self._phase[var] else -var, None)
+
+    def _attach_learnt(self, learnt: list[int]) -> None:
+        self.learned += 1
+        if len(learnt) == 1:
+            if self.value(learnt[0]) == 0:
+                self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, True)
+        clause.activity = self._var_inc
+        self._learnts.append(clause)
+        self._watches[self._widx(-learnt[0])].append(clause)
+        self._watches[self._widx(-learnt[1])].append(clause)
+        self._enqueue(learnt[0], clause)

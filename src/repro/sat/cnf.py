@@ -1,0 +1,339 @@
+"""CNF encoding of min-covering over the memoized block table.
+
+One selector variable per admissible block *copy* (λ-fold demand can
+repeat a block, so block ``i`` gets ``max_e m_e`` copies over its
+demanded chords — any more copies than that are never optimal), with:
+
+* **coverage clauses** — every demanded chord must be covered by at
+  least its multiplicity many selected copies (plain clause at λ = 1,
+  sequential at-least chain above);
+* **copy-ordering units** — copy ``c+1`` implies copy ``c``, collapsing
+  the permutation symmetry between identical copies;
+* **dihedral symmetry breaking** — when the demand is invariant under
+  the ``2n`` ring symmetries (All-to-All, λK_n), any covering can be
+  rotated/reflected so the block covering a fixed root chord is its
+  orbit representative, so one clause restricted to
+  :func:`repro.core.engine._orbit_representatives` of the root chord's
+  candidates is sound and prunes a ``2n``-fold symmetry;
+* **counting-budget strengthening** (added per ``k`` by the backend) —
+  a DRC block covers requests whose ring distances sum to at most
+  ``n``, so ``k`` blocks moving total mass ``Σ_e m_e·dist(e)`` leave a
+  slack budget of ``n·k − Σ m_e·dist(e)``; a weighted totalizer over
+  each selector's slack ``n − mass(block)`` turns the paper's counting
+  bound into unit-propagation-strength clauses, guarded by the
+  cardinality layer's "≥ k+1" output so each instance only bites under
+  its own bound.
+
+The encoding is pure data (:class:`Cnf` holds the clause list); the
+backend loads it into whichever engine ``REPRO_SAT`` selects, once per
+``k`` step.  Everything is deterministic — clause order, variable
+numbering, the DIMACS rendering and its SHA-256 — which is what makes
+the recorded UNSAT core *replayable*: an auditor rebuilds the same CNF
+from the spec and re-refutes the core with a fresh solver.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..core.engine import (
+    _is_dihedral_invariant,
+    _orbit_representatives,
+    convex_block_table,
+    edge_space,
+    restricted_block_table,
+)
+from ..util.errors import SolverError
+from .card import CardinalityBound, Totalizer, at_least
+
+__all__ = ["Cnf", "CoveringEncoding", "build_covering_cnf", "attach_walk_layers"]
+
+
+class Cnf:
+    """A growable CNF: clause list plus a variable counter.
+
+    Quacks like a solver for the builders in :mod:`repro.sat.card`
+    (``new_var``/``add_clause``) but only records; engines replay the
+    clause list into live solver instances.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits) -> None:
+        clause = tuple(int(l) for l in lits)
+        if not clause:
+            raise SolverError("refusing to record an empty clause")
+        if any(l == 0 or abs(l) > self.num_vars for l in clause):
+            raise SolverError(f"clause {clause!r} uses literals outside 1..{self.num_vars}")
+        self.clauses.append(clause)
+
+    def dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        lines.extend(" ".join(str(l) for l in c) + " 0" for c in self.clauses)
+        return "\n".join(lines) + "\n"
+
+    def sha256(self) -> str:
+        return hashlib.sha256(self.dimacs().encode("ascii")).hexdigest()
+
+
+@dataclass
+class CoveringEncoding:
+    """The base CNF for one spec, plus the selector metadata the
+    backend needs to bolt on cardinality layers and decode models."""
+
+    n: int
+    cnf: Cnf
+    # selectors[i] = (variable, block_index, copy_index); variable order
+    # is selector order, so models decode deterministically.
+    selectors: list[tuple[int, int, int]]
+    blocks: tuple  # the admitted BlockTable.blocks view
+    masses: tuple[int, ...]
+    total_distance: int
+    pool: str
+    symmetry: dict | None = None
+    base_clauses: int = 0
+    # Per demanded chord: (chord, ring distance, multiplicity, candidate
+    # selector literals) — the walk layers count over-coverage from it.
+    coverage_rows: list[tuple[tuple[int, int], int, int, list[int]]] = field(
+        default_factory=list
+    )
+    # Filled by attach_walk_layers:
+    k_start: int | None = None
+    card: CardinalityBound | None = None
+    trivial_below: int | None = None
+    _var_to_selector: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def selector_lits(self) -> list[int]:
+        return [var for var, _, _ in self.selectors]
+
+    @property
+    def slack_items(self) -> list[tuple[int, int]]:
+        """(selector literal, slack weight) for every copy whose block
+        wastes ring distance — the counting-budget totalizer inputs."""
+        return [
+            (var, self.n - self.masses[blk])
+            for var, blk, _ in self.selectors
+            if self.n - self.masses[blk] > 0
+        ]
+
+    def decode(self, value) -> list[tuple[int, ...]]:
+        """Selected blocks (vertex tuples, with multiplicity) from a
+        model callback ``value(var) -> bool``, in selector order."""
+        return [
+            self.blocks[blk].vertices
+            for var, blk, _ in self.selectors
+            if value(var)
+        ]
+
+    def budget(self, k: int) -> int:
+        """The counting budget ``n·k − Σ_e m_e·dist(e)``: the slack plus
+        over-coverage mass any ≤ ``k``-block covering can afford."""
+        return self.n * k - self.total_distance
+
+    def assumption(self, k: int) -> int | None:
+        """The single assumption literal enforcing "at most ``k`` blocks"
+        (``None`` when vacuous).  Only valid after walk layers attach."""
+        if self.card is None:
+            raise SolverError("attach_walk_layers must run before assumption()")
+        if k >= len(self.selectors):
+            return None  # fewer selectors than the bound: vacuous
+        return self.card.assumption(k)
+
+    def provenance(self) -> dict:
+        return {
+            "variables": self.cnf.num_vars,
+            "clauses": len(self.cnf.clauses),
+            "base_clauses": self.base_clauses,
+            "selectors": len(self.selectors),
+            "blocks": len(self.blocks),
+            "pool": self.pool,
+            "total_distance": self.total_distance,
+            "symmetry": self.symmetry,
+            "k_start": self.k_start,
+            "strengthening": None if self.k_start is None else "counting_budget",
+            "cnf_sha256": self.cnf.sha256(),
+        }
+
+
+def build_covering_cnf(spec) -> CoveringEncoding:
+    """The base encoding (selectors, copy chains, coverage, symmetry)
+    for ``spec`` — everything except the per-``k`` cardinality layer.
+
+    Raises :class:`SolverError` when the admissible pool cannot cover
+    a demanded chord at all (restricted pools can be infeasible).
+    """
+    n = spec.n
+    instance = spec.instance()
+    if spec.allowed_sizes is not None:
+        table = restricted_block_table(n, spec.max_size, spec.allowed_sizes)
+        pool = f"restricted{tuple(sorted(spec.allowed_sizes))}"
+    else:
+        table = convex_block_table(n, spec.max_size)
+        pool = "convex"
+    space = edge_space(n)
+
+    demanded: list[tuple[int, int]] = []  # (chord bit, multiplicity)
+    for e, m in sorted(instance.demand.items()):
+        demanded.append((space.index[e], m))
+    required = {bit: m for bit, m in demanded}
+
+    # Copy cap per block: the largest multiplicity among its demanded
+    # chords (an optimal covering never repeats a block beyond that);
+    # blocks covering no demanded chord are dropped outright.
+    caps: list[int] = []
+    for bits in table.bit_lists:
+        caps.append(max((required.get(b, 0) for b in bits), default=0))
+
+    cnf = Cnf()
+    selectors: list[tuple[int, int, int]] = []
+    copy_vars: list[list[int]] = []
+    for i, cap in enumerate(caps):
+        vars_i: list[int] = []
+        for c in range(cap):
+            var = cnf.new_var()
+            selectors.append((var, i, c))
+            vars_i.append(var)
+        copy_vars.append(vars_i)
+    for vars_i in copy_vars:
+        for lower, upper in zip(vars_i, vars_i[1:]):
+            cnf.add_clause([lower, -upper])  # copy c+1 implies copy c
+
+    # Coverage: ≥ m_e copies among the blocks covering each chord.
+    per_edge_lits: dict[int, list[int]] = {bit: [] for bit, _ in demanded}
+    for var, blk, _ in selectors:
+        for b in table.bit_lists[blk]:
+            if b in per_edge_lits:
+                per_edge_lits[b].append(var)
+    coverage_rows: list[tuple[tuple[int, int], int, int, list[int]]] = []
+    for bit, m in demanded:
+        lits = per_edge_lits[bit]
+        if len(lits) < m:
+            e = space.edges[bit]
+            raise SolverError(
+                f"the admissible pool cannot cover request {e} "
+                f"{m} time(s) on C_{n} (only {len(lits)} admissible copies)"
+            )
+        at_least(cnf, lits, m)
+        e = space.edges[bit]
+        coverage_rows.append((e, space.dist[bit], m, lits))
+
+    # Dihedral symmetry breaking: restrict the root chord's covering
+    # block to one orbit representative (first copy).  Sound only when
+    # the demand is invariant under the 2n ring symmetries — the pool
+    # tables always are.
+    symmetry = None
+    if demanded and _is_dihedral_invariant(instance):
+        root_bit = min(
+            (bit for bit, _ in demanded),
+            key=lambda b: (len(per_edge_lits[b]), b),
+        )
+        cand_blocks = sorted(
+            {blk for var, blk, c in selectors if c == 0 and root_bit in table.bit_lists[blk]}
+        )
+        reps, weights = _orbit_representatives(n, table.blocks, cand_blocks)
+        rep_first_copy = {blk: copy_vars[blk][0] for blk in reps}
+        cnf.add_clause([rep_first_copy[blk] for blk in reps])
+        symmetry = {
+            "chord": list(space.edges[root_bit]),
+            "candidates": len(cand_blocks),
+            "representatives": len(reps),
+            "orbit_weights": weights,
+        }
+
+    enc = CoveringEncoding(
+        n=n,
+        cnf=cnf,
+        selectors=selectors,
+        blocks=table.blocks,
+        masses=table.masses,
+        total_distance=instance.total_distance,
+        pool=pool,
+        symmetry=symmetry,
+        base_clauses=len(cnf.clauses),
+        coverage_rows=coverage_rows,
+    )
+    enc._var_to_selector = {var: idx for idx, (var, _, _) in enumerate(selectors)}
+    return enc
+
+
+def attach_walk_layers(enc: CoveringEncoding, k_start: int) -> CoveringEncoding:
+    """Attach the cardinality + counting-budget layers for a downward
+    walk starting at ``k = k_start``.
+
+    Everything added here is an *unconditionally valid* clause — the
+    per-``k`` guards embed the cardinality totalizer's "count ≥ k+1"
+    output, so each budget instance only bites under its own bound and
+    the walk needs exactly one assumption literal per ``k``:
+
+    * the selector-count totalizer (:class:`repro.sat.card.CardinalityBound`,
+      cap ``k_start``);
+    * per-chord over-coverage totalizers: the "coverage ≥ m_e + t"
+      output enters the budget at weight ``dist(e)`` per level, since
+      each extra traversal of a chord costs its ring distance; levels
+      beyond ``⌊B(k_start)/dist(e)⌋`` can never fit any budget in the
+      walk, so a single guarded clause forbids them outright;
+    * one weighted budget totalizer over block slack plus over-coverage,
+      and for each ``k ≤ k_start`` the guard clause
+      ``count ≥ k+1  ∨  slack+overcost ≤ B(k)``
+      (a unit "count ≥ k+1" when ``B(k) < 0`` — the paper's counting
+      bound as one clause).
+
+    The result is that at the crunch ``k`` (budget 0) the solver's unit
+    propagation alone forces *tight blocks only, exact coverage* — the
+    regime where even ``n``'s packing/counting gap lives.
+
+    Returns ``enc`` (mutated: ``card``, ``k_start``, ``trivial_below``).
+    """
+    if enc.k_start is not None:
+        raise SolverError("walk layers are already attached")
+    if k_start < 0:
+        raise SolverError(f"k_start must be non-negative, got {k_start}")
+    cnf = enc.cnf
+    enc.k_start = k_start
+    enc.card = CardinalityBound(cnf, enc.selector_lits, min(k_start, len(enc.selectors)))
+    max_budget = enc.budget(k_start)
+
+    items: list[tuple[int, int]] = list(enc.slack_items)
+    top_guard = enc.card.guard(min(k_start, len(enc.selectors)))
+    for e, dist, m, lits in enc.coverage_rows:
+        spare = len(lits) - m
+        if spare <= 0:
+            continue
+        t_max = min(spare, max(0, max_budget) // dist)
+        over = Totalizer(cnf, [(l, 1) for l in lits], cap=m + t_max)
+        for t in range(1, t_max + 1):
+            lit = over.geq(m + t)
+            if lit is not None:
+                items.append((lit, dist))
+        if t_max < spare:
+            overflow = over.geq(m + t_max + 1)
+            if overflow is not None:
+                # Over-covering e beyond t_max costs more than any
+                # budget in the walk, so "count ≤ k_start" forbids it.
+                clause = [-overflow] if top_guard is None else [top_guard, -overflow]
+                cnf.add_clause(clause)
+
+    budget_tot = Totalizer(cnf, items, cap=max(0, max_budget)) if items else None
+    trivial_below: int | None = None
+    for k in range(min(k_start, len(enc.selectors)), -1, -1):
+        guard = enc.card.guard(k)
+        b = enc.budget(k)
+        if b < 0:
+            if guard is None:
+                trivial_below = k + 1
+                break
+            cnf.add_clause([guard])
+        elif budget_tot is not None and b < budget_tot.max_value:
+            viol = budget_tot.geq(b + 1)
+            if viol is not None:
+                cnf.add_clause(([-viol] if guard is None else [guard, -viol]))
+    enc.trivial_below = trivial_below
+    return enc

@@ -34,6 +34,11 @@ GOLDEN = [
     (dict(n=9, backend="exact"), "exact"),
     (dict(n=9, backend="exact_sharded"), "exact_sharded"),
     (dict(n=9, backend="heuristic", require_optimal=False), "heuristic"),
+    (dict(n=9, backend="sat"), "sat"),
+    # Beyond the B&B ceilings the SAT certification tier takes over.
+    (dict(n=13, max_size=5), "sat"),
+    (dict(n=14, lam=2), "sat"),
+    (dict(n=12, lam=2), "sat"),
 ]
 
 
@@ -52,14 +57,15 @@ class TestGoldenRouting:
 
 
 class TestRoutingErrors:
-    def test_beyond_every_exact_ceiling(self):
-        # max_size ≠ 4 rules out closed form; n = 13 exceeds both exact tiers.
+    def test_beyond_every_certifying_ceiling(self):
+        # max_size ≠ 4 rules out closed form; n = 17 exceeds the exact
+        # tiers AND the SAT tier (SAT_MAX_N = 16).
         with pytest.raises(RoutingError, match="require_optimal"):
-            route_backend(CoverSpec.for_ring(13, max_size=5))
+            route_backend(CoverSpec.for_ring(17, max_size=5))
 
-    def test_lambda_fold_beyond_instance_ceiling(self):
+    def test_lambda_fold_beyond_every_ceiling(self):
         with pytest.raises(RoutingError):
-            route_backend(CoverSpec.for_ring(14, lam=2))
+            route_backend(CoverSpec.for_ring(18, lam=2))
 
     def test_pinned_backend_that_cannot_honour_the_spec(self):
         # exact_sharded shards All-to-All root orbits; λ > 1 is out.

@@ -147,4 +147,4 @@ class TestRoutingErrorHierarchy:
         from repro.util.errors import RoutingError
 
         with pytest.raises(RoutingError):
-            solve(CoverSpec.for_ring(14, lam=2))
+            solve(CoverSpec.for_ring(18, lam=2))

@@ -1,0 +1,169 @@
+"""End-to-end tests for the registered ``sat`` backend.
+
+Small rings keep every certification under a second while still
+exercising the full walk: incumbent → downward assumption walk → UNSAT
+core → replayable certificate → verified covering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CoverSpec, solve
+from repro.api.backends import get_backend
+from repro.api.checkpoints import MemoryCheckpointStore
+from repro.core.covering import Covering
+from repro.core.verify import verify_covering
+from repro.sat.backend import SAT_MAX_N, replay_unsat_core
+from repro.util.errors import SolverError, SolverPreempted
+
+BACKEND = get_backend("sat")
+
+
+def sat_spec(n, **kwargs):
+    kwargs.setdefault("backend", "sat")
+    kwargs.setdefault("use_hints", False)
+    return CoverSpec.for_ring(n, **kwargs)
+
+
+class TestSupports:
+    def test_ring_range(self):
+        assert BACKEND.supports(sat_spec(3))
+        assert BACKEND.supports(sat_spec(SAT_MAX_N))
+        assert not BACKEND.supports(CoverSpec.for_ring(SAT_MAX_N + 1, backend="sat"))
+
+    def test_min_blocks_only(self):
+        spec = CoverSpec.for_ring(8, objective="min_total_size", backend="sat")
+        assert not BACKEND.supports(spec)
+
+
+class TestCertification:
+    @pytest.mark.parametrize("n,expected", [(5, 3), (6, 5), (7, 6), (8, 9)])
+    def test_known_optima(self, n, expected):
+        res = solve(sat_spec(n))
+        assert res.status == "proven_optimal"
+        assert res.backend == "sat"
+        assert res.stats.best_value == expected
+        assert res.lower_bound == expected
+        assert res.stats.proven_optimal
+
+    def test_covering_verifies(self):
+        res = solve(sat_spec(7))
+        report = verify_covering(res.covering, res.spec.instance())
+        assert report.valid, report.problems
+
+    def test_certificate_shape(self):
+        res = solve(sat_spec(6))
+        cert = res.sat_certificate
+        assert cert is not None
+        assert cert["optimum"] == 5
+        assert cert["unsat_k"] == 4
+        assert cert["engine"] in ("internal", "pysat")
+        assert cert["encoding"]["strengthening"] == "counting_budget"
+        assert "sat_unsat_core" in res.certificates
+
+    def test_lambda_fold_agrees_with_exact(self):
+        spec = sat_spec(6, lam=2)
+        res = solve(spec)
+        exact = solve(CoverSpec.for_ring(6, lam=2, backend="exact"))
+        assert res.stats.best_value == exact.stats.best_value
+
+    def test_restricted_pool(self):
+        res = solve(sat_spec(6, allowed_sizes=(3,)))
+        exact = solve(CoverSpec.for_ring(6, allowed_sizes=(3,), backend="exact"))
+        assert res.stats.best_value == exact.stats.best_value
+        for block in res.covering.blocks:
+            assert len(block) == 3
+
+    def test_envelope_json_round_trip(self):
+        from repro.api.result import Result
+
+        res = solve(sat_spec(6))
+        payload = res.to_json()
+        again = Result.from_json(payload)
+        assert again.to_json() == payload
+        assert again.sat_certificate == res.sat_certificate
+
+
+class TestReplay:
+    def test_replay_accepts_genuine_certificate(self):
+        spec = sat_spec(7)
+        res = solve(spec)
+        replay_unsat_core(spec, res.sat_certificate)
+
+    def test_replay_rejects_tampered_optimum(self):
+        spec = sat_spec(7)
+        res = solve(spec)
+        cert = dict(res.sat_certificate)
+        cert["unsat_k"] = cert["unsat_k"] - 1
+        with pytest.raises(SolverError):
+            replay_unsat_core(spec, cert)
+
+    def test_replay_rejects_wrong_spec(self):
+        res = solve(sat_spec(7))
+        with pytest.raises(SolverError):
+            replay_unsat_core(sat_spec(8), res.sat_certificate)
+
+
+class TestInterrupts:
+    def test_preempt_then_resume_is_byte_identical(self):
+        spec = sat_spec(8)
+        reference = BACKEND.run(spec)
+
+        store = MemoryCheckpointStore()
+        floor = 40
+        preempts = 0
+        while True:
+            try:
+                res = BACKEND.run(
+                    spec,
+                    checkpoints=store,
+                    preempt=(lambda st, f=floor: st.nodes > f),
+                )
+                break
+            except SolverPreempted as exc:
+                assert exc.checkpoint is not None
+                assert exc.checkpoint.kind == "sat"
+                preempts += 1
+                floor += 40
+                assert preempts < 50, "walk is not making progress"
+        assert preempts >= 1, "preempt floor never fired — raise the test's n"
+        assert res.to_json() == reference.to_json()
+        assert res.provenance["resume"]["resumed"] is True
+
+    def test_node_limit_raises_solver_error(self):
+        with pytest.raises(SolverError, match="node limit"):
+            BACKEND.run(sat_spec(8, node_limit=30))
+
+    def test_deadline_raises_preempted_with_checkpoint(self):
+        with pytest.raises(SolverPreempted) as excinfo:
+            BACKEND.run(sat_spec(10, time_budget=0.05))
+        assert excinfo.value.checkpoint is not None
+
+    def test_engine_mismatch_refuses_resume(self):
+        spec = sat_spec(8)
+        store = MemoryCheckpointStore()
+        with pytest.raises(SolverPreempted):
+            BACKEND.run(spec, checkpoints=store, preempt=lambda st: st.nodes > 40)
+        ckpt = store.load(spec.spec_hash)
+        assert ckpt is not None
+        ckpt.sat_state["engine"] = "martian"
+        store.save(spec.spec_hash, ckpt)
+        with pytest.raises(SolverError, match="engine"):
+            BACKEND.run(spec, checkpoints=store)
+
+
+class TestCheckpointPayload:
+    def test_sat_checkpoint_round_trips(self):
+        from repro.core.checkpoint import SearchCheckpoint
+
+        spec = sat_spec(8)
+        store = MemoryCheckpointStore()
+        with pytest.raises(SolverPreempted):
+            BACKEND.run(spec, checkpoints=store, preempt=lambda st: st.nodes > 40)
+        ckpt = store.load(spec.spec_hash)
+        payload = ckpt.to_payload()
+        again = SearchCheckpoint.from_payload(payload)
+        assert again.kind == "sat"
+        assert again.sat_state == ckpt.sat_state
+        assert again.to_payload() == payload

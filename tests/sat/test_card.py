@@ -1,0 +1,124 @@
+"""Brute-force audits of the cardinality layer.
+
+Totalizer/at-least encodings are where SAT backends silently go wrong:
+an off-by-one in a merge node yields "optimal" answers one block off
+with no crash.  Every encoding here is checked against exhaustive
+enumeration over the free variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.sat.card import CardinalityBound, Totalizer, at_least
+from repro.sat.cdcl import Cdcl
+
+
+def assignments(num_free):
+    return itertools.product([False, True], repeat=num_free)
+
+
+def force(solver, free_vars, bits):
+    return [v if b else -v for v, b in zip(free_vars, bits)]
+
+
+class TestTotalizer:
+    @pytest.mark.parametrize("weights", [(1, 1, 1), (1, 2, 3), (2, 2, 5), (1,)])
+    @pytest.mark.parametrize("cap", [1, 3, 6])
+    def test_geq_matches_arithmetic(self, weights, cap):
+        s = Cdcl()
+        free = [s.new_var() for _ in weights]
+        tot = Totalizer(s, list(zip(free, weights)), cap)
+        # Sums above ``cap`` clamp onto the single overflow value.
+        assert tot.max_value <= cap + 1
+
+        for target in range(1, tot.max_value + 1):
+            out = tot.geq(target)
+            assert out is not None
+            for bits in assignments(len(free)):
+                total = sum(w for w, b in zip(weights, bits) if b)
+                # Forcing the inputs AND ¬out must be UNSAT exactly
+                # when the (clamped) weighted sum reaches the target —
+                # the encoding is one-directional: sum ≥ t ⇒ out.
+                sat = s.solve(assumptions=force(s, free, bits) + [-out])
+                if min(total, cap + 1) >= target:
+                    assert not sat, (weights, cap, target, bits)
+                else:
+                    assert sat, (weights, cap, target, bits)
+
+    def test_unreachable_target_is_none(self):
+        s = Cdcl()
+        free = [s.new_var() for _ in range(3)]
+        tot = Totalizer(s, [(v, 2) for v in free], 10)
+        # Odd sums are unreachable with all-even weights.
+        assert tot.geq(3) is not None or tot.geq(4) is not None
+        assert tot.geq(7) is None
+
+    def test_target_beyond_overflow_raises(self):
+        from repro.util.errors import SolverError
+
+        s = Cdcl()
+        free = [s.new_var() for _ in range(3)]
+        tot = Totalizer(s, [(v, 1) for v in free], 2)
+        with pytest.raises(SolverError):
+            tot.geq(4)  # cap + 2: clamped away at build time
+        with pytest.raises(SolverError):
+            tot.geq(0)
+
+    def test_outputs_are_monotone(self):
+        # geq(t) ⇒ geq(t-1): the ordering clauses inside the root node.
+        s = Cdcl()
+        free = [s.new_var() for _ in range(4)]
+        tot = Totalizer(s, [(v, 2) for v in free], 8)
+        for t in range(2, tot.max_value + 1):
+            hi, lo = tot.geq(t), tot.geq(t - 1)
+            if hi is None or lo is None:
+                continue
+            assert not s.solve(assumptions=[hi, -lo])
+
+
+class TestCardinalityBound:
+    @pytest.mark.parametrize("n_sel,k_max", [(4, 3), (5, 5), (3, 1)])
+    def test_assumption_caps_selection(self, n_sel, k_max):
+        s = Cdcl()
+        sel = [s.new_var() for _ in range(n_sel)]
+        card = CardinalityBound(s, sel, k_max)
+        for k in range(min(k_max, n_sel)):
+            lit = card.assumption(k)
+            assert lit is not None
+            for bits in assignments(n_sel):
+                count = sum(bits)
+                sat = s.solve(assumptions=force(s, sel, bits) + [lit])
+                assert sat == (count <= k), (n_sel, k_max, k, bits)
+
+    def test_guard_is_negated_assumption(self):
+        s = Cdcl()
+        sel = [s.new_var() for _ in range(4)]
+        card = CardinalityBound(s, sel, 3)
+        for k in range(3):
+            g, a = card.guard(k), card.assumption(k)
+            if g is None:
+                assert a is None
+            else:
+                assert a == -g
+
+
+class TestAtLeast:
+    @pytest.mark.parametrize("n_lits,m", [(3, 1), (4, 2), (4, 4), (5, 3)])
+    def test_matches_arithmetic(self, n_lits, m):
+        s = Cdcl()
+        free = [s.new_var() for _ in range(n_lits)]
+        at_least(s, free, m)
+        for bits in assignments(n_lits):
+            sat = s.solve(assumptions=force(s, free, bits))
+            assert sat == (sum(bits) >= m), (n_lits, m, bits)
+
+    def test_infeasible_demand_raises(self):
+        from repro.util.errors import SolverError
+
+        s = Cdcl()
+        free = [s.new_var() for _ in range(2)]
+        with pytest.raises(SolverError, match="unsatisfiable"):
+            at_least(s, free, 3)

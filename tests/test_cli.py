@@ -97,7 +97,8 @@ class TestApiSubcommands:
         assert err.startswith("error:")
 
     def test_unroutable_spec_prints_friendly_error(self, capsys):
-        assert main(["solve", "--n", "14", "--lam", "2", "--no-cache"]) == 1
+        # n = 18 clears every certifying ceiling, SAT tier included.
+        assert main(["solve", "--n", "18", "--lam", "2", "--no-cache"]) == 1
         err = capsys.readouterr().err
         assert "error:" in err and "require_optimal" in err
 

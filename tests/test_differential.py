@@ -29,11 +29,12 @@ import json
 from pathlib import Path
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.api import CoverSpec, Result, get_backend, solve
 from repro.core.verify import verify_covering
+from repro.sat.engines import SAT_ENGINE_ENV, available_engines
 from repro.util import circular
 
 _GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -293,6 +294,106 @@ class TestCrossObjective:
         assert sharded.status == "proven_optimal"
         assert sharded.objective_value == serial.objective_value
         _assert_envelope_valid(sharded)
+
+
+@pytest.fixture(params=("internal", "pysat"))
+def sat_engine(request, monkeypatch):
+    """Parametrize a test over both SAT engines via ``REPRO_SAT`` (the
+    pysat leg skips cleanly when python-sat is not installed — the
+    internal CDCL is the contractual fallback CI always runs)."""
+    name = request.param
+    if name not in available_engines():
+        pytest.skip("python-sat not installed — internal CDCL is the fallback")
+    monkeypatch.setenv(SAT_ENGINE_ENV, name)
+    return name
+
+
+def _sat(spec: CoverSpec) -> Result:
+    return solve(
+        CoverSpec.from_payload(
+            {**spec.to_payload(), "backend": "sat", "use_hints": False}
+        ),
+        cache=None,
+    )
+
+
+class TestSatDifferential:
+    """The SAT tier against the exact oracle: same optima, verified
+    coverings, replayable certificates — under *both* engines, so the
+    internal CDCL can never silently drift from the pysat answer."""
+
+    @pytest.mark.parametrize("n", range(4, 11))
+    def test_uniform_matches_certified_optimum(self, n: int, sat_engine):
+        sat = _sat(CoverSpec.for_ring(n))
+        oracle = solve(CoverSpec.for_ring(n), cache=None)
+        assert sat.status == "proven_optimal"
+        assert sat.backend == "sat"
+        assert sat.num_blocks == oracle.num_blocks, (
+            f"sat[{sat_engine}]={sat.num_blocks} != "
+            f"{oracle.backend}={oracle.num_blocks} at n={n}"
+        )
+        assert sat.sat_certificate is not None
+        assert sat.sat_certificate["engine"] == sat_engine
+        _assert_envelope_valid(sat)
+
+    @pytest.mark.parametrize("n", range(4, 9))
+    def test_lambda_fold_matches_exact(self, n: int, sat_engine):
+        spec = CoverSpec.for_ring(n, lam=2)
+        sat = _sat(spec)
+        exact = _exact(spec)
+        assert sat.status == "proven_optimal"
+        assert sat.num_blocks == exact.num_blocks
+        _assert_envelope_valid(sat)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        n=st.integers(5, 7),
+        sizes=st.sampled_from([(3,), (4,), (3, 4)]),
+    )
+    def test_restricted_pools_match_exact(self, n: int, sizes, sat_engine):
+        # Small n only: weak packing bounds make triangle-only pools
+        # expensive for B&B and SAT alike beyond n = 7.
+        spec = CoverSpec.for_ring(n, allowed_sizes=sizes)
+        sat = _sat(spec)
+        exact = _exact(spec)
+        assert sat.status == "proven_optimal"
+        assert sat.num_blocks == exact.num_blocks
+        assert all(blk.size in sizes for blk in sat.covering.blocks)
+        _assert_envelope_valid(sat)
+
+    def test_certificate_replays(self, sat_engine):
+        from repro.sat.backend import replay_unsat_core
+
+        spec = CoverSpec.from_payload(
+            {**CoverSpec.for_ring(8).to_payload(), "backend": "sat", "use_hints": False}
+        )
+        res = solve(spec, cache=None)
+        replay_unsat_core(spec, res.sat_certificate, engine=sat_engine)
+
+    def test_engines_agree_on_the_envelope_value(self):
+        # Both engines must land the same optimum and the same
+        # certificate arithmetic (models may differ; values may not).
+        results = {}
+        for engine in available_engines():
+            import os
+
+            prior = os.environ.get(SAT_ENGINE_ENV)
+            os.environ[SAT_ENGINE_ENV] = engine
+            try:
+                results[engine] = _sat(CoverSpec.for_ring(7))
+            finally:
+                if prior is None:
+                    os.environ.pop(SAT_ENGINE_ENV, None)
+                else:
+                    os.environ[SAT_ENGINE_ENV] = prior
+        values = {r.num_blocks for r in results.values()}
+        assert len(values) == 1
+        unsat_ks = {r.sat_certificate["unsat_k"] for r in results.values()}
+        assert len(unsat_ks) == 1
 
 
 class TestMinBlocksGoldens:
